@@ -1,0 +1,23 @@
+"""Shared fixtures for the benchmark suite.
+
+Benchmarks double as the experiment harness: each prints the table or
+series the paper reports (run with ``-s`` to see them) and asserts the
+relationships the paper claims, while pytest-benchmark times the
+computation that produces them.
+"""
+
+import pytest
+
+from repro.analytic import v_params
+from repro.workload.vtrace import VTraceConfig, generate_v_trace
+
+
+@pytest.fixture(scope="session")
+def v_trace():
+    """The synthetic V compile trace used across benchmarks."""
+    return generate_v_trace(VTraceConfig(duration=3600.0, seed=0))
+
+
+@pytest.fixture(scope="session")
+def params_s1():
+    return v_params(1)

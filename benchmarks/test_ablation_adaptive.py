@@ -1,0 +1,17 @@
+"""A-ADPT: adaptive per-file terms from the analytic model (§4)."""
+
+from repro.experiments import ablations
+
+
+class TestAdaptiveAblation:
+    def test_adaptive_vs_fixed(self, benchmark):
+        results = benchmark.pedantic(ablations.run_adaptive, rounds=1, iterations=1)
+        print()
+        for r in results:
+            print(
+                f"{r.variant:>10}: {r.consistency_msgs} consistency msgs, "
+                f"mean write latency {1e3 * r.mean_write_latency:.2f} ms"
+            )
+        fixed, adaptive = results
+        assert adaptive.consistency_msgs < fixed.consistency_msgs
+        assert adaptive.mean_write_latency <= fixed.mean_write_latency * 1.1

@@ -1,0 +1,19 @@
+"""A-ANT: anticipatory vs on-demand lease extension (§4)."""
+
+from repro.experiments import ablations
+
+
+class TestAnticipatoryAblation:
+    def test_latency_vs_load_trade(self, benchmark):
+        results = benchmark.pedantic(ablations.run_anticipatory, rounds=1, iterations=1)
+        print()
+        for r in results:
+            print(
+                f"{r.variant:>12}: mean read latency "
+                f"{1e3 * r.mean_read_latency:.3f} ms, "
+                f"{r.consistency_msgs} consistency msgs"
+            )
+        on_demand, anticipatory = results
+        # §4: anticipation improves response time at the cost of load
+        assert anticipatory.mean_read_latency < on_demand.mean_read_latency / 5
+        assert anticipatory.consistency_msgs > on_demand.consistency_msgs

@@ -1,0 +1,20 @@
+"""A-BATCH: batched vs per-file lease extension (§3.1)."""
+
+from repro.experiments import ablations
+
+
+class TestBatchingAblation:
+    def test_batching_effect(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: ablations.run_batching(terms=(2.0, 10.0)), rounds=1, iterations=1
+        )
+        print()
+        for r in results:
+            print(
+                f"term {r.term:>4.0f} s: batched {r.batched:.3f} vs per-file "
+                f"{r.per_file:.3f} relative load ({r.improvement:.1f}x better)"
+            )
+        for r in results:
+            assert r.batched < r.per_file
+        at_10 = next(r for r in results if r.term == 10.0)
+        assert at_10.improvement > 2.0

@@ -1,0 +1,22 @@
+"""A-INST: the installed-files optimization (§4)."""
+
+from repro.experiments import ablations
+
+
+class TestInstalledAblation:
+    def test_covers_vs_per_client(self, benchmark):
+        results = benchmark.pedantic(ablations.run_installed, rounds=1, iterations=1)
+        print()
+        for r in results:
+            print(
+                f"{r.variant:>18}: {r.consistency_msgs} consistency msgs, "
+                f"{r.server_lease_records} lease records, update in "
+                f"{r.update_latency:.2f} s, {r.approvals} approval msgs"
+            )
+        per_client, covers = results
+        assert covers.server_lease_records == 0
+        assert covers.approvals == 0
+        assert covers.consistency_msgs < per_client.consistency_msgs
+        assert per_client.approvals > 0
+        # the §4 trade: delayed update waits out the announced term
+        assert covers.update_latency > per_client.update_latency

@@ -1,0 +1,22 @@
+"""A-MCAST: multicast vs unicast write approvals (§3.1 footnotes 6-7)."""
+
+import math
+
+from repro.experiments import ablations
+
+
+class TestMulticastAblation:
+    def test_benefit_factor_shift(self, benchmark):
+        results = benchmark.pedantic(ablations.run_multicast, rounds=1, iterations=1)
+        print()
+        for r in results:
+            be_u = "inf" if math.isinf(r.break_even_unicast) else f"{r.break_even_unicast:.2f}"
+            print(
+                f"S={r.sharing:>2}: alpha mcast={r.alpha_multicast:5.2f} "
+                f"ucast={r.alpha_unicast:5.2f}; break-even t_c "
+                f"mcast={r.break_even_multicast:5.2f} s ucast={be_u} s"
+            )
+        r40 = next(r for r in results if r.sharing == 40)
+        # at S=40 leasing still (barely) pays with multicast, not without
+        assert r40.alpha_multicast > 1.0 > r40.alpha_unicast
+        assert math.isinf(r40.break_even_unicast)

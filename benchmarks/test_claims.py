@@ -1,0 +1,14 @@
+"""E-CL: the paper's §3.2 headline numbers, checked end to end."""
+
+from repro.experiments import claims
+
+
+class TestClaims:
+    def test_all_headline_claims(self, benchmark):
+        results = benchmark.pedantic(
+            lambda: claims.run(trace_duration=3600.0), rounds=1, iterations=1
+        )
+        print()
+        print(claims.render(results))
+        failing = [c for c in results if not c.passed]
+        assert not failing, ", ".join(c.claim_id for c in failing)

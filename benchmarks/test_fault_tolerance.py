@@ -1,0 +1,53 @@
+"""FT: the §5 fault-tolerance bounds and the §6 protocol comparison."""
+
+import pytest
+
+from repro.baselines import compare_protocols, render
+from repro.lease.policy import FixedTermPolicy
+from repro.sim.driver import build_cluster
+
+
+class TestFaultBounds:
+    def test_partition_write_delay_tracks_term(self, benchmark):
+        """The write delay under a partitioned leaseholder equals the
+        remaining lease term, for every term."""
+
+        def measure():
+            delays = {}
+            for term in (2.0, 5.0, 10.0):
+                cluster = build_cluster(
+                    n_clients=2,
+                    policy=FixedTermPolicy(term),
+                    setup_store=lambda store: store.create_file("/f", b"v1"),
+                )
+                datum = cluster.store.file_datum("/f")
+                a, b = cluster.clients
+                cluster.run_until_complete(a, a.read(datum))
+                cluster.faults.isolate_host("c0")
+                result = cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+                delays[term] = result.latency
+            return delays
+
+        delays = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print()
+        for term, delay in delays.items():
+            print(f"term {term:>4.0f} s -> write delayed {delay:.2f} s")
+            assert delay == pytest.approx(term, abs=0.2)
+
+
+class TestProtocolComparison:
+    def test_section6_comparison(self, benchmark):
+        outcomes = benchmark.pedantic(
+            lambda: compare_protocols(seed=0), rounds=1, iterations=1
+        )
+        print()
+        print(render(outcomes))
+        by_name = {o.protocol: o for o in outcomes}
+        assert by_name["leases (10 s)"].stale_reads == 0
+        assert by_name["leases (10 s)"].write_availability == 1.0
+        assert by_name["callbacks (term inf)"].write_availability < 0.8
+        assert by_name["NFS TTL (10 s)"].stale_reads > 0
+        assert (
+            by_name["leases (10 s)"].consistency_msgs
+            < by_name["check-on-use (term 0)"].consistency_msgs
+        )

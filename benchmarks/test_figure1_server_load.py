@@ -1,0 +1,45 @@
+"""E-F1 / E-SIM: regenerate Figure 1 (server consistency load vs term)."""
+
+import pytest
+
+from repro.experiments import figure1
+
+
+class TestFigure1:
+    def test_regenerate_figure1(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: figure1.run(trace_duration=3600.0), rounds=1, iterations=1
+        )
+        print()
+        print(figure1.render(result))
+
+        terms = result.terms
+        ten = terms.index(10.0)
+
+        # paper: at S=1 a 10 s term cuts consistency traffic to ~10%
+        assert result.curves["S=1"][ten] == pytest.approx(0.10, abs=0.01)
+        # the knee: most of the benefit arrives within a few seconds
+        five = terms.index(5.0)
+        assert result.curves["S=1"][five] < 0.25
+        # sharing orders the curves; heavy sharing can make leasing lose
+        half = terms.index(0.5)
+        assert result.curves["S=40"][half] > 1.0
+        # the trace curve validates the model with a sharper, earlier knee
+        for i, term in enumerate(terms):
+            if 1.0 <= term <= 10.0:
+                assert result.curves["Trace"][i] < result.curves["S=1"][i]
+
+    def test_validate_against_full_protocol_stack(self, benchmark):
+        """E-SIM: the fast replay agrees with the discrete-event stack
+        across the whole term sweep."""
+        sweep = benchmark.pedantic(
+            lambda: figure1.validate_sweep(
+                terms=(0.0, 2.0, 10.0, 30.0), trace_duration=900.0
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        for term, (fast, full) in sorted(sweep.items()):
+            print(f"E-SIM at {term:>4.0f} s: fast replay={fast:.4f}, full stack={full:.4f}")
+            assert full == pytest.approx(fast, rel=0.1), term

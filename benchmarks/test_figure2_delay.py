@@ -1,0 +1,46 @@
+"""E-F2: regenerate Figure 2 (consistency delay per operation vs term)."""
+
+import pytest
+
+from repro.experiments import figure2
+
+
+class TestFigure2:
+    def test_regenerate_figure2(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: figure2.run(trace_duration=3600.0), rounds=1, iterations=1
+        )
+        print()
+        print(figure2.render(result))
+
+        terms = result.terms
+        # at term 0 every read pays a 2.54 ms round trip
+        assert result.curves["S=1"][0] == pytest.approx(2.43, abs=0.05)
+        # much of the benefit arrives by ~10 s (paper §3.2)
+        ten = terms.index(10.0)
+        assert result.curves["S=1"][ten] < 0.15 * result.curves["S=1"][0]
+        # curves for different S stay within a fraction of the plot scale
+        scale = result.curves["S=1"][0]
+        assert abs(result.curves["S=10"][ten] - result.curves["S=1"][ten]) < 0.15 * scale
+        # a tiny positive term is *worse* than zero under heavy sharing:
+        # writes start paying approval time while reads barely benefit
+        half = terms.index(0.5)
+        assert result.curves["S=40"][half] > result.curves["S=40"][0]
+        # beyond that bump, delay decreases monotonically with the term
+        for label, series in result.curves.items():
+            if label.startswith("S="):
+                tail = series[1:]
+                assert all(a >= b - 1e-12 for a, b in zip(tail, tail[1:])), label
+
+    def test_validate_delay_against_full_protocol_stack(self, benchmark):
+        """E-SIM (delay side): the full stack's observed mean read latency
+        matches the fast replay's modeled consistency delay."""
+        fast, full = benchmark.pedantic(
+            lambda: figure2.validate_delay_with_full_simulator(
+                term=10.0, trace_duration=900.0
+            ),
+            rounds=1,
+            iterations=1,
+        )
+        print(f"\nE-SIM delay at 10 s: fast={1e3 * fast:.4f} ms, full={1e3 * full:.4f} ms")
+        assert full == pytest.approx(fast, rel=0.1)

@@ -1,0 +1,21 @@
+"""E-F3: regenerate Figure 3 (added delay at a 100 ms round trip)."""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+class TestFigure3:
+    def test_regenerate_figure3(self, benchmark):
+        result = benchmark.pedantic(figure3.run, rounds=1, iterations=1)
+        print()
+        print(figure3.render(result))
+
+        # paper: 10 s degrades response 10.1%, 30 s degrades it 3.6%
+        assert result.degradation_10s == pytest.approx(0.101, abs=0.004)
+        assert result.degradation_30s == pytest.approx(0.036, abs=0.002)
+        # at term 0 the delay approaches one 100 ms round trip (read share)
+        assert result.curves["S=1"][0] == pytest.approx(95.6, abs=0.5)
+        # 10-30 s terms remain adequate even on the WAN (§3.3)
+        ten = result.terms.index(10.0)
+        assert result.curves["S=1"][ten] < 0.12 * result.curves["S=1"][0]

@@ -1,0 +1,14 @@
+"""E-SCALE: the §3.3 future-systems analysis."""
+
+from repro.experiments import scaling
+
+
+class TestScaling:
+    def test_scaling_analysis(self, benchmark):
+        result = benchmark.pedantic(scaling.run, rounds=1, iterations=1)
+        print()
+        print(scaling.render(result))
+        assert result.knee_terms[-1] < result.knee_terms[0]
+        gains = [result.capacity_gain(i) for i in range(len(result.speedups))]
+        assert gains == sorted(gains)
+        assert gains[0] > 5.0

@@ -1,0 +1,19 @@
+"""E-T2: regenerate Table 2 (parameters for file caching in V)."""
+
+import pytest
+
+from repro.experiments import table2
+
+
+class TestTable2:
+    def test_regenerate_table2(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: table2.run(trace_duration=3600.0), rounds=1, iterations=1
+        )
+        print()
+        print(table2.render(result))
+        # the trace must measure back the configured Table 2 values
+        assert result.measured.read_rate == pytest.approx(0.864, rel=0.08)
+        assert result.measured.write_rate == pytest.approx(0.040, rel=0.12)
+        assert result.measured.installed_read_fraction == pytest.approx(0.5, abs=0.03)
+        assert result.measured.installed_write_count == 0

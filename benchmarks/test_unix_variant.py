@@ -1,0 +1,18 @@
+"""§3.2 extension: the Unix block-level semantics predictions."""
+
+from repro.experiments import unix_variant
+
+
+class TestUnixVariant:
+    def test_block_level_predictions(self, benchmark):
+        result = benchmark.pedantic(
+            lambda: unix_variant.run(duration=3600.0), rounds=1, iterations=1
+        )
+        print()
+        print(unix_variant.render(result))
+        assert result.block.read_rate > result.logical.read_rate
+        assert result.block.read_write_ratio < result.logical.read_write_ratio
+        assert result.knee_sharper
+        assert result.max_profitable_sharing("block") < result.max_profitable_sharing(
+            "logical"
+        )

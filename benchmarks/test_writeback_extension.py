@@ -1,0 +1,43 @@
+"""EXT: write-back economics (the §2/§6 non-write-through extension)."""
+
+import pytest
+
+from repro.ext import build_writeback_cluster
+from repro.ext.writeback import WriteBackClientConfig
+from repro.lease.policy import FixedTermPolicy
+
+
+def run_editor_session(write_back: bool, n_saves: int = 30):
+    """One client saving a document repeatedly; another reads at the end."""
+    cluster = build_writeback_cluster(
+        n_clients=2,
+        policy=FixedTermPolicy(10.0),
+        setup_store=lambda s: s.create_file("/draft", b"v1"),
+        client_config=WriteBackClientConfig(rpc_timeout=1.0, max_retries=30),
+    )
+    datum = cluster.store.file_datum("/draft")
+    editor, reader = cluster.clients
+    if write_back:
+        cluster.run_until_complete(editor, editor.acquire_write(datum))
+        for i in range(n_saves):
+            cluster.run_until_complete(editor, editor.local_write(datum, b"s%d" % i))
+    else:
+        for i in range(n_saves):
+            cluster.run_until_complete(editor, editor.write(datum, b"s%d" % i), limit=60)
+    result = cluster.run_until_complete(reader, reader.read(datum), limit=60)
+    assert result.value[1] == b"s%d" % (n_saves - 1)
+    assert cluster.oracle.clean
+    return cluster.network.stats["server"].handled()
+
+
+class TestWriteBack:
+    def test_write_absorption_economics(self, benchmark):
+        def measure():
+            return run_editor_session(True), run_editor_session(False)
+
+        wb_msgs, wt_msgs = benchmark.pedantic(measure, rounds=1, iterations=1)
+        print(
+            f"\n30 editor saves + 1 reader: write-back={wb_msgs} server msgs, "
+            f"write-through={wt_msgs} ({wt_msgs / wb_msgs:.1f}x)"
+        )
+        assert wb_msgs < wt_msgs / 4

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""§6 head to head: leases vs every alternative, on one workload.
+
+Runs the standard shared workload (6 clients, 3 files, reads+writes, one
+25-second partition) under five protocols and prints the comparison the
+paper makes in prose:
+
+* check-on-use (Sprite/RFS/Andrew-prototype) is consistent but pays two
+  messages per read;
+* callbacks (revised Andrew) are cheap and fast — until a partition blocks
+  writers indefinitely;
+* NFS TTL hints and DFS breakable locks are cheap but serve stale reads;
+* 10-second leases match callbacks' efficiency to within a few percent
+  while staying consistent and keeping writes available.
+
+Run:  python examples/protocol_comparison.py  (takes ~half a minute)
+"""
+
+from repro.baselines import compare_protocols, render
+
+
+def main() -> None:
+    outcomes = compare_protocols(seed=0)
+    print(render(outcomes))
+    print()
+    leases = next(o for o in outcomes if o.protocol.startswith("leases"))
+    polling = next(o for o in outcomes if o.protocol.startswith("check-on-use"))
+    callbacks = next(o for o in outcomes if o.protocol.startswith("callbacks"))
+    ttl = next(o for o in outcomes if o.protocol.startswith("NFS"))
+    saved = 1 - leases.consistency_msgs / polling.consistency_msgs
+    print(f"leases vs check-on-use: {saved:.0%} less consistency traffic, "
+          "same zero staleness")
+    print(f"callbacks under the partition: only "
+          f"{callbacks.write_availability:.0%} of writes completed "
+          "(leases: 100%)")
+    print(f"TTL hints served {ttl.stale_reads} stale reads "
+          f"({ttl.stale_reads / ttl.reads_checked:.0%} of all reads)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""The paper's analytic model of lease performance (§3.1).
+
+:mod:`repro.analytic.params` holds the performance parameters of Table 1
+and the measured V-system values of Table 2; :mod:`repro.analytic.model`
+implements formulas (1) and (2), the lease benefit factor alpha, the
+break-even term, and the derived quantities used by Figures 1-3.
+"""
+
+from repro.analytic.model import (
+    added_delay,
+    alpha,
+    alpha_unicast,
+    approval_messages,
+    approval_time,
+    break_even_term,
+    effective_term,
+    extension_delay,
+    relative_consistency_load,
+    response_degradation,
+    server_consistency_load,
+    term_for_extension_reduction,
+    total_relative_load,
+)
+from repro.analytic.params import (
+    FIG3_WAN_PARAMS,
+    V_PARAMS,
+    SystemParams,
+    v_params,
+    wan_params,
+)
+
+__all__ = [
+    "SystemParams",
+    "V_PARAMS",
+    "FIG3_WAN_PARAMS",
+    "v_params",
+    "wan_params",
+    "effective_term",
+    "server_consistency_load",
+    "relative_consistency_load",
+    "total_relative_load",
+    "extension_delay",
+    "approval_time",
+    "approval_messages",
+    "added_delay",
+    "response_degradation",
+    "alpha",
+    "alpha_unicast",
+    "break_even_term",
+    "term_for_extension_reduction",
+]

@@ -1,0 +1,252 @@
+"""Formulas (1) and (2) of the paper and their derived quantities.
+
+All functions take a :class:`~repro.analytic.params.SystemParams` and the
+server-side lease term ``term`` (``t_s``) in seconds; ``math.inf`` denotes
+an infinite term.  The model (§3.1):
+
+* effective client term      ``t_c = max(0, t_s - (m_prop + 2 m_proc) - eps)``
+* extension (read) messages  ``2NR / (1 + R t_c)`` per second
+* approval (write) messages  ``N S W`` per second, for S > 1 and t_s > 0
+* approval time              ``t_w = 2 m_prop + (S + 2) m_proc`` for S > 1
+* added delay per operation  ``[R * RTT/(1 + R t_c) + W t_w] / (R + W)``
+* lease benefit factor       ``alpha = 2R / (S W)``
+* break-even term            ``t_c > 1 / (R (alpha - 1))`` when alpha > 1
+
+A zero term is special (and better than a tiny-but-positive term): clients
+never hold usable leases, every read checks with the server (two messages),
+and writes need no approvals because nobody holds a lease.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analytic.params import SystemParams
+
+
+def effective_term(params: SystemParams, term: float) -> float:
+    """Client-side effective term ``t_c`` for a server term ``t_s``.
+
+    The term is shortened by the time to receive the lease
+    (``m_prop + 2*m_proc``) plus the clock-uncertainty allowance epsilon.
+    """
+    if term < 0:
+        raise ValueError(f"negative lease term: {term}")
+    if math.isinf(term):
+        return math.inf
+    return max(0.0, term - params.grant_overhead - params.epsilon)
+
+
+def extension_messages(params: SystemParams, term: float) -> float:
+    """Lease-extension messages handled by the server per second.
+
+    Each extension is a request/reply pair (2 messages), amortized over the
+    ``1 + R*t_c`` reads a lease covers.
+    """
+    t_c = effective_term(params, term)
+    if math.isinf(t_c):
+        return 0.0
+    n, r = params.n_clients, params.read_rate
+    return 2 * n * r / (1 + r * t_c)
+
+
+def approval_messages(params: SystemParams, term: float) -> float:
+    """Write-approval messages handled by the server per second.
+
+    One multicast request plus S - 1 replies (the writer's approval rides
+    on its write request) = S messages per write.  Zero when nothing is
+    shared (S = 1) or when the term is zero (nobody holds leases).
+    """
+    if params.sharing <= 1 or term == 0:
+        return 0.0
+    return params.n_clients * params.sharing * params.write_rate
+
+
+def server_consistency_load(params: SystemParams, term: float) -> float:
+    """Formula (1): consistency-related messages per second at the server."""
+    if term == 0:
+        return 2 * params.n_clients * params.read_rate
+    return extension_messages(params, term) + approval_messages(params, term)
+
+
+def relative_consistency_load(params: SystemParams, term: float) -> float:
+    """Consistency load normalized to the zero-term load ``2NR``."""
+    zero = 2 * params.n_clients * params.read_rate
+    if zero == 0:
+        raise ValueError("zero read rate: relative load undefined")
+    return server_consistency_load(params, term) / zero
+
+
+def total_relative_load(params: SystemParams, term: float) -> float:
+    """Total server traffic relative to the zero-term total.
+
+    With consistency making up fraction ``c`` of total traffic at term
+    zero (30% in the V trace), total(term)/total(0) =
+    ``(1 - c) + c * relative_consistency_load(term)``.
+    """
+    c = params.consistency_share_at_zero
+    return (1 - c) + c * relative_consistency_load(params, term)
+
+
+def approval_time(params: SystemParams, term: float) -> float:
+    """Time ``t_w`` for a write to gain approval of all leaseholders.
+
+    ``2*m_prop + (S + 2)*m_proc`` for S > 1 (multicast request, S - 1
+    replies processed serially, the writer's approval implicit).  Zero when
+    unshared or when the term is zero.
+    """
+    if params.sharing <= 1 or term == 0:
+        return 0.0
+    return 2 * params.m_prop + (params.sharing + 2) * params.m_proc
+
+
+def extension_delay(params: SystemParams, term: float) -> float:
+    """Mean extension delay added to each read.
+
+    A read outside the term pays a full round trip; amortized over the
+    ``1 + R*t_c`` reads per lease.
+    """
+    t_c = effective_term(params, term)
+    if math.isinf(t_c):
+        return 0.0
+    return params.round_trip / (1 + params.read_rate * t_c)
+
+
+def added_delay(params: SystemParams, term: float) -> float:
+    """Formula (2): mean consistency delay added to each read or write."""
+    r, w = params.read_rate, params.write_rate
+    if r + w == 0:
+        return 0.0
+    read_part = r * extension_delay(params, term)
+    write_part = w * approval_time(params, term)
+    return (read_part + write_part) / (r + w)
+
+
+def response_degradation(params: SystemParams, term: float) -> float:
+    """Relative response-time degradation versus an infinite term.
+
+    Figure 3 reports the added delay of a finite term as a fraction of the
+    application-level response time; the paper's quoted 10.1% / 3.6%
+    figures correspond to normalizing by one network round trip (see
+    DESIGN.md §6), which we adopt:
+
+    ``(added_delay(term) - added_delay(inf)) / round_trip``
+    """
+    base = added_delay(params, math.inf)
+    return (added_delay(params, term) - base) / params.round_trip
+
+
+def alpha(params: SystemParams) -> float:
+    """Lease benefit factor ``alpha = 2R / (S W)`` (multicast approvals).
+
+    Intuitively the read/write ratio scaled by the sharing overhead; a
+    sufficiently long term reduces server load exactly when alpha > 1.
+    """
+    if params.write_rate == 0:
+        return math.inf
+    return 2 * params.read_rate / (params.sharing * params.write_rate)
+
+
+def alpha_unicast(params: SystemParams) -> float:
+    """Benefit factor when approvals use unicast: ``R / ((S-1) W)``.
+
+    Without multicast a write costs ``2*(S-1)`` messages (footnote 6), so
+    the benefit threshold moves.  Infinite when S = 1 or W = 0.
+    """
+    if params.sharing <= 1 or params.write_rate == 0:
+        return math.inf
+    return params.read_rate / ((params.sharing - 1) * params.write_rate)
+
+
+def break_even_term(params: SystemParams, unicast: bool = False) -> float:
+    """Effective term above which leases beat the zero-term protocol.
+
+    ``t_c > 1 / (R (alpha - 1))`` when alpha > 1; infinite when alpha <= 1
+    (leasing cannot reduce server load, so the term should be zero).
+    """
+    a = alpha_unicast(params) if unicast else alpha(params)
+    if a <= 1:
+        return math.inf
+    return 1.0 / (params.read_rate * (a - 1))
+
+
+def multi_file_load(params_list: list[SystemParams], term: float) -> float:
+    """Total consistency load over several independent files.
+
+    §3.1: "the load due to multiple leases sums directly" — per-file
+    extension traffic without batching.
+    """
+    return sum(server_consistency_load(p, term) for p in params_list)
+
+
+def batched_combination(params_list: list[SystemParams]) -> SystemParams:
+    """Combine per-file parameters under batched extension (§3.1).
+
+    "The cache can batch its requests for extensions so that a single
+    request covers many files.  R and W then correspond to the total rates
+    for all covered files."  The combined sharing degree is the
+    write-weighted mean (it only enters through the ``S*W`` product of
+    approval traffic, which sums directly).
+
+    Raises:
+        ValueError: empty input or inconsistent N / message parameters.
+    """
+    if not params_list:
+        raise ValueError("no files to combine")
+    first = params_list[0]
+    for p in params_list[1:]:
+        if (p.n_clients, p.m_prop, p.m_proc, p.epsilon) != (
+            first.n_clients,
+            first.m_prop,
+            first.m_proc,
+            first.epsilon,
+        ):
+            raise ValueError("files must share client count and message timing")
+    total_r = sum(p.read_rate for p in params_list)
+    total_w = sum(p.write_rate for p in params_list)
+    total_sw = sum(p.sharing * p.write_rate for p in params_list)
+    sharing = max(1, round(total_sw / total_w)) if total_w > 0 else 1
+    return SystemParams(
+        n_clients=first.n_clients,
+        read_rate=total_r,
+        write_rate=total_w,
+        sharing=sharing,
+        m_prop=first.m_prop,
+        m_proc=first.m_proc,
+        epsilon=first.epsilon,
+        consistency_share_at_zero=first.consistency_share_at_zero,
+    )
+
+
+def batched_load(params_list: list[SystemParams], term: float) -> float:
+    """Consistency load when one extension covers all the files (§3.1).
+
+    The extension traffic amortizes over the *combined* read rate; the
+    approval traffic still sums per file (each write is its own event).
+    """
+    combined = batched_combination(params_list)
+    if term == 0:
+        return 2 * combined.n_clients * combined.read_rate
+    approvals = sum(approval_messages(p, term) for p in params_list)
+    return extension_messages(combined, term) + approvals
+
+
+def term_for_extension_reduction(params: SystemParams, reduction: float) -> float:
+    """Server term ``t_s`` at which extension traffic falls by ``reduction``.
+
+    Solves ``1/(1 + R t_c) = 1 - reduction`` for ``t_c`` and adds back the
+    grant overhead and epsilon.  ``reduction = 0.9`` with V parameters
+    yields roughly the paper's 10-second recommendation.
+
+    Args:
+        reduction: target fractional reduction of extension traffic
+            relative to a zero term, in [0, 1).
+    """
+    if not 0 <= reduction < 1:
+        raise ValueError(f"reduction must be in [0, 1): {reduction}")
+    if params.read_rate == 0:
+        return 0.0
+    t_c = reduction / ((1 - reduction) * params.read_rate)
+    if t_c == 0:
+        return 0.0
+    return t_c + params.grant_overhead + params.epsilon

@@ -1,0 +1,42 @@
+"""Baseline consistency protocols from the paper's related work (§6).
+
+Two of the baselines are *degenerate lease terms* and need no new code:
+
+* **check-on-use** (Sprite between opens, RFS, the Andrew prototype) —
+  ``ZeroTermPolicy``: every read checks with the server;
+* **callbacks** (the revised Andrew file system) — ``InfiniteTermPolicy``:
+  minimal traffic, but a crashed or partitioned leaseholder blocks writes
+  forever (or, in Andrew's actual behaviour, the server proceeds and the
+  client reads stale data until it polls).
+
+Two have genuinely different protocols, implemented here as alternate
+server engines behind the same driver interface:
+
+* :mod:`repro.baselines.ttl` — **NFS-style TTL hints**: the server stamps
+  replies with a time-to-live and *never* waits for or notifies anyone.
+  Fast and simple, but reads can be stale for up to a TTL after any write.
+* :mod:`repro.baselines.locks` — **Xerox DFS breakable locks**: a lock
+  carries a minimum time before it may be broken; the server honors only
+  that minimum, while clients keep trusting the lock and are not reliably
+  notified of breaks.  Trusting clients read stale data; distrusting
+  clients must check every read — the paper's point that the scheme
+  "degenerates to leasing with a term of zero".
+
+:mod:`repro.baselines.comparison` runs one shared workload under every
+protocol and tabulates consistency traffic, delay, staleness, and
+write availability under partition.
+"""
+
+from repro.baselines.comparison import ProtocolOutcome, compare_protocols, render
+from repro.baselines.locks import DfsLockServerEngine, make_dfs_lock_cluster
+from repro.baselines.ttl import TtlServerEngine, make_ttl_cluster
+
+__all__ = [
+    "TtlServerEngine",
+    "make_ttl_cluster",
+    "DfsLockServerEngine",
+    "make_dfs_lock_cluster",
+    "compare_protocols",
+    "ProtocolOutcome",
+    "render",
+]

@@ -1,0 +1,6 @@
+"""Run the §6 protocol comparison: ``python -m repro.baselines``."""
+
+from repro.baselines.comparison import render
+
+if __name__ == "__main__":
+    print(render())

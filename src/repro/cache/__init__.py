@@ -1,0 +1,14 @@
+"""Client-side caching substrate.
+
+* :class:`~repro.cache.filecache.FileCache` — an LRU, write-through datum
+  cache with version-floor invalidation (a client that approves a write
+  must not re-admit older data for that datum).
+* :class:`~repro.cache.filecache.TempFileStore` — client-local storage for
+  temporary files, which V keeps out of the file server entirely (§2, §3.2:
+  temp files receive the majority of writes, so this is what makes
+  write-through affordable).
+"""
+
+from repro.cache.filecache import CacheEntry, CacheStats, FileCache, TempFileStore
+
+__all__ = ["FileCache", "CacheEntry", "CacheStats", "TempFileStore"]

@@ -1,0 +1,39 @@
+"""Clock subsystem.
+
+Leases are a *time-based* mechanism: correctness rests on hosts having
+clocks whose mutual error is bounded by an allowance ``epsilon`` (or, more
+weakly, whose drift rate is bounded).  This package provides:
+
+* :class:`~repro.clock.base.Clock` — the minimal interface the protocol
+  engines consume (a ``now()`` in seconds).
+* :class:`~repro.clock.sim.SimClock` — a clock slaved to the discrete-event
+  kernel, with configurable constant offset (skew) and rate error (drift) so
+  clock faults can be injected (paper §5).
+* :class:`~repro.clock.system.MonotonicClock` — wall-clock time for the
+  asyncio runtime.
+* :class:`~repro.clock.faulty.ManualClock` / ``SteppingClock`` — test
+  doubles and fault models.
+* :func:`~repro.clock.sync.cristian_offset` — the offset/error-bound
+  estimate used to justify a configured ``epsilon``.
+* :func:`~repro.clock.sync.safe_local_expiry` — the duration-based expiry
+  rule (§5: a term "can be communicated as its duration") that keeps the
+  client's view of expiry conservatively earlier than the server's.
+"""
+
+from repro.clock.base import Clock, TimeSource
+from repro.clock.faulty import ManualClock, SteppingClock
+from repro.clock.sim import SimClock
+from repro.clock.sync import ClockSyncEstimate, cristian_offset, safe_local_expiry
+from repro.clock.system import MonotonicClock
+
+__all__ = [
+    "Clock",
+    "TimeSource",
+    "SimClock",
+    "MonotonicClock",
+    "ManualClock",
+    "SteppingClock",
+    "ClockSyncEstimate",
+    "cristian_offset",
+    "safe_local_expiry",
+]

@@ -1,0 +1,34 @@
+"""Clock interfaces consumed by the protocol engines."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+
+@runtime_checkable
+class TimeSource(Protocol):
+    """Anything exposing the current time as a ``now`` attribute (seconds).
+
+    The discrete-event kernel satisfies this protocol, which lets
+    :class:`~repro.clock.sim.SimClock` depend on it without importing the
+    simulator package.
+    """
+
+    @property
+    def now(self) -> float:
+        """Current time in seconds."""
+        ...
+
+
+@runtime_checkable
+class Clock(Protocol):
+    """The clock interface used throughout the protocol code.
+
+    ``now()`` returns this host's *local* opinion of the current time in
+    seconds.  Different hosts may disagree; the lease protocol only assumes
+    the disagreement is bounded by the configured ``epsilon``.
+    """
+
+    def now(self) -> float:
+        """This host's local opinion of the current time, in seconds."""
+        ...

@@ -1,0 +1,49 @@
+"""Clock test doubles and fault models."""
+
+from __future__ import annotations
+
+
+class ManualClock:
+    """A clock advanced explicitly by the test or application.
+
+    Useful for unit-testing lease bookkeeping without a simulator.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = start
+
+    def now(self) -> float:
+        """Current manual time."""
+        return self._now
+
+    def advance(self, delta: float) -> float:
+        """Move the clock forward by ``delta`` seconds (must be >= 0)."""
+        if delta < 0:
+            raise ValueError(f"cannot move a clock backward (delta={delta})")
+        self._now += delta
+        return self._now
+
+    def set(self, value: float) -> None:
+        """Jump the clock to an absolute value (may move backward: a fault)."""
+        self._now = value
+
+
+class SteppingClock:
+    """A clock that applies a one-time step at a scheduled underlying time.
+
+    Models an operator or a buggy time daemon stepping the clock: before
+    ``step_at`` (as read from the wrapped clock) readings are unchanged;
+    afterwards they include ``step`` (positive = jumped forward).
+    """
+
+    def __init__(self, inner, step_at: float, step: float):
+        self._inner = inner
+        self.step_at = step_at
+        self.step = step
+
+    def now(self) -> float:
+        """Inner clock reading, plus the step once past the threshold."""
+        base = self._inner.now()
+        if base >= self.step_at:
+            return base + self.step
+        return base

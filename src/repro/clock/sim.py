@@ -1,0 +1,31 @@
+"""Simulated host clocks with injectable skew and drift."""
+
+from __future__ import annotations
+
+from repro.clock.base import TimeSource
+
+
+class SimClock:
+    """A host clock slaved to a simulation time source.
+
+    The local reading is ``offset + (1 + drift) * source.now``:
+
+    * ``offset`` models constant skew between hosts (bounded by the
+      protocol's ``epsilon`` allowance in a healthy system);
+    * ``drift`` models rate error.  A *positive* drift on the server (clock
+      runs fast) or a *negative* drift on a client (clock runs slow) are the
+      two failure modes the paper identifies as able to break consistency
+      (§5); the opposite errors only cost extra traffic.
+    """
+
+    def __init__(self, source: TimeSource, offset: float = 0.0, drift: float = 0.0):
+        self._source = source
+        self.offset = offset
+        self.drift = drift
+
+    def now(self) -> float:
+        """Return the local clock reading in seconds."""
+        return self.offset + (1.0 + self.drift) * self._source.now
+
+    def __repr__(self) -> str:
+        return f"SimClock(offset={self.offset!r}, drift={self.drift!r})"

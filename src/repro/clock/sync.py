@@ -1,0 +1,115 @@
+"""Clock-synchronization estimates and the safe duration-based expiry rule.
+
+The paper's correctness condition is that clocks are synchronized within an
+allowance ``epsilon`` that is small relative to lease terms, or — as a
+minimum — that clocks have a known bounded drift, in which case "the lease
+term can be communicated as its duration" (§5).  This module provides the
+two corresponding tools:
+
+* :func:`cristian_offset` — Cristian-style offset estimation from one
+  request/response exchange, with an explicit error bound; a deployment can
+  use the bound to pick (or validate) ``epsilon``.
+* :func:`safe_local_expiry` — the client-side rule for converting a term
+  *duration* into a local expiry instant that is guaranteed not to outlive
+  the server's view of the lease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ClockSyncEstimate:
+    """Result of a one-shot clock synchronization probe.
+
+    Attributes:
+        offset: estimated ``remote_clock - local_clock`` in seconds.
+        error_bound: half-width of the interval guaranteed to contain the
+            true offset (assuming symmetric or at least bounded one-way
+            delays within the measured round trip).
+        round_trip: the measured round-trip time.
+    """
+
+    offset: float
+    error_bound: float
+    round_trip: float
+
+
+def cristian_offset(
+    t_request_local: float,
+    t_server_remote: float,
+    t_reply_local: float,
+    min_one_way: float = 0.0,
+) -> ClockSyncEstimate:
+    """Estimate the remote-minus-local clock offset from one exchange.
+
+    Args:
+        t_request_local: local clock when the probe was sent.
+        t_server_remote: remote clock when the server stamped the reply.
+        t_reply_local: local clock when the reply arrived.
+        min_one_way: a known lower bound on one-way network delay; a nonzero
+            bound tightens the error estimate.
+
+    Returns:
+        A :class:`ClockSyncEstimate`.  The classic Cristian argument: the
+        server stamped its clock somewhere inside the round trip, so the
+        true offset lies within ``rtt/2 - min_one_way`` of the midpoint
+        estimate.
+
+    Raises:
+        ValueError: if the reply does not follow the request.
+    """
+    if t_reply_local < t_request_local:
+        raise ValueError("reply precedes request on the local clock")
+    round_trip = t_reply_local - t_request_local
+    midpoint = t_request_local + round_trip / 2.0
+    offset = t_server_remote - midpoint
+    error_bound = round_trip / 2.0 - min_one_way
+    if error_bound < 0:
+        raise ValueError(
+            f"min_one_way={min_one_way} exceeds half the measured round trip"
+        )
+    return ClockSyncEstimate(offset=offset, error_bound=error_bound, round_trip=round_trip)
+
+
+def safe_local_expiry(
+    t_send_local: float,
+    term: float,
+    epsilon: float,
+    drift_bound: float = 0.0,
+) -> float:
+    """Convert a lease *duration* into a conservative local expiry instant.
+
+    The client must stop trusting a lease no later (in real time) than the
+    server starts treating it as expired.  Anchoring the duration at the
+    *request send* time is safe because the server's grant can only happen
+    after the request was sent:
+
+    ``expiry_local = t_send_local + term * (1 - drift_bound) - epsilon``
+
+    With clock offsets bounded by ``epsilon`` and client rate error bounded
+    by ``drift_bound``, the client's validity window ends at real time
+    ``<= real_send + term``, while the server's window ends at real time
+    ``>= real_grant + term - epsilon``; since the protocol's effective term
+    already subtracts ``epsilon`` and the message delays, the client is
+    always conservative.  See ``tests/clock/test_sync.py`` for the checked
+    algebra.
+
+    Args:
+        t_send_local: client's clock when the lease request was sent.
+        term: lease duration granted by the server, in seconds.
+        epsilon: clock-skew allowance.
+        drift_bound: bound on the client clock's rate error (e.g. ``1e-4``
+            for 100 ppm).  Zero when relying on synchronized clocks alone.
+
+    Returns:
+        The local clock reading after which the lease must not be used.
+    """
+    if term < 0:
+        raise ValueError(f"negative lease term: {term}")
+    if epsilon < 0:
+        raise ValueError(f"negative epsilon: {epsilon}")
+    if not 0 <= drift_bound < 1:
+        raise ValueError(f"drift_bound must be in [0, 1): {drift_bound}")
+    return t_send_local + term * (1.0 - drift_bound) - epsilon

@@ -1,0 +1,22 @@
+"""Wall-clock time for the real-time (asyncio) runtime."""
+
+from __future__ import annotations
+
+import time
+
+
+class MonotonicClock:
+    """A clock backed by :func:`time.monotonic`.
+
+    Monotonic time is the right base for lease expiry in a real process: it
+    cannot jump backward under NTP adjustments.  An optional ``offset``
+    supports testing and aligning multiple processes started at different
+    times.
+    """
+
+    def __init__(self, offset: float = 0.0):
+        self.offset = offset
+
+    def now(self) -> float:
+        """Return monotonic seconds plus the configured offset."""
+        return time.monotonic() + self.offset

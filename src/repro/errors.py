@@ -1,0 +1,85 @@
+"""Exception hierarchy for the leases reproduction.
+
+Every error raised by this package derives from :class:`ReproError`, so
+applications can catch one type at the boundary.  Errors are grouped by the
+subsystem that raises them (protocol, storage, simulation, runtime).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ProtocolError(ReproError):
+    """A protocol invariant was violated (malformed or unexpected message)."""
+
+
+class LeaseError(ReproError):
+    """Base class for lease-management errors."""
+
+
+class LeaseExpiredError(LeaseError):
+    """An operation required a valid lease but the lease had expired."""
+
+
+class LeaseDeniedError(LeaseError):
+    """The server refused to grant or extend a lease.
+
+    The usual cause is the write-starvation guard: while a write is waiting
+    for approval or expiry, no new leases are granted on the file
+    (paper, footnote 1).
+    """
+
+
+class StorageError(ReproError):
+    """Base class for file-store errors."""
+
+
+class NoSuchFileError(StorageError):
+    """The named file (or file id) does not exist."""
+
+
+class NoSuchDirectoryError(StorageError):
+    """The named directory does not exist."""
+
+
+class FileExistsError_(StorageError):
+    """A create collided with an existing name.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class PermissionDeniedError(StorageError):
+    """The requested access is not permitted by the file's mode."""
+
+
+class NotADirectoryError_(StorageError):
+    """A path component that must be a directory is a plain file."""
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulation errors."""
+
+
+class HostDownError(SimulationError):
+    """An operation was attempted on a crashed host."""
+
+
+class RuntimeTransportError(ReproError):
+    """A real-time (asyncio) transport failed to deliver a message."""
+
+
+class RequestTimeoutError(RuntimeTransportError):
+    """An RPC did not complete within its deadline."""
+
+
+class ConsistencyViolationError(ReproError):
+    """The consistency oracle observed a stale read.
+
+    Raised only by the oracle (never by the protocol itself); in a correct
+    configuration it indicates a bug, and in a faulty-clock experiment it is
+    the *expected* demonstration of the paper's clock-failure analysis (§5).
+    """

@@ -1,0 +1,54 @@
+"""Run every experiment and print the paper's tables and figures.
+
+Usage: ``python -m repro.experiments [--quick]``
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    ablations,
+    claims,
+    figure1,
+    figure2,
+    figure3,
+    scaling,
+    table2,
+    unix_variant,
+)
+
+
+def main(argv: list[str]) -> int:
+    # --quick skips the discrete-event-heavy stages (ablations, E-SIM);
+    # the analytic/trace stages are fast at full duration regardless.
+    quick = "--quick" in argv
+    duration = 3600.0
+
+    print(table2.render(table2.run(trace_duration=duration)))
+    print()
+    print(figure1.render(figure1.run(trace_duration=duration)))
+    print()
+    print(figure2.render(figure2.run(trace_duration=duration)))
+    print()
+    print(figure3.render())
+    print()
+    print(claims.render(claims.run(trace_duration=duration)))
+    print()
+    print(scaling.render())
+    print()
+    if not quick:
+        print(unix_variant.render(unix_variant.run(duration=duration)))
+        print()
+        print(ablations.render())
+        print()
+        fast, full = figure1.validate_with_full_simulator()
+        print(
+            "E-SIM validation (relative load at 10 s): "
+            f"fast replay = {fast:.4f}, full protocol stack = {full:.4f}"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,151 @@
+"""E-CL: the paper's headline quantitative claims, checked one by one.
+
+Each claim records the paper's stated value, our measured/computed value,
+and a tolerance.  ``run()`` evaluates all of them; the benchmark target
+and EXPERIMENTS.md consume this as the paper-vs-measured record.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analytic import (
+    relative_consistency_load,
+    response_degradation,
+    total_relative_load,
+    v_params,
+    wan_params,
+)
+from repro.experiments.common import render_table
+from repro.workload.events import trace_stats
+from repro.workload.tracesim import simulate_trace
+from repro.workload.vtrace import VTraceConfig, generate_v_trace
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One checked claim."""
+
+    claim_id: str
+    description: str
+    paper_value: float
+    measured: float
+    tolerance: float
+
+    @property
+    def passed(self) -> bool:
+        """True when the measurement is within tolerance of the paper."""
+        return abs(self.measured - self.paper_value) <= self.tolerance
+
+
+def run(trace_duration: float = 3600.0, seed: int = 0) -> list[Claim]:
+    """Evaluate every headline claim."""
+    p1, p10 = v_params(1), v_params(10)
+    wan = wan_params(1)
+    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
+    stats = trace_stats(trace)
+    trace_rel_10 = simulate_trace(trace, 10.0, p1).relative_load
+    model_rel_10 = relative_consistency_load(p1, 10.0)
+
+    return [
+        Claim(
+            "C1",
+            "S=1, 10 s term: consistency traffic vs zero term (model)",
+            paper_value=0.10,
+            measured=model_rel_10,
+            tolerance=0.01,
+        ),
+        Claim(
+            "C2",
+            "S=1, 10 s term: total server traffic reduction vs zero term",
+            paper_value=0.27,
+            measured=1 - total_relative_load(p1, 10.0),
+            tolerance=0.01,
+        ),
+        Claim(
+            "C3",
+            "S=1, 10 s term: total traffic over infinite term",
+            paper_value=0.045,
+            measured=total_relative_load(p1, 10.0) / total_relative_load(p1, math.inf) - 1,
+            tolerance=0.005,
+        ),
+        Claim(
+            "C4",
+            "S=10, 10 s term: total traffic reduction vs zero term",
+            paper_value=0.20,
+            measured=1 - total_relative_load(p10, 10.0),
+            tolerance=0.01,
+        ),
+        Claim(
+            "C5",
+            "S=10, 10 s term: total traffic over infinite term",
+            paper_value=0.041,
+            measured=total_relative_load(p10, 10.0) / total_relative_load(p10, math.inf) - 1,
+            tolerance=0.005,
+        ),
+        Claim(
+            "C6",
+            "100 ms RTT: response degradation of 10 s term vs infinite",
+            paper_value=0.101,
+            measured=response_degradation(wan, 10.0),
+            tolerance=0.005,
+        ),
+        Claim(
+            "C7",
+            "100 ms RTT: response degradation of 30 s term vs infinite",
+            paper_value=0.036,
+            measured=response_degradation(wan, 30.0),
+            tolerance=0.003,
+        ),
+        Claim(
+            "C8",
+            "trace read rate R (Table 2)",
+            paper_value=0.864,
+            measured=stats.read_rate,
+            tolerance=0.06,
+        ),
+        Claim(
+            "C9",
+            "installed files' share of trace reads (§4: 'almost half')",
+            paper_value=0.50,
+            measured=stats.installed_read_fraction,
+            tolerance=0.03,
+        ),
+        Claim(
+            "C10",
+            "installed files' trace writes (§4: none)",
+            paper_value=0.0,
+            measured=float(stats.installed_write_count),
+            tolerance=0.0,
+        ),
+        Claim(
+            "C11",
+            "trace curve at 10 s sits at-or-below the model (sharper knee)",
+            paper_value=0.0,
+            measured=max(0.0, trace_rel_10 - model_rel_10),
+            tolerance=1e-9,
+        ),
+    ]
+
+
+def render(claims: list[Claim] | None = None) -> str:
+    """Plain-text paper-vs-measured table."""
+    claims = claims or run()
+    rows = [
+        [
+            c.claim_id,
+            c.description,
+            c.paper_value,
+            round(c.measured, 4),
+            "PASS" if c.passed else "FAIL",
+        ]
+        for c in claims
+    ]
+    return "Headline claims (paper vs. reproduction)\n" + render_table(
+        ["id", "claim", "paper", "measured", "status"], rows
+    )
+
+
+if __name__ == "__main__":
+    print(render())

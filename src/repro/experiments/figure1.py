@@ -1,0 +1,133 @@
+"""E-F1: Figure 1 — relative server consistency load vs lease term.
+
+Reproduces the four analytic curves (S = 1, 10, 20, 40; formula (1)
+normalized to the zero-term load) and the *Trace* curve from a trace-driven
+simulation of the synthetic V compile trace.  Optionally cross-validates
+the trace curve against the full discrete-event protocol stack (E-SIM).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytic import relative_consistency_load, v_params
+from repro.experiments.common import (
+    CONSISTENCY_KINDS,
+    FIGURE_TERMS,
+    cluster_for_trace,
+    render_table,
+    replay_trace_on_cluster,
+)
+from repro.lease.policy import FixedTermPolicy
+from repro.workload.tracesim import simulate_trace
+from repro.workload.vtrace import VTraceConfig, generate_v_trace
+
+SHARING_LEVELS = (1, 10, 20, 40)
+
+
+@dataclass(frozen=True)
+class Figure1Result:
+    """The figure's series, keyed by curve label."""
+
+    terms: list[float]
+    curves: dict[str, list[float]]
+    trace_records: int
+
+    def curve(self, label: str) -> list[float]:
+        """One series by label (e.g. ``"S=10"`` or ``"Trace"``)."""
+        return self.curves[label]
+
+
+def run(
+    terms: list[float] | None = None,
+    trace_duration: float = 3600.0,
+    seed: int = 0,
+) -> Figure1Result:
+    """Compute every Figure 1 series."""
+    terms = list(terms or FIGURE_TERMS)
+    curves: dict[str, list[float]] = {}
+    for sharing in SHARING_LEVELS:
+        params = v_params(sharing)
+        curves[f"S={sharing}"] = [
+            relative_consistency_load(params, t) for t in terms
+        ]
+    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
+    params = v_params(1)
+    curves["Trace"] = [
+        simulate_trace(trace, t, params).relative_load for t in terms
+    ]
+    return Figure1Result(terms=terms, curves=curves, trace_records=len(trace))
+
+
+def validate_with_full_simulator(
+    term: float = 10.0,
+    trace_duration: float = 1200.0,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """E-SIM: (fast-path, full-DES) relative load at one term.
+
+    The full stack replays the same trace through real protocol engines
+    over the simulated network; its consistency-message count normalized
+    by the zero-term cost must track the fast replay.
+    """
+    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
+    params = v_params(1)
+    fast = simulate_trace(trace, term, params).relative_load
+
+    cluster, datum_of = cluster_for_trace(
+        trace, n_clients=1, policy=FixedTermPolicy(term)
+    )
+    replay_trace_on_cluster(cluster, trace, datum_of)
+    cluster.run(until=trace_duration + 120.0)
+    messages = cluster.network.stats["server"].handled(CONSISTENCY_KINDS)
+    n_reads = sum(
+        1
+        for r in trace
+        if r.op == "read"
+    )
+    full = messages / (2 * n_reads)
+    return fast, full
+
+
+def validate_sweep(
+    terms: tuple[float, ...] = (0.0, 2.0, 10.0, 30.0),
+    trace_duration: float = 1200.0,
+    seed: int = 0,
+) -> dict[float, tuple[float, float]]:
+    """E-SIM over several terms: term -> (fast replay, full stack).
+
+    The whole Trace *curve* is validated against the real protocol stack,
+    not just one point.
+    """
+    return {
+        term: validate_with_full_simulator(term, trace_duration, seed)
+        for term in terms
+    }
+
+
+def render(result: Figure1Result | None = None) -> str:
+    """Plain-text rendering of Figure 1 (table + character plot)."""
+    from repro.experiments.plot import ascii_plot
+
+    result = result or run()
+    headers = ["term (s)"] + list(result.curves)
+    rows = [
+        [term] + [result.curves[label][i] for label in result.curves]
+        for i, term in enumerate(result.terms)
+    ]
+    title = (
+        "Figure 1: Relative server consistency load vs. lease term\n"
+        f"(V parameters; Trace = {result.trace_records} synthetic records)\n"
+    )
+    plot = ascii_plot(
+        result.terms,
+        result.curves,
+        x_label="lease term (s)",
+        y_label="relative consistency load",
+        y_max=1.8,
+    )
+    return title + render_table(headers, rows) + "\n\n" + plot
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,80 @@
+"""E-F3: Figure 3 — added delay with a 100 ms round-trip network.
+
+Same delay model as Figure 2 with ``m_prop`` raised to 49 ms.  The paper's
+companion claims: a 10 s term degrades response by 10.1% relative to an
+infinite term, and a 30 s term by 3.6% (normalized by the round trip —
+DESIGN.md §6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analytic import added_delay, response_degradation, wan_params
+from repro.experiments.common import render_table
+
+#: Figure 3 extends the x-axis: with a slow network, slightly longer terms
+#: pay off, so the paper discusses terms up to 30 s and beyond.
+FIG3_TERMS = [0.0, 1.0, 2.0, 5.0, 10.0, 15.0, 20.0, 30.0, 45.0, 60.0]
+
+SHARING_LEVELS = (1, 10, 20, 40)
+
+
+@dataclass(frozen=True)
+class Figure3Result:
+    """Delay series (ms) and degradation percentages."""
+
+    terms: list[float]
+    curves: dict[str, list[float]]
+    degradation_10s: float
+    degradation_30s: float
+
+
+def run(terms: list[float] | None = None) -> Figure3Result:
+    """Compute the Figure 3 series and headline degradations."""
+    terms = list(terms or FIG3_TERMS)
+    curves: dict[str, list[float]] = {}
+    for sharing in SHARING_LEVELS:
+        params = wan_params(sharing)
+        curves[f"S={sharing}"] = [1e3 * added_delay(params, t) for t in terms]
+    params = wan_params(1)
+    return Figure3Result(
+        terms=terms,
+        curves=curves,
+        degradation_10s=response_degradation(params, 10.0),
+        degradation_30s=response_degradation(params, 30.0),
+    )
+
+
+def render(result: Figure3Result | None = None) -> str:
+    """Plain-text rendering of Figure 3."""
+    result = result or run()
+    headers = ["term (s)"] + [f"{label} (ms)" for label in result.curves]
+    rows = [
+        [term] + [result.curves[label][i] for label in result.curves]
+        for i, term in enumerate(result.terms)
+    ]
+    footer = (
+        f"\nresponse degradation vs infinite term: "
+        f"10 s -> {100 * result.degradation_10s:.1f}% (paper: 10.1%), "
+        f"30 s -> {100 * result.degradation_30s:.1f}% (paper: 3.6%)"
+    )
+    from repro.experiments.plot import ascii_plot
+
+    plot = ascii_plot(
+        result.terms,
+        result.curves,
+        x_label="lease term (s)",
+        y_label="added delay (ms)",
+    )
+    return (
+        "Figure 3: Added delay with 100 ms round-trip time\n"
+        + render_table(headers, rows)
+        + "\n\n"
+        + plot
+        + footer
+    )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,110 @@
+"""Terminal line plots for the reproduced figures.
+
+The paper's artifacts are *figures*; rendering them as character plots
+makes ``python -m repro.experiments`` visually comparable to the paper
+without any plotting dependency.  Pure-text output also makes the plots
+assertable in tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+#: Plot markers, assigned to series in order.
+MARKERS = "ox*+#@%&"
+
+
+def ascii_plot(
+    x: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 64,
+    height: int = 18,
+    x_label: str = "",
+    y_label: str = "",
+    y_max: float | None = None,
+) -> str:
+    """Render one or more series as a character plot.
+
+    Args:
+        x: shared x coordinates (need not be evenly spaced).
+        series: label -> y values (same length as ``x``).  Non-finite
+            values are skipped.
+        width/height: plot area size in characters.
+        x_label/y_label: axis captions.
+        y_max: clip the y axis (defaults to the data maximum).
+
+    Returns:
+        The rendered plot, ending with a legend line per series.
+    """
+    if not x or not series:
+        raise ValueError("nothing to plot")
+    for label, ys in series.items():
+        if len(ys) != len(x):
+            raise ValueError(f"series {label!r} length mismatch")
+    finite = [
+        v
+        for ys in series.values()
+        for v in ys
+        if isinstance(v, (int, float)) and math.isfinite(v)
+    ]
+    if not finite:
+        raise ValueError("no finite values")
+    x_min, x_max = min(x), max(x)
+    lo = min(finite + [0.0])
+    hi = y_max if y_max is not None else max(finite)
+    if hi <= lo:
+        hi = lo + 1.0
+    x_span = (x_max - x_min) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def col(xv: float) -> int:
+        return min(width - 1, max(0, round((xv - x_min) / x_span * (width - 1))))
+
+    def row(yv: float) -> int:
+        frac = (min(yv, hi) - lo) / (hi - lo)
+        return min(height - 1, max(0, round((1.0 - frac) * (height - 1))))
+
+    for index, (label, ys) in enumerate(series.items()):
+        marker = MARKERS[index % len(MARKERS)]
+        previous = None
+        for xv, yv in zip(x, ys):
+            if not (isinstance(yv, (int, float)) and math.isfinite(yv)):
+                previous = None
+                continue
+            c, r = col(xv), row(yv)
+            # connect with a sparse line to the previous point
+            if previous is not None:
+                pc, pr = previous
+                steps = max(abs(c - pc), abs(r - pr))
+                for s in range(1, steps):
+                    ic = pc + round(s * (c - pc) / steps)
+                    ir = pr + round(s * (r - pr) / steps)
+                    if grid[ir][ic] == " ":
+                        grid[ir][ic] = "."
+            grid[r][c] = marker
+            previous = (c, r)
+
+    lines = []
+    top_label = f"{hi:.3g}"
+    bottom_label = f"{lo:.3g}"
+    gutter = max(len(top_label), len(bottom_label)) + 1
+    for r, cells in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(gutter)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(gutter)
+        else:
+            prefix = " " * gutter
+        lines.append(f"{prefix}|" + "".join(cells))
+    lines.append(" " * gutter + "+" + "-" * width)
+    x_axis = f"{x_min:.3g}".ljust(width // 2) + f"{x_max:.3g}".rjust(width // 2)
+    lines.append(" " * (gutter + 1) + x_axis)
+    if x_label or y_label:
+        lines.append(" " * (gutter + 1) + f"x: {x_label}   y: {y_label}".rstrip())
+    legend = "   ".join(
+        f"{MARKERS[i % len(MARKERS)]} {label}" for i, label in enumerate(series)
+    )
+    lines.append(" " * (gutter + 1) + legend)
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""E-SCALE: §3.3 — applicability to future distributed systems.
+
+The paper argues leases matter *more* as systems scale:
+
+1. **faster processors** raise per-client operation rates, pushing the
+   load curve's knee to shorter terms and widening the gap between
+   zero-term and leased operation;
+2. **larger networks** (higher propagation delay) make the consistency
+   delay of short terms more visible, justifying slightly longer terms —
+   but 10-30 s remains adequate (checked in Figure 3);
+3. **more clients** change nothing per client unless write-sharing grows;
+4. leases **raise the client/server ratio**: with a fixed server message
+   budget, the number of clients one server sustains grows by the load
+   reduction factor.
+
+``run()`` quantifies all four with the analytic model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.analytic.model import (
+    relative_consistency_load,
+    server_consistency_load,
+    term_for_extension_reduction,
+)
+from repro.analytic.params import SystemParams, v_params
+from repro.experiments.common import render_table
+
+#: Processor-speed multipliers: a 10x faster client runs the same
+#: workload with 10x the operation rate (paper: "faster client processors
+#: reduce the amount of time for computation between requests").
+SPEEDUPS = (1, 4, 10, 40)
+
+
+@dataclass(frozen=True)
+class ScalingResult:
+    """Knee positions, per-client loads, and supportable client counts."""
+
+    speedups: tuple[int, ...]
+    knee_terms: list[float]  # term reaching 90% of the benefit, per speedup
+    rel_load_at_10s: list[float]  # relative load at the paper's 10 s term
+    clients_per_server_zero: list[float]
+    clients_per_server_10s: list[float]
+
+    def capacity_gain(self, index: int) -> float:
+        """How many times more clients one server carries with 10 s leases."""
+        return self.clients_per_server_10s[index] / self.clients_per_server_zero[index]
+
+
+def run(
+    base: SystemParams | None = None,
+    server_budget: float = 1000.0,
+) -> ScalingResult:
+    """Sweep processor speed.
+
+    Args:
+        base: per-client workload at speedup 1 (default: V parameters).
+        server_budget: messages/second one server can handle for
+            consistency (sets the absolute client counts; the *ratio* is
+            budget-independent).
+    """
+    base = base or v_params(1)
+    knee_terms, rel_10s, cap_zero, cap_10s = [], [], [], []
+    for speedup in SPEEDUPS:
+        params = replace(
+            base,
+            read_rate=base.read_rate * speedup,
+            write_rate=base.write_rate * speedup,
+        )
+        knee_terms.append(term_for_extension_reduction(params, 0.9))
+        rel_10s.append(relative_consistency_load(params, 10.0))
+        per_client = replace(params, n_clients=1)
+        cap_zero.append(server_budget / server_consistency_load(per_client, 0.0))
+        cap_10s.append(server_budget / server_consistency_load(per_client, 10.0))
+    return ScalingResult(
+        speedups=SPEEDUPS,
+        knee_terms=knee_terms,
+        rel_load_at_10s=rel_10s,
+        clients_per_server_zero=cap_zero,
+        clients_per_server_10s=cap_10s,
+    )
+
+
+def sharing_insensitivity(n_values: tuple[int, ...] = (10, 100, 1000)) -> list[float]:
+    """Claim 3: relative load is independent of N at fixed sharing.
+
+    Returns the relative consistency load at a 10 s term for each N —
+    the values should be identical.
+    """
+    return [
+        relative_consistency_load(v_params(1, n_clients=n), 10.0) for n in n_values
+    ]
+
+
+def render(result: ScalingResult | None = None) -> str:
+    """Plain-text rendering of the scaling analysis."""
+    result = result or run()
+    rows = [
+        [
+            s,
+            result.knee_terms[i],
+            result.rel_load_at_10s[i],
+            result.clients_per_server_zero[i],
+            result.clients_per_server_10s[i],
+            result.capacity_gain(i),
+        ]
+        for i, s in enumerate(result.speedups)
+    ]
+    table = render_table(
+        [
+            "CPU speedup",
+            "90%-knee term (s)",
+            "rel load @10 s",
+            "clients/server @0 s",
+            "clients/server @10 s",
+            "capacity gain",
+        ],
+        rows,
+    )
+    n_check = sharing_insensitivity()
+    return (
+        "Scaling analysis (paper section 3.3)\n"
+        + table
+        + "\n\nrelative load at 10 s for N = 10/100/1000 clients: "
+        + ", ".join(f"{v:.4f}" for v in n_check)
+        + " (identical: client count alone changes nothing)"
+    )
+
+
+if __name__ == "__main__":
+    print(render())

@@ -1,0 +1,184 @@
+"""Lease term policies (§4, "Options for Lease Management").
+
+The server controls the term of every lease it grants.  Policies map a
+datum (plus optionally its observed access statistics and the requesting
+client) to a term in seconds:
+
+* :class:`FixedTermPolicy` — the paper's main configuration (e.g. 10 s).
+* :class:`ZeroTermPolicy` — degenerates to check-on-use (Sprite / RFS /
+  the Andrew prototype, §6).
+* :class:`InfiniteTermPolicy` — degenerates to Andrew-style callbacks
+  (§6), trading fault-tolerance for minimal traffic.
+* :class:`PerClassPolicy` — per-file-class terms: e.g. zero for heavily
+  write-shared files, long terms for installed files.
+* :class:`DistanceCompensatingPolicy` — enlarges the term for distant
+  clients so the *effective* client-side term is preserved (§4).
+* :class:`AdaptiveTermPolicy` — picks terms from the analytic model using
+  the server's observed per-datum R/W/S estimates (§4, §7).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Mapping, Protocol
+
+from repro.analytic import model as analytic
+from repro.analytic.params import SystemParams
+from repro.lease.lease import INFINITE_TERM
+from repro.lease.stats import DatumStats
+from repro.types import DatumId, FileClass, HostId
+
+
+class TermPolicy(Protocol):
+    """Decides the term for a lease grant or extension."""
+
+    def term(
+        self,
+        datum: DatumId,
+        client: HostId,
+        now: float,
+        stats: DatumStats | None = None,
+        file_class: FileClass = FileClass.NORMAL,
+    ) -> float:
+        """Return the lease term in seconds (0 = no lease, inf = callback)."""
+        ...
+
+
+class FixedTermPolicy:
+    """Always grant the same term."""
+
+    def __init__(self, seconds: float):
+        if seconds < 0:
+            raise ValueError(f"negative term: {seconds}")
+        self.seconds = seconds
+
+    def term(self, datum, client, now, stats=None, file_class=FileClass.NORMAL) -> float:
+        """The configured term, regardless of datum or client."""
+        return self.seconds
+
+    def __repr__(self) -> str:
+        return f"FixedTermPolicy({self.seconds!r})"
+
+
+class ZeroTermPolicy(FixedTermPolicy):
+    """Zero-term leases: every read checks with the server."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0)
+
+
+class InfiniteTermPolicy(FixedTermPolicy):
+    """Infinite-term leases (callback scheme): leases never expire."""
+
+    def __init__(self) -> None:
+        super().__init__(INFINITE_TERM)
+
+
+class PerClassPolicy:
+    """Route to a sub-policy based on the file's access-characteristic class.
+
+    The paper's §4 examples: heavily write-shared files get a zero term;
+    installed files get long terms maintained by multicast.
+    """
+
+    def __init__(
+        self,
+        default: TermPolicy,
+        by_class: Mapping[FileClass, TermPolicy] | None = None,
+    ):
+        self.default = default
+        self.by_class = dict(by_class or {})
+
+    def term(self, datum, client, now, stats=None, file_class=FileClass.NORMAL) -> float:
+        """Delegate to the sub-policy for the file's class."""
+        policy = self.by_class.get(file_class, self.default)
+        return policy.term(datum, client, now, stats=stats, file_class=file_class)
+
+
+class DistanceCompensatingPolicy:
+    """Wrap a policy, enlarging terms for distant clients (§4).
+
+    "A lease given to a distant client could be increased to compensate for
+    the amount the lease term is reduced by the propagation delay."  The
+    compensation adds the client's grant overhead (``m_prop + 2*m_proc``)
+    plus epsilon so that the *effective* term matches the inner policy's
+    intent.  Zero and infinite terms pass through unchanged (a zero term
+    must stay zero: a tiny positive term penalizes writes with no read
+    benefit).
+    """
+
+    def __init__(
+        self,
+        inner: TermPolicy,
+        overhead_of: Mapping[HostId, float],
+        epsilon: float,
+    ):
+        self.inner = inner
+        self.overhead_of = overhead_of
+        self.epsilon = epsilon
+
+    def term(self, datum, client, now, stats=None, file_class=FileClass.NORMAL) -> float:
+        """The inner policy's term, padded for this client's distance."""
+        base = self.inner.term(datum, client, now, stats=stats, file_class=file_class)
+        if base == 0 or math.isinf(base):
+            return base
+        return base + self.overhead_of.get(client, 0.0) + self.epsilon
+
+
+class AdaptiveTermPolicy:
+    """Pick terms from the analytic model and observed access statistics.
+
+    For each datum the policy computes the lease benefit factor
+    ``alpha = 2R / (S W)`` from the server's estimates:
+
+    * ``alpha <= 1`` — leasing cannot reduce server load; grant a zero term
+      (the paper: "a lease term should be set to zero if a client is not
+      going to access the file before it is modified").
+    * otherwise — choose the term that eliminates ``target_reduction`` of
+      the zero-term extension traffic (``t_c = reduction / ((1-reduction) R)``,
+      the inversion of formula (1)'s extension component), clamped to
+      ``[min_term, max_term]``.  Short terms cap the failure-delay and
+      false-sharing costs that the model itself does not price.
+
+    Datums with no statistics yet get ``default_term``.
+    """
+
+    def __init__(
+        self,
+        params: SystemParams,
+        target_reduction: float = 0.9,
+        min_term: float = 1.0,
+        max_term: float = 30.0,
+        default_term: float = 10.0,
+    ):
+        if not 0 < target_reduction < 1:
+            raise ValueError(f"target_reduction must be in (0,1): {target_reduction}")
+        if min_term < 0 or max_term < min_term:
+            raise ValueError("need 0 <= min_term <= max_term")
+        self.params = params
+        self.target_reduction = target_reduction
+        self.min_term = min_term
+        self.max_term = max_term
+        self.default_term = default_term
+
+    def term(self, datum, client, now, stats=None, file_class=FileClass.NORMAL) -> float:
+        """A term fitted to the datum's observed R/W/S (zero if alpha <= 1)."""
+        if stats is None:
+            return self.default_term
+        reads, writes, sharing = stats.snapshot(now)
+        if reads <= 0:
+            # Nothing reads this datum; a lease can only delay writers.
+            return 0.0
+        datum_params = dataclasses.replace(
+            self.params,
+            read_rate=reads,
+            write_rate=writes,
+            sharing=max(1, round(sharing)),
+        )
+        if analytic.alpha(datum_params) <= 1:
+            return 0.0
+        term = analytic.term_for_extension_reduction(
+            datum_params, self.target_reduction
+        )
+        return min(self.max_term, max(self.min_term, term))

@@ -1,0 +1,280 @@
+"""Server-side lease bookkeeping.
+
+The :class:`LeaseTable` records, per datum, which clients hold leases and
+which writes are waiting.  It enforces the paper's two server-side rules:
+
+* a write may commit only once **every** live leaseholder has approved it or
+  let its lease expire;
+* while a write is waiting, **no new leases are granted** on that datum
+  (footnote 1 — this prevents write starvation).
+
+The table is pure bookkeeping: it never does I/O and takes an explicit
+``now`` everywhere, so the protocol engines can drive it from simulated or
+real time.  Storage cost matches the paper's observation: a couple of
+references per lease, indexed both by datum and by holder.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.errors import LeaseDeniedError
+from repro.lease.lease import Lease
+from repro.types import DatumId, HostId
+
+
+@dataclass
+class PendingWrite:
+    """A write waiting for leaseholder approval or lease expiry.
+
+    Attributes:
+        datum: the datum being written.
+        writer: the requesting client (its approval is implicit, §3.1).
+        write_id: server-assigned id used to match approval replies.
+        awaiting: holders whose approval is still outstanding.
+        expiries: each awaited holder's lease expiry as of ``begin_write``
+            (no lease can be renewed while the write is pending — the
+            starvation guard — so these stay accurate).
+    """
+
+    datum: DatumId
+    writer: HostId
+    write_id: int
+    awaiting: set[HostId] = field(default_factory=set)
+    expiries: dict[HostId, float] = field(default_factory=dict)
+
+    @property
+    def deadline(self) -> float:
+        """When every *still-awaited* lease will have expired.
+
+        Dynamic on purpose: an approval or a voluntary relinquish removes
+        a holder from ``awaiting`` and may pull the deadline in (found by
+        the stateful property tests — a frozen deadline made writes wait
+        for leases that no longer existed).  ``inf`` while an awaited
+        lease is infinite; ``-inf`` once nothing is awaited.
+        """
+        return max(
+            (self.expiries[holder] for holder in self.awaiting),
+            default=float("-inf"),
+        )
+
+    def ready(self, now: float) -> bool:
+        """True once the write may commit: all approved or all expired."""
+        return not self.awaiting or now >= self.deadline
+
+
+class LeaseTable:
+    """All lease state held by one server."""
+
+    def __init__(self) -> None:
+        self._by_datum: dict[DatumId, dict[HostId, Lease]] = {}
+        self._by_holder: dict[HostId, set[DatumId]] = {}
+        self._pending: dict[DatumId, deque[PendingWrite]] = {}
+        self._next_write_id = 1
+        #: Largest term ever granted; a recovering server must delay all
+        #: writes for this long (paper §2's crash-recovery rule).
+        self.max_term_granted = 0.0
+
+    # -- grants -------------------------------------------------------------
+
+    def grant(self, datum: DatumId, holder: HostId, now: float, term: float) -> Lease:
+        """Grant or extend a lease on ``datum`` to ``holder``.
+
+        Raises:
+            LeaseDeniedError: when a write is pending on the datum (the
+                starvation guard) — callers normally check
+                :meth:`write_pending` first and queue the request instead.
+        """
+        if self.write_pending(datum):
+            raise LeaseDeniedError(f"write pending on {datum}; no new leases")
+        self._prune(datum, now)
+        holders = self._by_datum.setdefault(datum, {})
+        lease = holders.get(holder)
+        if lease is not None and lease.valid(now):
+            lease.renew(now, term)
+        else:
+            lease = Lease.granted(datum, holder, now, term)
+            holders[holder] = lease
+        self._by_holder.setdefault(holder, set()).add(datum)
+        self.max_term_granted = max(self.max_term_granted, term)
+        return lease
+
+    def release(self, datum: DatumId, holder: HostId) -> None:
+        """Relinquish a lease voluntarily (client option, §4)."""
+        holders = self._by_datum.get(datum)
+        if holders and holder in holders:
+            del holders[holder]
+            if not holders:
+                del self._by_datum[datum]
+        held = self._by_holder.get(holder)
+        if held:
+            held.discard(datum)
+            if not held:
+                del self._by_holder[holder]
+        self._on_holder_gone(datum, holder)
+
+    def release_holder(self, holder: HostId) -> None:
+        """Drop every lease held by ``holder`` (e.g. observed client death)."""
+        for datum in list(self._by_holder.get(holder, ())):
+            self.release(datum, holder)
+
+    # -- queries ------------------------------------------------------------
+
+    def lease_of(self, datum: DatumId, holder: HostId) -> Lease | None:
+        """The lease record, valid or not, or None if never granted."""
+        return self._by_datum.get(datum, {}).get(holder)
+
+    def live_holders(self, datum: DatumId, now: float) -> set[HostId]:
+        """Clients whose leases on ``datum`` are still valid at ``now``."""
+        return {
+            holder
+            for holder, lease in self._by_datum.get(datum, {}).items()
+            if lease.valid(now)
+        }
+
+    def holdings(self, holder: HostId) -> set[DatumId]:
+        """Datums on which ``holder`` has a (possibly expired) lease."""
+        return set(self._by_holder.get(holder, ()))
+
+    def lease_count(self) -> int:
+        """Total lease records currently stored (storage-cost metric, §2)."""
+        return sum(len(holders) for holders in self._by_datum.values())
+
+    def iter_leases(self) -> Iterator[Lease]:
+        """Iterate over every stored lease record."""
+        for holders in self._by_datum.values():
+            yield from holders.values()
+
+    def max_expiry_of(self, datum: DatumId, now: float) -> float:
+        """Latest expiry among valid leases on one datum (``now`` if none).
+
+        Used as the write barrier when a datum is promoted into an
+        installed cover: per-client leases granted before the promotion
+        must still be honored even though covered grants keep no records.
+        """
+        expiries = [
+            lease.expires_at
+            for lease in self._by_datum.get(datum, {}).values()
+            if lease.valid(now)
+        ]
+        return max(expiries, default=now)
+
+    def max_outstanding_expiry(self, now: float) -> float:
+        """Latest expiry among currently valid leases (``now`` if none).
+
+        A cleanly recovering server could delay writes only until this time;
+        a server recovering from a crash does not have this information and
+        must fall back on :attr:`max_term_granted`.
+        """
+        expiries = [
+            lease.expires_at for lease in self.iter_leases() if lease.valid(now)
+        ]
+        return max(expiries, default=now)
+
+    # -- writes ----------------------------------------------------------------
+
+    def write_pending(self, datum: DatumId) -> bool:
+        """True when at least one write is queued on ``datum``."""
+        return bool(self._pending.get(datum))
+
+    def begin_write(self, datum: DatumId, writer: HostId, now: float) -> PendingWrite:
+        """Queue a write and compute whose approval it needs.
+
+        The requester's own approval is implicit (it rides on the write
+        request, §3.1), so only *other* live holders are awaited.  Holders
+        with already-expired leases are ignored.
+        """
+        self._prune(datum, now)
+        awaiting = self.live_holders(datum, now) - {writer}
+        expiries = {
+            holder: self._by_datum[datum][holder].expires_at for holder in awaiting
+        }
+        write = PendingWrite(
+            datum=datum,
+            writer=writer,
+            write_id=self._next_write_id,
+            awaiting=awaiting,
+            expiries=expiries,
+        )
+        self._next_write_id += 1
+        self._pending.setdefault(datum, deque()).append(write)
+        return write
+
+    def head_write(self, datum: DatumId) -> PendingWrite | None:
+        """The write currently collecting approvals (writes serialize)."""
+        queue = self._pending.get(datum)
+        return queue[0] if queue else None
+
+    def approve(self, datum: DatumId, holder: HostId, write_id: int) -> PendingWrite | None:
+        """Record a holder's approval.
+
+        An approving holder also invalidates its cached copy (client side),
+        but its *lease* remains in force; subsequent writes must ask again.
+
+        Returns:
+            The pending write if the approval matched it, else None (stale
+            or duplicate approvals are ignored).
+        """
+        write = self.head_write(datum)
+        if write is None or write.write_id != write_id:
+            return None
+        write.awaiting.discard(holder)
+        return write
+
+    def finish_write(self, datum: DatumId, write_id: int) -> None:
+        """Remove a committed (or aborted) write from the queue."""
+        queue = self._pending.get(datum)
+        if not queue:
+            return
+        if queue[0].write_id != write_id:
+            raise LeaseDeniedError(
+                f"finish_write out of order on {datum}: head={queue[0].write_id}, got={write_id}"
+            )
+        queue.popleft()
+        if not queue:
+            del self._pending[datum]
+
+    # -- maintenance -----------------------------------------------------------
+
+    def expire_sweep(self, now: float) -> int:
+        """Reclaim expired lease records; returns how many were removed.
+
+        Short terms keep this table small (§2): expired records are garbage.
+        """
+        removed = 0
+        for datum in list(self._by_datum):
+            removed += self._prune(datum, now)
+        return removed
+
+    def clear(self) -> None:
+        """Forget everything — models the server's volatile state on crash."""
+        self._by_datum.clear()
+        self._by_holder.clear()
+        self._pending.clear()
+        self.max_term_granted = 0.0
+
+    # -- internals ----------------------------------------------------------------
+
+    def _prune(self, datum: DatumId, now: float) -> int:
+        holders = self._by_datum.get(datum)
+        if not holders:
+            return 0
+        dead = [h for h, lease in holders.items() if not lease.valid(now)]
+        for holder in dead:
+            del holders[holder]
+            held = self._by_holder.get(holder)
+            if held:
+                held.discard(datum)
+                if not held:
+                    del self._by_holder[holder]
+        if not holders:
+            del self._by_datum[datum]
+        return len(dead)
+
+    def _on_holder_gone(self, datum: DatumId, holder: HostId) -> None:
+        """A released lease no longer blocks a pending write."""
+        write = self.head_write(datum)
+        if write is not None:
+            write.awaiting.discard(holder)

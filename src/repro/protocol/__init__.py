@@ -1,0 +1,60 @@
+"""Sans-io protocol engines.
+
+The lease protocol is implemented as two pure state machines —
+:class:`~repro.protocol.server.ServerEngine` and
+:class:`~repro.protocol.client.ClientEngine` — that consume messages and
+timer firings (each stamped with the host's *local* clock reading) and emit
+:mod:`effects <repro.protocol.effects>`: sends, timer arms, and operation
+completions.  Neither engine performs I/O or reads a clock, so the exact
+same protocol code is driven by the discrete-event simulator
+(:mod:`repro.sim.driver`) and by the real-time asyncio runtime
+(:mod:`repro.runtime`).
+
+Wire format for the TCP transport lives in :mod:`repro.protocol.codec`.
+"""
+
+from repro.protocol.client import ClientConfig, ClientEngine
+from repro.protocol.effects import (
+    Broadcast,
+    CancelTimer,
+    Complete,
+    Effect,
+    Send,
+    SetTimer,
+)
+from repro.protocol.messages import (
+    ApprovalReply,
+    ApprovalRequest,
+    ExtendReply,
+    ExtendRequest,
+    InstalledAnnounce,
+    Message,
+    ReadReply,
+    ReadRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.protocol.server import ServerConfig, ServerEngine
+
+__all__ = [
+    "Message",
+    "ReadRequest",
+    "ReadReply",
+    "ExtendRequest",
+    "ExtendReply",
+    "WriteRequest",
+    "WriteReply",
+    "ApprovalRequest",
+    "ApprovalReply",
+    "InstalledAnnounce",
+    "Effect",
+    "Send",
+    "Broadcast",
+    "SetTimer",
+    "CancelTimer",
+    "Complete",
+    "ServerEngine",
+    "ServerConfig",
+    "ClientEngine",
+    "ClientConfig",
+]

@@ -1,0 +1,532 @@
+"""The client-side protocol engine (sans-io).
+
+A cache using leases requires a *valid lease* on the datum (in addition to
+holding the datum) before serving a read locally (paper §2).  This engine
+implements the client half of the protocol:
+
+* local read hits complete with **zero** messages while the lease is valid;
+* expired leases are extended with a **batched** request covering every
+  lease the cache still holds (§3.1), which amortizes the round trip;
+* writes are written through with per-client sequence numbers for
+  exactly-once commit under retransmission;
+* approval callbacks invalidate the local copy (with a version floor) and
+  reply immediately — the client never blocks an approval, so there is no
+  distributed deadlock;
+* installed-file cover leases are refreshed by unsolicited multicast
+  announcements;
+* optional anticipatory extension renews leases shortly before expiry (§4),
+  trading server load for read latency;
+* temporary files live in a client-local store and never touch the server
+  (the V design that makes write-through affordable).
+
+Lease expiry is tracked conservatively with
+:func:`repro.clock.sync.safe_local_expiry`, anchored at the *send* time of
+the request that produced the lease.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cache.filecache import FileCache, TempFileStore
+from repro.clock.sync import safe_local_expiry
+from repro.errors import ReproError
+from repro.lease.holder import LeaseSet
+from repro.protocol.effects import CancelTimer, Complete, Effect, Send, SetTimer
+from repro.protocol.messages import (
+    ApprovalReply,
+    ApprovalRequest,
+    ExtendReply,
+    ExtendRequest,
+    InstalledAnnounce,
+    Message,
+    NamespaceReply,
+    NamespaceRequest,
+    ReadReply,
+    ReadRequest,
+    RelinquishRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.types import DatumId, HostId
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Client tuning knobs.
+
+    Attributes:
+        epsilon: clock-uncertainty allowance (must match the server's).
+        drift_bound: bound on this clock's rate error, for duration-based
+            expiry (§5).
+        announce_delay_bound: assumed maximum delivery delay of an
+            announce multicast; subtracted from cover-lease terms because
+            announcements have no request send-time to anchor on.
+        rpc_timeout: retransmission timeout for reads/extensions.
+        write_timeout: retransmission timeout for writes — generous,
+            because a write is *designed* to wait up to a lease term.
+        max_retries: retransmissions before an operation fails.
+        batch_extensions: extend all held leases together (§3.1); off for
+            the ablation benchmark.
+        anticipatory: renew leases before they expire (§4).
+        anticipate_margin: how long before expiry the anticipatory renewal
+            fires, and the period of its timer.
+    """
+
+    epsilon: float = 0.1
+    drift_bound: float = 0.0
+    announce_delay_bound: float = 0.05
+    rpc_timeout: float = 2.0
+    write_timeout: float = 45.0
+    max_retries: int = 8
+    batch_extensions: bool = True
+    anticipatory: bool = False
+    anticipate_margin: float = 2.0
+    cache_capacity: int = 4096
+
+
+@dataclass
+class _OpCtx:
+    """One application-visible operation in flight."""
+
+    op_id: int
+    kind: str  # "read" | "write" | "ns"
+    datum: DatumId | None
+    submitted_local: float
+
+
+@dataclass
+class _ReqCtx:
+    """One outstanding RPC (may serve several operations)."""
+
+    req_id: int
+    message: Message
+    sent_local: float
+    timeout: float
+    retries: int = 0
+    #: op_ids waiting on each datum this request covers.
+    waiters: dict[DatumId, list[int]] = field(default_factory=dict)
+
+
+@dataclass
+class ClientMetrics:
+    """Counters used by experiments and examples."""
+
+    reads: int = 0
+    writes: int = 0
+    local_hits: int = 0
+    extend_requests: int = 0
+    read_requests: int = 0
+    approvals_granted: int = 0
+    retransmissions: int = 0
+    failures: int = 0
+
+
+class ClientEngine:
+    """The client cache's protocol state machine."""
+
+    def __init__(
+        self,
+        name: HostId,
+        server: HostId,
+        config: ClientConfig | None = None,
+        id_base: int = 0,
+    ):
+        """Args:
+            id_base: starting value for op/request/write-sequence counters.
+                A restarted client must pass a fresh base (a boot epoch):
+                otherwise its new requests collide with pre-crash ids —
+                late replies would mis-match, and worst of all the server's
+                write dedup table would swallow post-restart writes that
+                reuse a pre-crash ``write_seq``.
+        """
+        self.name = name
+        self.server = server
+        self.config = config or ClientConfig()
+        self.cache = FileCache(capacity=self.config.cache_capacity)
+        self.leases = LeaseSet()
+        self.temp = TempFileStore()
+        self.metrics = ClientMetrics()
+        self._ops: dict[int, _OpCtx] = {}
+        self._requests: dict[int, _ReqCtx] = {}
+        #: datum -> req_id of the in-flight read/extend covering it.
+        self._datum_req: dict[DatumId, int] = {}
+        self._next_op = id_base + 1
+        self._next_req = id_base + 1
+        self._next_write_seq = id_base + 1
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def startup_effects(self, now: float) -> list[Effect]:
+        """Effects to run when the client starts (anticipatory timer)."""
+        if self.config.anticipatory:
+            return [SetTimer("anticipate", self.config.anticipate_margin / 2)]
+        return []
+
+    # -- application API -------------------------------------------------------
+
+    def read(self, datum: DatumId, now: float) -> tuple[int, list[Effect]]:
+        """Read a datum; completes locally when lease and copy are valid."""
+        op = self._new_op("read", datum, now)
+        self.metrics.reads += 1
+        if self.leases.valid(datum, now):
+            entry = self.cache.get(datum)
+            if entry is not None:
+                self.metrics.local_hits += 1
+                done = Complete(op.op_id, ok=True, value=(entry.version, entry.payload))
+                del self._ops[op.op_id]
+                return op.op_id, [done]
+        return op.op_id, self._fetch(datum, op.op_id, now)
+
+    def write(self, datum: DatumId, content: bytes, now: float) -> tuple[int, list[Effect]]:
+        """Write a file datum through to the server."""
+        op = self._new_op("write", datum, now)
+        self.metrics.writes += 1
+        # The write request carries this client's *implicit approval* (§3.1),
+        # and granting approval invalidates the local copy (§2).  Without
+        # this, the window between the server-side commit and the arrival of
+        # the WriteReply would serve the pre-write value from our own cache.
+        self.cache.invalidate(datum)
+        msg = WriteRequest(
+            self._next_req, datum, content, write_seq=self._next_write_seq
+        )
+        self._next_req += 1
+        self._next_write_seq += 1
+        effects = self._send_request(
+            msg, {datum: [op.op_id]}, now, self.config.write_timeout, track_datums=False
+        )
+        return op.op_id, effects
+
+    def namespace_op(self, op_name: str, args: tuple, now: float) -> tuple[int, list[Effect]]:
+        """Submit a namespace mutation (bind/unbind/rename/mkdir)."""
+        op = self._new_op("ns", None, now)
+        msg = NamespaceRequest(
+            self._next_req, op_name, args, write_seq=self._next_write_seq
+        )
+        self._next_req += 1
+        self._next_write_seq += 1
+        effects = self._send_request(
+            msg, {}, now, self.config.write_timeout, op_ids=[op.op_id], track_datums=False
+        )
+        return op.op_id, effects
+
+    def write_temp(self, path: str, content: bytes) -> None:
+        """Write a temporary file locally; never touches the server."""
+        self.temp.write(path, content)
+
+    def read_temp(self, path: str) -> bytes | None:
+        """Read a temporary file from the local store."""
+        return self.temp.read(path)
+
+    def relinquish(self, datum: DatumId) -> list[Effect]:
+        """Voluntarily give up a lease (client option, §4).
+
+        Drops the holding locally and tells the server (fire-and-forget),
+        which removes its record and unblocks any write that was waiting
+        on this client.  The cached data is kept — it can be revalidated
+        cheaply with a versioned read later.
+        """
+        if datum not in self.leases:
+            return []
+        self.leases.drop(datum)
+        return [Send(self.server, RelinquishRequest((datum,)))]
+
+    def relinquish_all(self, now: float) -> list[Effect]:
+        """Give up every held lease (e.g. ahead of a planned shutdown)."""
+        datums = tuple(sorted(self.leases.held_datums(), key=str))
+        if not datums:
+            return []
+        for datum in datums:
+            self.leases.drop(datum)
+        return [Send(self.server, RelinquishRequest(datums))]
+
+    # -- message handling ----------------------------------------------------------
+
+    def handle_message(self, msg: Message, src: HostId, now: float) -> list[Effect]:
+        """Process one inbound message; returns the effects to execute."""
+        if isinstance(msg, ReadReply):
+            return self._on_read_reply(msg, now)
+        if isinstance(msg, ExtendReply):
+            return self._on_extend_reply(msg, now)
+        if isinstance(msg, WriteReply):
+            return self._on_write_reply(msg, now)
+        if isinstance(msg, NamespaceReply):
+            return self._on_ns_reply(msg, now)
+        if isinstance(msg, ApprovalRequest):
+            return self._on_approval_request(msg, now)
+        if isinstance(msg, InstalledAnnounce):
+            return self._on_announce(msg, now)
+        raise ReproError(f"client got unexpected message {type(msg).__name__}")
+
+    def handle_timer(self, key: str, now: float) -> list[Effect]:
+        """Process a timer firing; returns the effects to execute."""
+        if key.startswith("rpc:"):
+            return self._on_rpc_timeout(int(key.split(":", 1)[1]), now)
+        if key == "anticipate":
+            return self._on_anticipate(now)
+        raise ReproError(f"client got unexpected timer {key!r}")
+
+    # -- fetch path -------------------------------------------------------------------
+
+    def _fetch(self, datum: DatumId, op_id: int, now: float) -> list[Effect]:
+        """Obtain a fresh lease (and data if needed) for a read."""
+        in_flight = self._datum_req.get(datum)
+        if in_flight is not None:
+            self._requests[in_flight].waiters.setdefault(datum, []).append(op_id)
+            return []
+        entry = self.cache.peek(datum)
+        holding_known = datum in self.leases
+        if self.config.batch_extensions and entry is not None and holding_known:
+            return self._send_extend(datum, op_id, now)
+        return self._send_read(datum, op_id, now)
+
+    def _send_read(self, datum: DatumId, op_id: int | None, now: float) -> list[Effect]:
+        entry = self.cache.peek(datum)
+        cached_version = entry.version if entry is not None and entry.valid else None
+        msg = ReadRequest(self._next_req, datum, cached_version=cached_version)
+        self._next_req += 1
+        self.metrics.read_requests += 1
+        waiters = {datum: [op_id] if op_id is not None else []}
+        return self._send_request(msg, waiters, now, self.config.rpc_timeout)
+
+    def _send_extend(self, datum: DatumId, op_id: int | None, now: float) -> list[Effect]:
+        """Batched extension covering every held (non-cover) lease (§3.1)."""
+        batch = self.leases.extension_batch(now)
+        if datum not in batch:
+            batch.append(datum)
+        items = []
+        waiters: dict[DatumId, list[int]] = {}
+        for d in batch:
+            if d in self._datum_req:
+                continue  # already being fetched by another request
+            entry = self.cache.peek(d)
+            version = entry.version if entry is not None and entry.valid else 0
+            items.append((d, version))
+            waiters[d] = []
+        waiters.setdefault(datum, [])
+        if op_id is not None:
+            waiters[datum].append(op_id)
+        msg = ExtendRequest(self._next_req, tuple(items))
+        self._next_req += 1
+        self.metrics.extend_requests += 1
+        return self._send_request(msg, waiters, now, self.config.rpc_timeout)
+
+    def _send_request(
+        self,
+        msg: Message,
+        waiters: dict[DatumId, list[int]],
+        now: float,
+        timeout: float,
+        op_ids: list[int] | None = None,
+        track_datums: bool = True,
+    ) -> list[Effect]:
+        req = _ReqCtx(
+            req_id=msg.req_id,
+            message=msg,
+            sent_local=now,
+            timeout=timeout,
+            waiters=waiters,
+        )
+        if op_ids:
+            req.waiters.setdefault(None, []).extend(op_ids)  # type: ignore[arg-type]
+        self._requests[msg.req_id] = req
+        if track_datums:
+            # Only fetch-type requests (read/extend) coalesce later reads;
+            # writes and namespace ops must not capture readers.
+            for datum in waiters:
+                if datum is not None:
+                    self._datum_req[datum] = msg.req_id
+        return [Send(self.server, msg), SetTimer(f"rpc:{msg.req_id}", timeout)]
+
+    # -- replies ------------------------------------------------------------------------
+
+    def _on_read_reply(self, msg: ReadReply, now: float) -> list[Effect]:
+        req = self._close_request(msg.req_id)
+        if req is None:
+            return []  # duplicate or late reply
+        effects: list[Effect] = [CancelTimer(f"rpc:{msg.req_id}")]
+        op_ids = req.waiters.get(msg.datum, [])
+        if msg.error is not None:
+            effects.extend(self._fail_ops(op_ids, msg.error))
+            return effects
+        if msg.term > 0:
+            expires = safe_local_expiry(
+                req.sent_local, msg.term, self.config.epsilon, self.config.drift_bound
+            )
+            self.leases.add(msg.datum, expires, cover=msg.cover)
+        if msg.payload is not None:
+            admitted = self.cache.put(msg.datum, msg.version, msg.payload)
+            if not admitted:
+                # A stale in-flight reply raced an approval we granted;
+                # refetch rather than hand the application old data.
+                effects.extend(self._refetch(msg.datum, op_ids, now))
+                return effects
+        entry = self.cache.peek(msg.datum)
+        if entry is None or not entry.valid:
+            # Server said "unchanged" but we no longer hold the payload
+            # (eviction or invalidation race): fetch the content itself.
+            effects.extend(self._refetch(msg.datum, op_ids, now))
+            return effects
+        for op_id in op_ids:
+            effects.append(self._complete_read(op_id, entry.version, entry.payload))
+        return effects
+
+    def _on_extend_reply(self, msg: ExtendReply, now: float) -> list[Effect]:
+        req = self._close_request(msg.req_id)
+        if req is None:
+            return []
+        effects: list[Effect] = [CancelTimer(f"rpc:{msg.req_id}")]
+        for grant in msg.grants:
+            expires = safe_local_expiry(
+                req.sent_local, grant.term, self.config.epsilon, self.config.drift_bound
+            )
+            self.leases.add(grant.datum, expires, cover=grant.cover)
+            if grant.changed and grant.payload is not None:
+                self.cache.put(grant.datum, grant.version, grant.payload)
+            entry = self.cache.peek(grant.datum)
+            op_ids = req.waiters.get(grant.datum, [])
+            if entry is not None and entry.valid:
+                for op_id in op_ids:
+                    effects.append(
+                        self._complete_read(op_id, entry.version, entry.payload)
+                    )
+            elif op_ids:
+                effects.extend(self._refetch(grant.datum, op_ids, now))
+        for datum in msg.denied:
+            # Write pending at the server (or datum gone): our lease is not
+            # renewed.  Waiting readers fall back to a ReadRequest, which
+            # the server defers until the write drains.
+            self.leases.drop(datum)
+            op_ids = req.waiters.get(datum, [])
+            if op_ids:
+                effects.extend(self._refetch(datum, op_ids, now))
+        return effects
+
+    def _on_write_reply(self, msg: WriteReply, now: float) -> list[Effect]:
+        if not hasattr(getattr(self._requests.get(msg.req_id), "message", None), "content"):
+            # A WriteReply that does not answer one of our write-type
+            # requests is a peer protocol violation; drop it without
+            # touching the (unrelated) request it tried to impersonate.
+            return []
+        req = self._close_request(msg.req_id)
+        effects: list[Effect] = [CancelTimer(f"rpc:{msg.req_id}")]
+        op_ids = req.waiters.get(msg.datum, [])
+        if msg.error is not None:
+            effects.extend(self._fail_ops(op_ids, msg.error))
+            return effects
+        # Writes and write-back flushes both carry the committed bytes.
+        self.cache.put(msg.datum, msg.version, req.message.content)
+        for op_id in op_ids:
+            op = self._ops.pop(op_id, None)
+            if op is not None:
+                effects.append(Complete(op_id, ok=True, value=msg.version))
+        return effects
+
+    def _on_ns_reply(self, msg: NamespaceReply, now: float) -> list[Effect]:
+        req = self._close_request(msg.req_id)
+        if req is None:
+            return []
+        effects: list[Effect] = [CancelTimer(f"rpc:{msg.req_id}")]
+        op_ids = req.waiters.get(None, [])  # type: ignore[arg-type]
+        if msg.error is not None:
+            effects.extend(self._fail_ops(op_ids, msg.error))
+            return effects
+        for op_id in op_ids:
+            op = self._ops.pop(op_id, None)
+            if op is not None:
+                effects.append(Complete(op_id, ok=True, value=msg.result))
+        return effects
+
+    def _on_approval_request(self, msg: ApprovalRequest, now: float) -> list[Effect]:
+        """Grant approval for another client's write (§2): invalidate the
+        local copy, keep the lease, reply immediately."""
+        self.cache.invalidate(msg.datum, min_version=msg.new_version)
+        self.metrics.approvals_granted += 1
+        return [Send(self.server, ApprovalReply(msg.datum, msg.write_id))]
+
+    def _on_announce(self, msg: InstalledAnnounce, now: float) -> list[Effect]:
+        """Refresh cover leases from a multicast announcement.
+
+        Announcements are unsolicited, so there is no request send time to
+        anchor the duration on; the configured delivery-delay bound is
+        subtracted instead (see DESIGN.md §6).
+        """
+        term = max(0.0, msg.term - self.config.announce_delay_bound)
+        for cover in msg.covers:
+            expires = safe_local_expiry(
+                now, term, self.config.epsilon, self.config.drift_bound
+            )
+            self.leases.extend_cover(cover, expires)
+        return []
+
+    # -- timers ---------------------------------------------------------------------------
+
+    def _on_rpc_timeout(self, req_id: int, now: float) -> list[Effect]:
+        req = self._requests.get(req_id)
+        if req is None:
+            return []
+        req.retries += 1
+        if req.retries > self.config.max_retries:
+            self._close_request(req_id)
+            all_ops = [op for ops in req.waiters.values() for op in ops]
+            self.metrics.failures += 1
+            return self._fail_ops(all_ops, "request timed out")
+        self.metrics.retransmissions += 1
+        return [Send(self.server, req.message), SetTimer(f"rpc:{req_id}", req.timeout)]
+
+    def _on_anticipate(self, now: float) -> list[Effect]:
+        """Anticipatory extension (§4): renew soon-to-expire leases so
+        reads never pay the extension delay — at the cost of extra load."""
+        effects: list[Effect] = [
+            SetTimer("anticipate", self.config.anticipate_margin / 2)
+        ]
+        deadline = now + self.config.anticipate_margin
+        expiring = [
+            d
+            for d in self.leases.expiring_before(deadline)
+            if d not in self._datum_req and self.leases.expires_at(d) is not None
+        ]
+        if expiring:
+            effects.extend(self._send_extend(expiring[0], None, now))
+        return effects
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _refetch(self, datum: DatumId, op_ids: list[int], now: float) -> list[Effect]:
+        effects = self._send_read(datum, None, now)
+        req_id = self._datum_req[datum]
+        self._requests[req_id].waiters.setdefault(datum, []).extend(op_ids)
+        return effects
+
+    def _complete_read(self, op_id: int, version: int, payload: object) -> Complete:
+        self._ops.pop(op_id, None)
+        return Complete(op_id, ok=True, value=(version, payload))
+
+    def _fail_ops(self, op_ids: list[int], error: str) -> list[Effect]:
+        effects: list[Effect] = []
+        for op_id in op_ids:
+            op = self._ops.pop(op_id, None)
+            if op is not None:
+                effects.append(Complete(op_id, ok=False, error=error))
+        return effects
+
+    def _close_request(self, req_id: int) -> _ReqCtx | None:
+        req = self._requests.pop(req_id, None)
+        if req is None:
+            return None
+        for datum in req.waiters:
+            if datum is not None and self._datum_req.get(datum) == req_id:
+                del self._datum_req[datum]
+        return req
+
+    def _new_op(self, kind: str, datum: DatumId | None, now: float) -> _OpCtx:
+        op = _OpCtx(op_id=self._next_op, kind=kind, datum=datum, submitted_local=now)
+        self._next_op += 1
+        self._ops[op.op_id] = op
+        return op
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def outstanding_requests(self) -> int:
+        """Number of RPCs currently awaiting a reply."""
+        return len(self._requests)

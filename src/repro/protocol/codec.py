@@ -1,0 +1,142 @@
+"""Wire codec: protocol messages to/from JSON-safe dictionaries.
+
+Used by the TCP transport of the asyncio runtime.  The format is
+deliberately simple: ``{"type": <class name>, ...fields}`` with
+
+* ``DatumId`` encoded as ``[kind, ident]``,
+* ``bytes`` encoded as base64 strings (marked by field name),
+* ``inf`` terms encoded as the string ``"inf"``,
+* nested ``ExtendGrant`` records encoded recursively.
+"""
+
+from __future__ import annotations
+
+import base64
+import math
+from typing import Any
+
+from repro.errors import ProtocolError
+from repro.protocol.messages import (
+    ApprovalReply,
+    ApprovalRequest,
+    ExtendGrant,
+    ExtendReply,
+    ExtendRequest,
+    FlushRequest,
+    InstalledAnnounce,
+    Message,
+    NamespaceReply,
+    NamespaceRequest,
+    ReadReply,
+    ReadRequest,
+    RecallReply,
+    RecallRequest,
+    RelinquishRequest,
+    WriteLeaseReply,
+    WriteLeaseRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.types import DatumId, DatumKind
+
+_MESSAGE_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ReadRequest,
+        ReadReply,
+        ExtendRequest,
+        ExtendReply,
+        WriteRequest,
+        WriteReply,
+        ApprovalRequest,
+        ApprovalReply,
+        NamespaceRequest,
+        NamespaceReply,
+        InstalledAnnounce,
+        RelinquishRequest,
+        WriteLeaseRequest,
+        WriteLeaseReply,
+        RecallRequest,
+        RecallReply,
+        FlushRequest,
+    )
+}
+
+
+def _encode_value(value: Any) -> Any:
+    if isinstance(value, DatumId):
+        return {"__datum__": [value.kind.value, value.ident]}
+    if isinstance(value, bytes):
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
+    if isinstance(value, float) and math.isinf(value):
+        return {"__float__": "inf"}
+    if isinstance(value, ExtendGrant):
+        return {
+            "__grant__": {
+                "datum": _encode_value(value.datum),
+                "term": _encode_value(value.term),
+                "version": value.version,
+                "payload": _encode_value(value.payload),
+                "changed": value.changed,
+                "cover": value.cover,
+            }
+        }
+    if isinstance(value, (tuple, list)):
+        return [_encode_value(v) for v in value]
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    raise ProtocolError(f"cannot encode {type(value).__name__}: {value!r}")
+
+
+def _decode_value(value: Any) -> Any:
+    if isinstance(value, dict):
+        if "__datum__" in value:
+            kind, ident = value["__datum__"]
+            return DatumId(DatumKind(kind), ident)
+        if "__bytes__" in value:
+            return base64.b64decode(value["__bytes__"])
+        if "__float__" in value:
+            return math.inf
+        if "__grant__" in value:
+            g = value["__grant__"]
+            return ExtendGrant(
+                datum=_decode_value(g["datum"]),
+                term=_decode_value(g["term"]),
+                version=g["version"],
+                payload=_decode_value(g["payload"]),
+                changed=g["changed"],
+                cover=g.get("cover"),
+            )
+        raise ProtocolError(f"unknown tagged value: {value!r}")
+    if isinstance(value, list):
+        return tuple(_decode_value(v) for v in value)
+    return value
+
+
+def encode_message(msg: Message) -> dict:
+    """Encode a protocol message as a JSON-safe dict."""
+    name = type(msg).__name__
+    if name not in _MESSAGE_TYPES:
+        raise ProtocolError(f"not a wire message: {name}")
+    fields = {
+        field: _encode_value(getattr(msg, field))
+        for field in msg.__dataclass_fields__
+    }
+    return {"type": name, **fields}
+
+
+def decode_message(data: dict) -> Message:
+    """Decode a dict produced by :func:`encode_message`.
+
+    Raises:
+        ProtocolError: unknown type or malformed fields.
+    """
+    try:
+        cls = _MESSAGE_TYPES[data["type"]]
+    except (KeyError, TypeError) as exc:
+        raise ProtocolError(f"unknown message type in {data!r}") from exc
+    try:
+        kwargs = {k: _decode_value(v) for k, v in data.items() if k != "type"}
+        return cls(**kwargs)
+    except (TypeError, ValueError, KeyError) as exc:
+        raise ProtocolError(f"malformed {data.get('type')}: {exc}") from exc

@@ -1,0 +1,77 @@
+"""Effects emitted by the sans-io engines.
+
+A driver (simulator or asyncio runtime) executes each effect:
+
+* :class:`Send` / :class:`Broadcast` — transmit a message.  A broadcast is
+  delivered to an explicit recipient list; drivers with a multicast
+  facility pay one send-side processing cost, drivers without one fan out
+  unicasts (the paper's footnote 6 cost difference).
+* :class:`SetTimer` / :class:`CancelTimer` — arm or disarm a named timer;
+  the engine will receive ``handle_timer(key, now)`` when it fires.
+* :class:`Complete` — an application-visible operation finished; carries
+  the result to whoever invoked the client API.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.protocol.messages import Message
+from repro.types import HostId
+
+
+@dataclass(frozen=True)
+class Send:
+    """Transmit ``message`` to ``dst``."""
+
+    dst: HostId
+    message: Message
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    """Transmit ``message`` to every host in ``dsts`` (multicast if available)."""
+
+    dsts: tuple[HostId, ...]
+    message: Message
+
+
+@dataclass(frozen=True)
+class SetTimer:
+    """Arm timer ``key`` to fire ``delay`` seconds from now.
+
+    Re-arming an existing key replaces the previous deadline.
+    """
+
+    key: str
+    delay: float
+
+
+@dataclass(frozen=True)
+class CancelTimer:
+    """Disarm timer ``key`` (no-op when not armed)."""
+
+    key: str
+
+
+@dataclass(frozen=True)
+class Complete:
+    """An application operation finished.
+
+    Attributes:
+        op_id: the id returned when the operation was submitted.
+        ok: True on success.
+        value: operation result — (version, payload) for reads, the new
+            version for writes.
+        error: error string when ``ok`` is False.
+    """
+
+    op_id: int
+    ok: bool
+    value: Any = None
+    error: str | None = None
+
+
+#: Union type of everything an engine can emit.
+Effect = Send | Broadcast | SetTimer | CancelTimer | Complete

@@ -1,0 +1,288 @@
+"""Protocol messages.
+
+All messages are frozen dataclasses.  Requests carry a client-chosen
+``req_id`` echoed in the reply so retransmitted requests and duplicate
+replies can be matched and deduplicated; writes additionally carry a
+per-client ``write_seq`` so a retransmitted write commits at most once.
+
+Message *kind* strings (used for the server-load accounting that Figure 1
+measures) are derived from the class: ``lease/read``, ``lease/extend``,
+``lease/write``, ``lease/approve``, ``lease/announce``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.types import DatumId, Version
+
+
+@dataclass(frozen=True)
+class Message:
+    """Base class for all protocol messages."""
+
+    @property
+    def kind(self) -> str:
+        """Traffic-accounting category for this message type."""
+        return KIND_BY_TYPE[type(self).__name__]
+
+
+@dataclass(frozen=True)
+class ReadRequest(Message):
+    """Fetch a datum (and a lease over it).
+
+    Attributes:
+        req_id: client-unique request id, echoed in the reply.
+        datum: what to read.
+        cached_version: version of the client's (possibly stale) cached
+            copy, or None; lets the server omit the payload when the copy
+            is still current.
+    """
+
+    req_id: int
+    datum: DatumId
+    cached_version: Version | None = None
+
+
+@dataclass(frozen=True)
+class ReadReply(Message):
+    """Reply to :class:`ReadRequest`.
+
+    Attributes:
+        version: current committed version.
+        payload: datum contents, or None when ``cached_version`` was
+            already current.
+        term: lease term granted (0 = no lease).
+        cover: installed-files cover lease id, or None for a per-client
+            lease; covered datums are extended by multicast announcements.
+        error: error string, or None on success.
+    """
+
+    req_id: int
+    datum: DatumId
+    version: Version = 0
+    payload: object = None
+    term: float = 0.0
+    cover: str | None = None
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ExtendRequest(Message):
+    """Batched lease extension (§3.1: extend all held leases together).
+
+    Attributes:
+        items: tuple of (datum, cached_version) pairs.
+    """
+
+    req_id: int
+    items: tuple[tuple[DatumId, Version], ...]
+
+
+@dataclass(frozen=True)
+class ExtendGrant:
+    """One granted extension inside an :class:`ExtendReply`.
+
+    ``payload`` is None when the client's cached version is still current
+    (the common case — this is what makes extension cheap).  ``cover``
+    migrates the holding onto an installed cover lease when the datum was
+    promoted since the client last fetched it (§4/§7).
+    """
+
+    datum: DatumId
+    term: float
+    version: Version
+    payload: object = None
+    changed: bool = False
+    cover: str | None = None
+
+
+@dataclass(frozen=True)
+class ExtendReply(Message):
+    """Reply to :class:`ExtendRequest`.
+
+    Attributes:
+        grants: extensions granted.
+        denied: datums on which no lease was granted (write pending — the
+            starvation guard; the client falls back to a ReadRequest, which
+            the server will defer behind the write).
+    """
+
+    req_id: int
+    grants: tuple[ExtendGrant, ...] = ()
+    denied: tuple[DatumId, ...] = ()
+
+
+@dataclass(frozen=True)
+class WriteRequest(Message):
+    """Write-through of a file datum.
+
+    The requester's lease (if any) carries implicit approval, so the server
+    never calls back the writer itself.
+
+    Attributes:
+        write_seq: per-client monotonically increasing sequence number for
+            exactly-once commit under retransmission.
+    """
+
+    req_id: int
+    datum: DatumId
+    content: bytes
+    write_seq: int = 0
+
+
+@dataclass(frozen=True)
+class WriteReply(Message):
+    """Reply to :class:`WriteRequest` once the write has committed."""
+
+    req_id: int
+    datum: DatumId
+    version: Version = 0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class ApprovalRequest(Message):
+    """Server-to-leaseholder callback: may this write proceed?"""
+
+    datum: DatumId
+    write_id: int
+    new_version: Version
+
+
+@dataclass(frozen=True)
+class ApprovalReply(Message):
+    """Leaseholder's approval (it has invalidated its cached copy)."""
+
+    datum: DatumId
+    write_id: int
+
+
+@dataclass(frozen=True)
+class NamespaceRequest(Message):
+    """A namespace mutation: a *write* to directory datum(s).
+
+    Attributes:
+        op: one of ``"bind"``, ``"unbind"``, ``"rename"``, ``"mkdir"``.
+        args: operation arguments (paths, and content for ``bind``).
+    """
+
+    req_id: int
+    op: str
+    args: tuple = ()
+    write_seq: int = 0
+
+
+@dataclass(frozen=True)
+class NamespaceReply(Message):
+    """Reply to :class:`NamespaceRequest`."""
+
+    req_id: int
+    op: str
+    error: str | None = None
+    result: object = None
+
+
+@dataclass(frozen=True)
+class InstalledAnnounce(Message):
+    """Periodic multicast extension of installed-file cover leases (§4)."""
+
+    covers: tuple[str, ...]
+    term: float
+    seq: int = 0
+
+
+@dataclass(frozen=True)
+class RelinquishRequest(Message):
+    """Voluntarily give up leases (client option, §4).
+
+    Fire-and-forget: no reply is needed — the worst a lost relinquish
+    costs is waiting out the term, which is the default anyway.  The
+    server drops its records and, crucially, removes the client from any
+    write's awaiting set, unblocking writers immediately.
+    """
+
+    datums: tuple[DatumId, ...]
+
+
+# -- write-back extension (§2: non-write-through caches; §6: MFS/Echo tokens) --
+
+
+@dataclass(frozen=True)
+class WriteLeaseRequest(Message):
+    """Acquire an exclusive *write lease* on a datum.
+
+    A write lease lets the holder buffer writes locally (write-back).
+    Granting it requires the approval or expiry of every read lease, like
+    a write does.
+    """
+
+    req_id: int
+    datum: DatumId
+    cached_version: Version | None = None
+
+
+@dataclass(frozen=True)
+class WriteLeaseReply(Message):
+    """Reply to :class:`WriteLeaseRequest` once exclusivity is achieved."""
+
+    req_id: int
+    datum: DatumId
+    version: Version = 0
+    payload: object = None
+    term: float = 0.0
+    error: str | None = None
+
+
+@dataclass(frozen=True)
+class RecallRequest(Message):
+    """Server-to-owner callback: surrender the write lease (flush dirty
+    data).  Sent when another client needs the datum."""
+
+    datum: DatumId
+    recall_id: int
+
+
+@dataclass(frozen=True)
+class RecallReply(Message):
+    """Owner's response to a recall: the dirty contents, or None if the
+    cached copy was clean.  The write lease is relinquished either way."""
+
+    datum: DatumId
+    recall_id: int
+    dirty: bytes | None = None
+
+
+@dataclass(frozen=True)
+class FlushRequest(Message):
+    """Voluntary write-back of dirty data by the write-lease owner
+    (e.g. ahead of lease expiry).  The lease is retained."""
+
+    req_id: int
+    datum: DatumId
+    content: bytes
+    write_seq: int = 0
+
+
+#: Message kind strings for traffic accounting; all lease-protocol
+#: messages share the ``lease/`` prefix so experiments can separate
+#: consistency traffic with one prefix filter.
+KIND_BY_TYPE = {
+    "ReadRequest": "lease/read",
+    "ReadReply": "lease/read",
+    "ExtendRequest": "lease/extend",
+    "ExtendReply": "lease/extend",
+    "WriteRequest": "lease/write",
+    "WriteReply": "lease/write",
+    "ApprovalRequest": "lease/approve",
+    "ApprovalReply": "lease/approve",
+    "NamespaceRequest": "lease/namespace",
+    "NamespaceReply": "lease/namespace",
+    "InstalledAnnounce": "lease/announce",
+    "RelinquishRequest": "lease/relinquish",
+    "WriteLeaseRequest": "lease/wlease",
+    "WriteLeaseReply": "lease/wlease",
+    "RecallRequest": "lease/recall",
+    "RecallReply": "lease/recall",
+    "FlushRequest": "lease/flush",
+}

@@ -1,0 +1,23 @@
+"""Real-time (asyncio) runtime for the lease protocol.
+
+The same sans-io engines that drive the simulator run here against wall
+clocks and real transports:
+
+* :mod:`repro.runtime.transport` — the transport interface and an
+  in-process hub with configurable latency/loss (tests, examples).
+* :mod:`repro.runtime.tcp` — a length-prefixed JSON transport over TCP for
+  actual multi-process deployments.
+* :mod:`repro.runtime.node` — :class:`LeaseServerNode` and
+  :class:`LeaseClientNode`: asyncio hosts that execute engine effects
+  (sends, timers) and expose an async application API
+  (``await client.read(datum)``).
+
+Lease expiry uses :class:`repro.clock.MonotonicClock`; the epsilon and
+drift-bound configuration carries exactly the same meaning as in the
+paper (§5).
+"""
+
+from repro.runtime.node import LeaseClientNode, LeaseServerNode
+from repro.runtime.transport import InMemoryHub, Transport
+
+__all__ = ["LeaseServerNode", "LeaseClientNode", "InMemoryHub", "Transport"]

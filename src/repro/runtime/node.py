@@ -1,0 +1,197 @@
+"""Asyncio hosts for the sans-io protocol engines.
+
+A node owns an engine, a transport and a clock.  Inbound messages and
+timer firings are dispatched on the event loop (engines are synchronous,
+so a single-threaded loop serializes them for free); effects are executed
+as they are emitted: sends go to the transport, ``SetTimer`` becomes
+``loop.call_later`` (re-arming replaces), and ``Complete`` resolves the
+future returned by the client API.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Any
+
+from repro.clock.system import MonotonicClock
+from repro.errors import ReproError
+from repro.lease.installed import InstalledFileManager
+from repro.lease.policy import TermPolicy
+from repro.protocol.client import ClientConfig, ClientEngine
+from repro.protocol.effects import Broadcast, CancelTimer, Complete, Effect, Send, SetTimer
+from repro.protocol.messages import Message
+from repro.protocol.server import ServerConfig, ServerEngine
+from repro.runtime.transport import Transport
+from repro.storage.store import FileStore
+from repro.types import DatumId, HostId
+
+
+class _EngineNode:
+    """Shared plumbing: effect execution, timers, message dispatch."""
+
+    def __init__(self, transport: Transport, clock=None):
+        self.transport = transport
+        self.clock = clock or MonotonicClock()
+        self._timers: dict[str, asyncio.TimerHandle] = {}
+        self._loop = asyncio.get_event_loop()
+        transport.set_handler(self._on_message)
+
+    @property
+    def name(self) -> HostId:
+        return self.transport.name
+
+    # -- overridden by subclasses ------------------------------------------------
+
+    def _engine(self):
+        raise NotImplementedError
+
+    def _on_complete(self, effect: Complete) -> None:
+        raise ReproError(f"{type(self).__name__} got unexpected Complete")
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def _on_message(self, message: Message, src: HostId) -> None:
+        self._run_effects(self._engine().handle_message(message, src, self.clock.now()))
+
+    def _on_timer(self, key: str) -> None:
+        self._timers.pop(key, None)
+        self._run_effects(self._engine().handle_timer(key, self.clock.now()))
+
+    def _run_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self._send_soon(effect.dst, effect.message)
+            elif isinstance(effect, Broadcast):
+                for dst in effect.dsts:
+                    self._send_soon(dst, effect.message)
+            elif isinstance(effect, SetTimer):
+                self._set_timer(effect.key, effect.delay)
+            elif isinstance(effect, CancelTimer):
+                self._cancel_timer(effect.key)
+            elif isinstance(effect, Complete):
+                self._on_complete(effect)
+            else:
+                raise ReproError(f"cannot execute effect {effect!r}")
+
+    def _send_soon(self, dst: HostId, message: Message) -> None:
+        task = self._loop.create_task(self.transport.send(dst, message))
+        task.add_done_callback(lambda t: t.exception())  # swallow transport loss
+
+    def _set_timer(self, key: str, delay: float) -> None:
+        self._cancel_timer(key)
+        self._timers[key] = self._loop.call_later(
+            max(0.0, delay), self._on_timer, key
+        )
+
+    def _cancel_timer(self, key: str) -> None:
+        handle = self._timers.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    async def close(self) -> None:
+        """Cancel timers and close the transport."""
+        for key in list(self._timers):
+            self._cancel_timer(key)
+        await self.transport.close()
+
+
+class LeaseServerNode(_EngineNode):
+    """A real-time lease file server."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        store: FileStore,
+        policy: TermPolicy,
+        config: ServerConfig | None = None,
+        installed: InstalledFileManager | None = None,
+        clock=None,
+    ):
+        super().__init__(transport, clock)
+        self.store = store
+        self.engine = ServerEngine(
+            transport.name,
+            store,
+            policy,
+            config=config,
+            installed=installed,
+            now=self.clock.now(),
+        )
+        self._run_effects(self.engine.startup_effects(self.clock.now()))
+
+    def _engine(self) -> ServerEngine:
+        return self.engine
+
+
+class LeaseClientNode(_EngineNode):
+    """A real-time lease client cache with an async application API."""
+
+    def __init__(
+        self,
+        transport: Transport,
+        server: HostId,
+        config: ClientConfig | None = None,
+        clock=None,
+        id_base: int | None = None,
+    ):
+        super().__init__(transport, clock)
+        if id_base is None:
+            # A fresh random epoch per process: two incarnations (or two
+            # processes reusing one client name) must never collide in the
+            # server's write-dedup space.
+            id_base = random.getrandbits(44) << 16
+        self.engine = ClientEngine(transport.name, server, config=config, id_base=id_base)
+        self._futures: dict[int, asyncio.Future] = {}
+        self._run_effects(self.engine.startup_effects(self.clock.now()))
+
+    def _engine(self) -> ClientEngine:
+        return self.engine
+
+    def _on_complete(self, effect: Complete) -> None:
+        future = self._futures.pop(effect.op_id, None)
+        if future is None or future.done():
+            return
+        if effect.ok:
+            future.set_result(effect.value)
+        else:
+            future.set_exception(ReproError(effect.error or "operation failed"))
+
+    def _submit(self, op_id: int, effects: list[Effect]) -> asyncio.Future:
+        future = self._loop.create_future()
+        self._futures[op_id] = future
+        self._run_effects(effects)  # may resolve synchronously (cache hit)
+        return future
+
+    # -- application API ----------------------------------------------------------
+
+    async def read(self, datum: DatumId) -> tuple[int, Any]:
+        """Read a datum; returns ``(version, payload)``.
+
+        Served locally with no I/O whenever the cached copy and its lease
+        are valid.
+        """
+        op_id, effects = self.engine.read(datum, self.clock.now())
+        return await self._submit(op_id, effects)
+
+    async def write(self, datum: DatumId, content: bytes) -> int:
+        """Write a file datum through to the server; returns the version."""
+        op_id, effects = self.engine.write(datum, content, self.clock.now())
+        return await self._submit(op_id, effects)
+
+    async def namespace_op(self, op_name: str, args: tuple) -> Any:
+        """Submit a namespace mutation (bind/unbind/rename/mkdir)."""
+        op_id, effects = self.engine.namespace_op(op_name, args, self.clock.now())
+        return await self._submit(op_id, effects)
+
+    def relinquish(self, datum: DatumId) -> None:
+        """Voluntarily give up a lease (client option, §4)."""
+        self._run_effects(self.engine.relinquish(datum))
+
+    def write_temp(self, path: str, content: bytes) -> None:
+        """Write a temporary file locally (never reaches the server)."""
+        self.engine.write_temp(path, content)
+
+    def read_temp(self, path: str) -> bytes | None:
+        """Read a locally stored temporary file."""
+        return self.engine.read_temp(path)

@@ -1,0 +1,82 @@
+"""Path-based file API on top of the datum protocol.
+
+The wire protocol works on datums; applications think in paths.  This
+module walks the namespace the way the paper describes a repeated
+``open`` working (§2): each directory along the path is itself a
+lease-covered datum, so after the first resolution the whole walk is
+served from the client cache with zero messages — and a rename anywhere
+along the path invalidates exactly the affected directory datum.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NoSuchFileError, NotADirectoryError_
+from repro.runtime.node import LeaseClientNode
+from repro.storage.namespace import Namespace, split_path
+from repro.types import DatumId
+
+
+async def resolve(client: LeaseClientNode, path: str) -> DatumId:
+    """Resolve a path to its datum (file contents or directory metadata).
+
+    Every directory datum read along the way is leased and cached, so
+    repeated resolutions are free until something changes.
+
+    Raises:
+        NoSuchFileError: a component is missing.
+        NotADirectoryError_: a non-final component is a plain file.
+    """
+    parts = split_path(path)
+    dir_id = Namespace.ROOT_ID
+    for depth, name in enumerate(parts):
+        _version, entries = await client.read(DatumId.directory(dir_id))
+        match = next((e for e in entries if e[0] == name), None)
+        if match is None:
+            raise NoSuchFileError(path)
+        _name, target, is_dir, _mode = match
+        final = depth == len(parts) - 1
+        if final:
+            return DatumId.directory(target) if is_dir else DatumId.file(target)
+        if not is_dir:
+            raise NotADirectoryError_(f"{path!r}: {name!r} is a file")
+        dir_id = target
+    return DatumId.directory(dir_id)  # the root itself
+
+
+async def read_file(client: LeaseClientNode, path: str) -> tuple[int, bytes]:
+    """Open-and-read by path; returns (version, contents)."""
+    datum = await resolve(client, path)
+    return await client.read(datum)
+
+
+async def write_file(client: LeaseClientNode, path: str, content: bytes) -> int:
+    """Write-through by path; returns the committed version."""
+    datum = await resolve(client, path)
+    return await client.write(datum, content)
+
+
+async def list_dir(client: LeaseClientNode, path: str) -> list[tuple]:
+    """List a directory's entries: (name, target, is_dir, mode) tuples."""
+    datum = await resolve(client, path)
+    _version, entries = await client.read(datum)
+    return list(entries)
+
+
+async def create_file(client: LeaseClientNode, path: str, content: bytes = b"") -> str:
+    """Create a file at ``path``; returns its file id."""
+    return await client.namespace_op("bind", (path, content, "normal"))
+
+
+async def mkdir(client: LeaseClientNode, path: str) -> str:
+    """Create a directory; returns its dir id."""
+    return await client.namespace_op("mkdir", (path,))
+
+
+async def unlink(client: LeaseClientNode, path: str) -> None:
+    """Remove a file or empty directory."""
+    await client.namespace_op("unbind", (path,))
+
+
+async def rename(client: LeaseClientNode, old: str, new: str) -> None:
+    """Rename/move a binding (a write to the affected directory datums)."""
+    await client.namespace_op("rename", (old, new))

@@ -1,0 +1,171 @@
+"""TCP transport: length-prefixed JSON frames.
+
+Topology: the server node listens; each client opens one connection and
+introduces itself with a hello frame.  The server transport multiplexes
+replies (and callbacks/announcements) back over the per-client connection.
+Frames are ``4-byte big-endian length + UTF-8 JSON`` bodies produced by
+:mod:`repro.protocol.codec`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+
+from repro.errors import RuntimeTransportError
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import Message
+from repro.runtime.transport import MessageHandler
+from repro.types import HostId
+
+_HEADER = struct.Struct(">I")
+MAX_FRAME = 16 * 1024 * 1024
+
+
+def _frame(payload: dict) -> bytes:
+    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+    if len(body) > MAX_FRAME:
+        raise RuntimeTransportError(f"frame too large: {len(body)} bytes")
+    return _HEADER.pack(len(body)) + body
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> dict | None:
+    try:
+        header = await reader.readexactly(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME:
+            raise RuntimeTransportError(f"frame too large: {length} bytes")
+        body = await reader.readexactly(length)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    return json.loads(body.decode("utf-8"))
+
+
+class TcpServerTransport:
+    """The listening side; one instance serves every connected client."""
+
+    def __init__(self, name: HostId = "server"):
+        self._name = name
+        self._handler: MessageHandler | None = None
+        self._server: asyncio.Server | None = None
+        self._writers: dict[HostId, asyncio.StreamWriter] = {}
+
+    @property
+    def name(self) -> HostId:
+        """This endpoint's host name."""
+        return self._name
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        return self._server.sockets[0].getsockname()[1]
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the inbound-message callback."""
+        self._handler = handler
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start accepting client connections."""
+        self._server = await asyncio.start_server(self._on_connection, host, port)
+
+    async def _on_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            hello = await _read_frame(reader)
+        except asyncio.CancelledError:
+            writer.close()
+            return
+        if not hello or hello.get("hello") is None:
+            writer.close()
+            return
+        peer = hello["hello"]
+        self._writers[peer] = writer
+        try:
+            while True:
+                frame = await _read_frame(reader)
+                if frame is None:
+                    break
+                if self._handler is not None:
+                    self._handler(decode_message(frame), peer)
+        except asyncio.CancelledError:
+            pass  # server shutting down mid-read
+        finally:
+            if self._writers.get(peer) is writer:
+                del self._writers[peer]
+            writer.close()
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Send to a connected client; silently drops if disconnected
+        (equivalent to a lost message — the protocol tolerates it)."""
+        writer = self._writers.get(dst)
+        if writer is None:
+            return
+        try:
+            writer.write(_frame(encode_message(message)))
+            await writer.drain()
+        except ConnectionError:
+            self._writers.pop(dst, None)
+
+    async def close(self) -> None:
+        """Disconnect every client and stop listening."""
+        for writer in list(self._writers.values()):
+            writer.close()
+        self._writers.clear()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class TcpClientTransport:
+    """A client's connection to the server."""
+
+    def __init__(self, name: HostId, server_name: HostId = "server"):
+        self._name = name
+        self._server_name = server_name
+        self._handler: MessageHandler | None = None
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._reader_task: asyncio.Task | None = None
+
+    @property
+    def name(self) -> HostId:
+        """This endpoint's host name."""
+        return self._name
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the inbound-message callback."""
+        self._handler = handler
+
+    async def connect(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Connect and introduce ourselves."""
+        self._reader, self._writer = await asyncio.open_connection(host, port)
+        self._writer.write(_frame({"hello": self._name}))
+        await self._writer.drain()
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def _read_loop(self) -> None:
+        while True:
+            frame = await _read_frame(self._reader)
+            if frame is None:
+                return
+            if self._handler is not None:
+                self._handler(decode_message(frame), self._server_name)
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Send to the server (the only peer a client talks to)."""
+        if dst != self._server_name or self._writer is None:
+            return
+        try:
+            self._writer.write(_frame(encode_message(message)))
+            await self._writer.drain()
+        except ConnectionError:
+            pass  # lost message; the engine's retransmission covers it
+
+    async def close(self) -> None:
+        """Tear down the connection."""
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+        if self._writer is not None:
+            self._writer.close()

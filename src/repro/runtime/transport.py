@@ -1,0 +1,122 @@
+"""Transports for the asyncio runtime."""
+
+from __future__ import annotations
+
+import asyncio
+import random
+from typing import Callable, Protocol
+
+from repro.protocol.messages import Message
+from repro.types import HostId
+
+#: Inbound message handler installed by a node.
+MessageHandler = Callable[[Message, HostId], None]
+
+
+class Transport(Protocol):
+    """One endpoint's view of the network."""
+
+    @property
+    def name(self) -> HostId:
+        """This endpoint's host name."""
+        ...
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the inbound-message callback."""
+        ...
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Transmit one message (fire and forget; loss is allowed)."""
+        ...
+
+    async def close(self) -> None:
+        """Release the endpoint's resources."""
+        ...
+
+
+class InMemoryHub:
+    """An in-process message fabric connecting any number of endpoints.
+
+    Supports optional delivery latency and loss for fault experiments.
+    Delivery order per (src, dst) pair is FIFO, like the simulator.
+    """
+
+    def __init__(self, latency: float = 0.0, loss_rate: float = 0.0, seed: int = 0):
+        if not 0.0 <= loss_rate <= 1.0:
+            raise ValueError(f"loss_rate out of range: {loss_rate}")
+        self.latency = latency
+        self.loss_rate = loss_rate
+        self._rng = random.Random(seed)
+        self._endpoints: dict[HostId, _HubEndpoint] = {}
+        self._blocked: set[tuple[HostId, HostId]] = set()
+        self.dropped = 0
+
+    def endpoint(self, name: HostId) -> "_HubEndpoint":
+        """Create (or fetch) the endpoint for ``name``."""
+        if name not in self._endpoints:
+            self._endpoints[name] = _HubEndpoint(self, name)
+        return self._endpoints[name]
+
+    def block(self, src: HostId, dst: HostId) -> None:
+        """Drop all future messages from ``src`` to ``dst`` (partition)."""
+        self._blocked.add((src, dst))
+
+    def unblock(self, src: HostId, dst: HostId) -> None:
+        """Lift a :meth:`block`."""
+        self._blocked.discard((src, dst))
+
+    def isolate(self, name: HostId) -> None:
+        """Partition ``name`` from every current endpoint, both ways."""
+        for other in self._endpoints:
+            if other != name:
+                self.block(name, other)
+                self.block(other, name)
+
+    def heal(self) -> None:
+        """Lift every partition."""
+        self._blocked.clear()
+
+    async def _deliver(self, src: HostId, dst: HostId, message: Message) -> None:
+        if (src, dst) in self._blocked or (
+            self.loss_rate and self._rng.random() < self.loss_rate
+        ):
+            self.dropped += 1
+            return
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or endpoint._handler is None:
+            self.dropped += 1
+            return
+        if self.latency:
+            await asyncio.sleep(self.latency)
+        endpoint._handler(message, src)
+
+
+class _HubEndpoint:
+    """A hub-attached transport."""
+
+    def __init__(self, hub: InMemoryHub, name: HostId):
+        self._hub = hub
+        self._name = name
+        self._handler: MessageHandler | None = None
+        self._tasks: set[asyncio.Task] = set()
+
+    @property
+    def name(self) -> HostId:
+        return self._name
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        self._handler = handler
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        # Delivery is decoupled from the sender so a send never blocks on
+        # the receiver's processing (matching real datagram behaviour).
+        task = asyncio.get_running_loop().create_task(
+            self._hub._deliver(self._name, dst, message)
+        )
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def close(self) -> None:
+        for task in list(self._tasks):
+            task.cancel()
+        self._handler = None

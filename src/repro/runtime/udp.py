@@ -1,0 +1,153 @@
+"""UDP transport: one JSON datagram per message.
+
+The V system's IPC rode on datagrams, and the lease protocol is built to
+tolerate loss (client retransmission, idempotent reads, write dedup via
+sequence numbers), so UDP is its most faithful real-world transport: no
+connection state, no head-of-line blocking, and lost packets exercise
+exactly the §5 failure model.
+
+Addressing: the server listens on a known port; clients bind ephemeral
+ports and include their name in every datagram (``src`` field), so the
+server can reply and later push callbacks/announcements to the last known
+address of each client.  Datagrams above ``MAX_DATAGRAM`` are refused at
+send time — leases cover data small enough to fit, and larger files
+belong on a bulk channel in a real deployment.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.errors import RuntimeTransportError
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import Message
+from repro.runtime.transport import MessageHandler
+from repro.types import HostId
+
+#: Stay under the common 64 KiB UDP limit with headroom for JSON framing.
+MAX_DATAGRAM = 60_000
+
+
+class _Endpoint(asyncio.DatagramProtocol):
+    """Shared asyncio datagram plumbing."""
+
+    def __init__(self, owner: "UdpServerTransport | UdpClientTransport"):
+        self._owner = owner
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        try:
+            frame = json.loads(data.decode("utf-8"))
+            message = decode_message(frame["msg"])
+            src = frame["src"]
+        except Exception:
+            return  # malformed datagram: drop, like any corrupted packet
+        self._owner._on_datagram(message, src, addr)
+
+    def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
+        pass
+
+
+def _encode(src: HostId, message: Message) -> bytes:
+    data = json.dumps(
+        {"src": src, "msg": encode_message(message)}, separators=(",", ":")
+    ).encode("utf-8")
+    if len(data) > MAX_DATAGRAM:
+        raise RuntimeTransportError(
+            f"message of {len(data)} bytes exceeds the {MAX_DATAGRAM}-byte "
+            "datagram limit"
+        )
+    return data
+
+
+class UdpServerTransport:
+    """The server's datagram endpoint."""
+
+    def __init__(self, name: HostId = "server"):
+        self._name = name
+        self._handler: MessageHandler | None = None
+        self._transport: asyncio.DatagramTransport | None = None
+        #: last known address of each client, learned from their datagrams.
+        self._peers: dict[HostId, tuple] = {}
+
+    @property
+    def name(self) -> HostId:
+        """This endpoint's host name."""
+        return self._name
+
+    @property
+    def port(self) -> int:
+        """The bound port (after :meth:`start`)."""
+        return self._transport.get_extra_info("sockname")[1]
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the inbound-message callback."""
+        self._handler = handler
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind the datagram socket."""
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Endpoint(self), local_addr=(host, port)
+        )
+
+    def _on_datagram(self, message: Message, src: HostId, addr) -> None:
+        self._peers[src] = addr
+        if self._handler is not None:
+            self._handler(message, src)
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Send to a client's last known address; drops if never seen
+        (indistinguishable from packet loss, which the protocol absorbs)."""
+        addr = self._peers.get(dst)
+        if addr is None or self._transport is None:
+            return
+        self._transport.sendto(_encode(self._name, message), addr)
+
+    async def close(self) -> None:
+        """Close the datagram socket."""
+        if self._transport is not None:
+            self._transport.close()
+
+
+class UdpClientTransport:
+    """A client's datagram endpoint, bound to one server address."""
+
+    def __init__(self, name: HostId, server_name: HostId = "server"):
+        self._name = name
+        self._server_name = server_name
+        self._handler: MessageHandler | None = None
+        self._transport: asyncio.DatagramTransport | None = None
+        self._server_addr: tuple | None = None
+
+    @property
+    def name(self) -> HostId:
+        """This endpoint's host name."""
+        return self._name
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the inbound-message callback."""
+        self._handler = handler
+
+    async def connect(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind an ephemeral port and record the server's address."""
+        loop = asyncio.get_running_loop()
+        self._transport, _ = await loop.create_datagram_endpoint(
+            lambda: _Endpoint(self), local_addr=("0.0.0.0", 0)
+        )
+        self._server_addr = (host, port)
+
+    def _on_datagram(self, message: Message, src: HostId, addr) -> None:
+        if self._handler is not None:
+            self._handler(message, src)
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Send to the server (a client's only peer)."""
+        if dst != self._server_name or self._transport is None:
+            return
+        self._transport.sendto(_encode(self._name, message), self._server_addr)
+
+    async def close(self) -> None:
+        """Close the datagram socket."""
+        if self._transport is not None:
+            self._transport.close()

@@ -1,0 +1,26 @@
+"""Deterministic discrete-event simulation substrate.
+
+This package provides the testbed on which the lease protocol is evaluated,
+standing in for the paper's MicroVAX II / Ethernet / V-IPC environment:
+
+* :mod:`repro.sim.kernel` — virtual time, an event heap, and a seeded RNG;
+  runs are bit-for-bit reproducible for a given seed.
+* :mod:`repro.sim.host` — simulated hosts with a serialized CPU (so message
+  processing costs ``m_proc`` each, matching the paper's model) and
+  crash/restart state.
+* :mod:`repro.sim.network` — unicast and multicast message delivery with
+  propagation delay ``m_prop``, per-message processing ``m_proc``, loss and
+  partitions; per-host, per-kind message accounting used to measure server
+  consistency load.
+* :mod:`repro.sim.faults` — convenience fault injectors (partitions, crash
+  schedules, message-loss windows).
+* :mod:`repro.sim.driver` — binds the sans-io protocol engines to this
+  substrate.
+* :mod:`repro.sim.oracle` — asserts single-copy equivalence on every read.
+"""
+
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.host import Host
+from repro.sim.network import Network, NetworkParams
+
+__all__ = ["Kernel", "EventHandle", "Host", "Network", "NetworkParams"]

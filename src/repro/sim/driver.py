@@ -1,0 +1,502 @@
+"""Binds the sans-io protocol engines to the simulated network.
+
+:class:`SimServer` and :class:`SimClient` execute engine effects against
+the :class:`~repro.sim.network.Network`, convert engine timer requests into
+kernel events (compensating for clock drift), model crash/restart state
+loss, and surface completed operations to workloads and tests.
+
+:func:`build_cluster` assembles a ready-to-run world: kernel, network,
+server, clients, oracle, fault injector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.lease.installed import InstalledFileManager
+from repro.lease.policy import FixedTermPolicy, TermPolicy
+from repro.protocol.client import ClientConfig, ClientEngine
+from repro.protocol.effects import Broadcast, CancelTimer, Complete, Effect, Send, SetTimer
+from repro.protocol.messages import Message
+from repro.protocol.server import ServerConfig, ServerEngine
+from repro.sim.faults import FaultInjector
+from repro.sim.host import Host
+from repro.sim.kernel import EventHandle, Kernel
+from repro.sim.network import Network, NetworkParams
+from repro.sim.oracle import ConsistencyOracle
+from repro.storage.store import FileStore
+from repro.types import DatumId, FileClass, HostId
+
+
+class _TimerBank:
+    """Named engine timers mapped onto kernel events.
+
+    Engine delays are in the host's *local* seconds; with a drifting clock
+    the kernel delay is scaled by ``1/(1 + drift)`` so the timer fires when
+    the local clock has advanced by the requested amount.
+    """
+
+    def __init__(self, host: Host, on_fire: Callable[[str], None]):
+        self._host = host
+        self._on_fire = on_fire
+        self._handles: dict[str, EventHandle] = {}
+
+    def set(self, key: str, local_delay: float) -> None:
+        self.cancel(key)
+        kernel_delay = local_delay / (1.0 + self._host.clock.drift)
+        self._handles[key] = self._host.kernel.schedule(
+            max(0.0, kernel_delay), self._fire, key
+        )
+
+    def cancel(self, key: str) -> None:
+        handle = self._handles.pop(key, None)
+        if handle is not None:
+            handle.cancel()
+
+    def cancel_all(self) -> None:
+        for key in list(self._handles):
+            self.cancel(key)
+
+    def _fire(self, key: str) -> None:
+        self._handles.pop(key, None)
+        if self._host.up:
+            self._on_fire(key)
+
+
+class SimServer:
+    """The file server bound to a simulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        store: FileStore,
+        policy: TermPolicy,
+        config: ServerConfig | None = None,
+        installed: InstalledFileManager | None = None,
+        use_multicast: bool = True,
+        engine_factory: Callable[..., ServerEngine] | None = None,
+    ):
+        self.host = host
+        self.network = network
+        self.store = store
+        self.policy = policy
+        self.config = config or ServerConfig()
+        self.use_multicast = use_multicast
+        #: Builds the protocol engine; baseline protocols (§6) substitute
+        #: their own engines with the same duck interface.
+        self._engine_factory = engine_factory or ServerEngine
+        self._installed_template = installed
+        #: Models the small persistent record of the largest term granted,
+        #: which bounds the post-crash write delay (paper §2).
+        self._persisted_max_term = 0.0
+        self.engine: ServerEngine | None = None
+        self._timers = _TimerBank(host, self._on_timer)
+        host.set_handler(self._on_message)
+        host.on_crash(self._on_crash)
+        host.on_restart(self._on_restart)
+        self._boot(recovery_delay=0.0)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _boot(self, recovery_delay: float) -> None:
+        config = ServerConfig(
+            epsilon=self.config.epsilon,
+            announce_period=self.config.announce_period,
+            announce_grace=self.config.announce_grace,
+            recovery_delay=recovery_delay,
+            sweep_period=self.config.sweep_period,
+        )
+        installed = self._rebuild_installed()
+        self.engine = self._engine_factory(
+            self.host.name,
+            self.store,
+            self.policy,
+            config=config,
+            installed=installed,
+            now=self.host.clock.now(),
+        )
+        self._run_effects(self.engine.startup_effects(self.host.clock.now()))
+
+    def _rebuild_installed(self) -> InstalledFileManager | None:
+        """Re-derive cover membership from persistent file metadata.
+
+        Which files are installed (and their directory grouping) is durable
+        configuration; the announcement bookkeeping is volatile and starts
+        clean — safe, because recovery delays writes past any pre-crash
+        lease.
+        """
+        template = self._installed_template
+        if template is None:
+            return None
+        manager = InstalledFileManager(
+            announce_period=template.announce_period, term=template.term
+        )
+        for cover in template.covers():
+            for datum in template.members(cover):
+                manager.register(cover, datum)
+        return manager
+
+    def _on_crash(self) -> None:
+        if self.engine is not None:
+            self._persisted_max_term = max(
+                self._persisted_max_term, self.engine.table.max_term_granted
+            )
+            if self.engine.installed is not None:
+                self._persisted_max_term = max(
+                    self._persisted_max_term, self.engine.installed.term
+                )
+        self.engine = None
+        self._timers.cancel_all()
+
+    def _on_restart(self) -> None:
+        self._boot(recovery_delay=self._persisted_max_term)
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _on_message(self, payload: Message, src: HostId) -> None:
+        self._run_effects(
+            self.engine.handle_message(payload, src, self.host.clock.now())
+        )
+
+    def _on_timer(self, key: str) -> None:
+        self._run_effects(self.engine.handle_timer(key, self.host.clock.now()))
+
+    def _run_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.network.unicast(
+                    self.host.name, effect.dst, effect.message, kind=effect.message.kind
+                )
+            elif isinstance(effect, Broadcast):
+                if self.use_multicast:
+                    self.network.multisend(
+                        self.host.name,
+                        effect.dsts,
+                        effect.message,
+                        kind=effect.message.kind,
+                    )
+                else:
+                    for dst in effect.dsts:
+                        self.network.unicast(
+                            self.host.name, dst, effect.message, kind=effect.message.kind
+                        )
+            elif isinstance(effect, SetTimer):
+                self._timers.set(effect.key, effect.delay)
+            elif isinstance(effect, CancelTimer):
+                self._timers.cancel(effect.key)
+            else:
+                raise TypeError(f"server cannot execute effect {effect!r}")
+
+
+@dataclass
+class OpResult:
+    """Completion record of one client operation."""
+
+    op_id: int
+    ok: bool
+    value: object
+    error: str | None
+    submitted_at: float
+    completed_at: float
+
+    @property
+    def latency(self) -> float:
+        """Seconds from submission to completion, in simulated time."""
+        return self.completed_at - self.submitted_at
+
+
+class SimClient:
+    """A client cache bound to a simulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        server: HostId,
+        config: ClientConfig | None = None,
+        oracle: ConsistencyOracle | None = None,
+        engine_cls: type[ClientEngine] = ClientEngine,
+    ):
+        self.host = host
+        self.network = network
+        self.server = server
+        self.config = config or ClientConfig()
+        self.oracle = oracle
+        self._engine_cls = engine_cls
+        self.engine: ClientEngine | None = None
+        self.results: dict[int, OpResult] = {}
+        self._submit_times: dict[int, float] = {}
+        self._op_datum: dict[int, DatumId] = {}
+        self._callbacks: dict[int, Callable[[OpResult], None]] = {}
+        self._timers = _TimerBank(host, self._on_timer)
+        self._incarnation = 0
+        host.set_handler(self._on_message)
+        host.on_crash(self._on_crash)
+        host.on_restart(self._on_restart)
+        self._boot()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def _boot(self) -> None:
+        # Each incarnation gets a disjoint id space so pre-crash requests,
+        # operations and write sequence numbers can never collide with
+        # post-restart ones (see ClientEngine's id_base docstring).
+        self._incarnation += 1
+        self.engine = self._engine_cls(
+            self.host.name,
+            self.server,
+            config=self.config,
+            id_base=self._incarnation * 1_000_000,
+        )
+        self._run_effects(self.engine.startup_effects(self.host.clock.now()))
+
+    def _on_crash(self) -> None:
+        """A crash loses every piece of volatile state: cache, leases,
+        pending operations (their results will never arrive)."""
+        self.engine = None
+        self._timers.cancel_all()
+        self._submit_times.clear()
+        self._op_datum.clear()
+        self._callbacks.clear()
+
+    def _on_restart(self) -> None:
+        self._boot()
+
+    # -- application API ----------------------------------------------------------
+
+    def read(
+        self, datum: DatumId, callback: Callable[[OpResult], None] | None = None
+    ) -> int:
+        """Submit a read; returns the op id (result lands in ``results``)."""
+        op_id, effects = self.engine.read(datum, self.host.clock.now())
+        self._register(op_id, datum, callback)
+        self._run_effects(effects)
+        return op_id
+
+    def write(
+        self,
+        datum: DatumId,
+        content: bytes,
+        callback: Callable[[OpResult], None] | None = None,
+    ) -> int:
+        """Submit a write-through; returns the op id."""
+        op_id, effects = self.engine.write(datum, content, self.host.clock.now())
+        self._register(op_id, None, callback)
+        self._run_effects(effects)
+        return op_id
+
+    def relinquish(self, datum: DatumId) -> None:
+        """Voluntarily give up a lease (client option, §4)."""
+        self._run_effects(self.engine.relinquish(datum))
+
+    def namespace_op(
+        self,
+        op_name: str,
+        args: tuple,
+        callback: Callable[[OpResult], None] | None = None,
+    ) -> int:
+        """Submit a namespace mutation; returns the op id."""
+        op_id, effects = self.engine.namespace_op(op_name, args, self.host.clock.now())
+        self._register(op_id, None, callback)
+        self._run_effects(effects)
+        return op_id
+
+    def _register(
+        self,
+        op_id: int,
+        datum: DatumId | None,
+        callback: Callable[[OpResult], None] | None,
+    ) -> None:
+        self._submit_times[op_id] = self.host.kernel.now
+        if datum is not None:
+            self._op_datum[op_id] = datum
+        if callback is not None:
+            self._callbacks[op_id] = callback
+        # The engine may have completed the op synchronously (cache hit);
+        # _run_effects is invoked after registration by the caller, but a
+        # synchronous Complete was already part of the returned effects.
+
+    # -- plumbing ---------------------------------------------------------------------
+
+    def _on_message(self, payload: Message, src: HostId) -> None:
+        self._run_effects(
+            self.engine.handle_message(payload, src, self.host.clock.now())
+        )
+
+    def _on_timer(self, key: str) -> None:
+        self._run_effects(self.engine.handle_timer(key, self.host.clock.now()))
+
+    def _run_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.network.unicast(
+                    self.host.name, effect.dst, effect.message, kind=effect.message.kind
+                )
+            elif isinstance(effect, SetTimer):
+                self._timers.set(effect.key, effect.delay)
+            elif isinstance(effect, CancelTimer):
+                self._timers.cancel(effect.key)
+            elif isinstance(effect, Complete):
+                self._on_complete(effect)
+            else:
+                raise TypeError(f"client cannot execute effect {effect!r}")
+
+    def _on_complete(self, effect: Complete) -> None:
+        now = self.host.kernel.now
+        submitted = self._submit_times.pop(effect.op_id, now)
+        result = OpResult(
+            op_id=effect.op_id,
+            ok=effect.ok,
+            value=effect.value,
+            error=effect.error,
+            submitted_at=submitted,
+            completed_at=now,
+        )
+        self.results[effect.op_id] = result
+        datum = self._op_datum.pop(effect.op_id, None)
+        if effect.ok and datum is not None and self.oracle is not None:
+            version, _payload = effect.value
+            self.oracle.check_read(
+                self.host.name, datum, version, submitted, now
+            )
+        callback = self._callbacks.pop(effect.op_id, None)
+        if callback is not None:
+            callback(result)
+
+
+@dataclass
+class Cluster:
+    """A fully wired simulated world."""
+
+    kernel: Kernel
+    network: Network
+    server: SimServer
+    clients: list[SimClient]
+    store: FileStore
+    oracle: ConsistencyOracle
+    faults: FaultInjector = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.faults = FaultInjector(self.network)
+
+    def client(self, index: int) -> SimClient:
+        """The index-th client (``c<index>``)."""
+        return self.clients[index]
+
+    def run(self, until: float | None = None) -> None:
+        """Advance the simulation."""
+        self.kernel.run(until=until)
+
+    def run_until_complete(self, client: SimClient, op_id: int, limit: float = 300.0) -> OpResult:
+        """Step the kernel until the given operation completes.
+
+        Raises:
+            TimeoutError: the op did not finish within ``limit`` virtual
+                seconds (e.g. blocked behind an infinite lease).
+        """
+        deadline = self.kernel.now + limit
+        while op_id not in client.results:
+            if self.kernel.now > deadline or not self.kernel.step():
+                if op_id in client.results:
+                    break
+                raise TimeoutError(
+                    f"op {op_id} on {client.host.name} incomplete at t={self.kernel.now:.3f}"
+                )
+        return client.results[op_id]
+
+
+def build_cluster(
+    n_clients: int = 2,
+    policy: TermPolicy | None = None,
+    network_params: NetworkParams | None = None,
+    client_config: ClientConfig | None = None,
+    server_config: ServerConfig | None = None,
+    installed: InstalledFileManager | None = None,
+    use_multicast: bool = True,
+    seed: int = 0,
+    strict_oracle: bool = True,
+    setup_store: Callable[[FileStore], None] | None = None,
+    client_clock_params: Callable[[int], tuple[float, float]] | None = None,
+    server_clock_params: tuple[float, float] = (0.0, 0.0),
+    server_engine_factory: Callable[..., ServerEngine] | None = None,
+) -> Cluster:
+    """Assemble a simulated cluster.
+
+    Args:
+        n_clients: number of client hosts (named ``c0 .. c{n-1}``).
+        policy: server term policy (default: fixed 10 s — the paper's pick).
+        network_params: message timing (default: the V parameter set).
+        installed: optional installed-files manager (register datums on it
+            after the store is set up, or pass a preconfigured one).
+        use_multicast: False fans approvals/announcements out as unicasts
+            (the paper's footnote-6 ablation).
+        strict_oracle: raise on the first stale read (set False in clock-
+            failure experiments that *expect* violations).
+        setup_store: callback to populate the store before clients start.
+        client_clock_params: maps client index to (offset, drift).
+        server_clock_params: (offset, drift) of the server clock.
+    """
+    kernel = Kernel(seed=seed)
+    network = Network(kernel, network_params or NetworkParams())
+    store = FileStore()
+    if setup_store is not None:
+        setup_store(store)
+    oracle = ConsistencyOracle(kernel, store, strict=strict_oracle)
+
+    offset, drift = server_clock_params
+    server_host = Host("server", kernel, clock_offset=offset, clock_drift=drift)
+    network.attach(server_host)
+    server = SimServer(
+        server_host,
+        network,
+        store,
+        policy or FixedTermPolicy(10.0),
+        config=server_config,
+        installed=installed,
+        use_multicast=use_multicast,
+        engine_factory=server_engine_factory,
+    )
+
+    clients = []
+    for i in range(n_clients):
+        offset, drift = (0.0, 0.0)
+        if client_clock_params is not None:
+            offset, drift = client_clock_params(i)
+        host = Host(f"c{i}", kernel, clock_offset=offset, clock_drift=drift)
+        network.attach(host)
+        clients.append(
+            SimClient(host, network, "server", config=client_config, oracle=oracle)
+        )
+    return Cluster(kernel=kernel, network=network, server=server, clients=clients, store=store, oracle=oracle)
+
+
+def install_tree(
+    store: FileStore,
+    installed: InstalledFileManager,
+    directory: str,
+    files: dict[str, bytes],
+) -> dict[str, DatumId]:
+    """Create ``directory`` full of installed files under one cover lease.
+
+    Intermediate directories are created as needed.
+
+    Returns a mapping from path to file datum.
+    """
+    parts = [p for p in directory.split("/") if p]
+    for depth in range(1, len(parts) + 1):
+        prefix = "/" + "/".join(parts[:depth])
+        try:
+            store.namespace.resolve_dir(prefix)
+        except Exception:
+            store.namespace.mkdir(prefix)
+    cover = f"cover:{directory}"
+    datums = {}
+    for name, content in files.items():
+        path = f"{directory}/{name}"
+        record = store.create_file(path, content, file_class=FileClass.INSTALLED)
+        datum = DatumId.file(record.file_id)
+        installed.register(cover, datum)
+        datums[path] = datum
+    return datums

@@ -1,0 +1,140 @@
+"""Fault injection for the simulated network and hosts.
+
+The paper's fault model (§5) is non-Byzantine: hosts crash (losing volatile
+state), messages are lost, and the network may partition.  Clock faults are
+injected separately through host clock parameters.  This module provides
+composable injectors for all of these, plus schedule helpers so experiments
+can script fault windows declaratively.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network
+from repro.types import HostId
+
+
+class Partition:
+    """A two-sided network partition.
+
+    While active, no message crosses between ``side_a`` and ``side_b`` in
+    either direction.  Hosts in neither side are unaffected.
+    """
+
+    def __init__(self, side_a: Iterable[HostId], side_b: Iterable[HostId]):
+        self.side_a = frozenset(side_a)
+        self.side_b = frozenset(side_b)
+        if self.side_a & self.side_b:
+            raise ValueError("partition sides overlap")
+        self.active = False
+
+    def __call__(self, src: HostId, dst: HostId) -> bool:
+        """Link filter: False blocks the delivery."""
+        if not self.active:
+            return True
+        crosses = (src in self.side_a and dst in self.side_b) or (
+            src in self.side_b and dst in self.side_a
+        )
+        return not crosses
+
+
+class FaultInjector:
+    """Schedules faults against a network on its kernel's virtual clock."""
+
+    def __init__(self, network: Network):
+        self.network = network
+        self.kernel: Kernel = network.kernel
+
+    # -- partitions -------------------------------------------------------------
+
+    def partition(
+        self, side_a: Iterable[HostId], side_b: Iterable[HostId]
+    ) -> Partition:
+        """Start a partition immediately; returns the handle to heal it."""
+        part = Partition(side_a, side_b)
+        part.active = True
+        self.network.add_link_filter(part)
+        return part
+
+    def heal(self, part: Partition) -> None:
+        """End a partition."""
+        part.active = False
+        self.network.remove_link_filter(part)
+
+    def partition_window(
+        self,
+        side_a: Iterable[HostId],
+        side_b: Iterable[HostId],
+        start: float,
+        duration: float,
+    ) -> Partition:
+        """Schedule a partition over ``[start, start + duration)``."""
+        part = Partition(side_a, side_b)
+
+        def _start() -> None:
+            part.active = True
+            self.network.add_link_filter(part)
+
+        def _stop() -> None:
+            self.heal(part)
+
+        self.kernel.schedule_at(start, _start)
+        self.kernel.schedule_at(start + duration, _stop)
+        return part
+
+    # -- crashes ------------------------------------------------------------------
+
+    def crash_at(self, host: HostId, time: float) -> None:
+        """Schedule a crash of ``host`` at virtual time ``time``."""
+        self.kernel.schedule_at(time, self.network.hosts[host].crash)
+
+    def restart_at(self, host: HostId, time: float) -> None:
+        """Schedule a restart of ``host`` at virtual time ``time``."""
+        self.kernel.schedule_at(time, self.network.hosts[host].restart)
+
+    def crash_window(self, host: HostId, start: float, duration: float) -> None:
+        """Crash ``host`` at ``start`` and restart it ``duration`` later."""
+        self.crash_at(host, start)
+        self.restart_at(host, start + duration)
+
+    # -- message loss ----------------------------------------------------------------
+
+    def isolate_host(self, host: HostId) -> Partition:
+        """Cut one host off from everyone else (a one-host partition)."""
+        others = [h for h in self.network.hosts if h != host]
+        return self.partition([host], others)
+
+    # -- clock faults (paper §5) ---------------------------------------------------------
+
+    def step_clock_at(self, host: HostId, time: float, delta: float) -> None:
+        """Schedule a one-time clock step on ``host`` at virtual ``time``.
+
+        A negative delta ("advancing too slowly") on a client, or a
+        positive one on a server, is one of the §5 failure modes that can
+        break consistency; the opposite directions only cost traffic.
+        """
+        clock = self.network.hosts[host].clock
+
+        def step() -> None:
+            clock.offset += delta
+
+        self.kernel.schedule_at(time, step)
+
+    def set_drift_at(self, host: HostId, time: float, drift: float) -> None:
+        """Schedule a rate-error change on ``host``'s clock at ``time``.
+
+        The local reading stays continuous across the change (the offset
+        is adjusted so only the *rate* jumps) — modeling a crystal going
+        bad, not a step.
+        """
+        host_obj = self.network.hosts[host]
+
+        def change() -> None:
+            clock = host_obj.clock
+            current = clock.now()
+            clock.drift = drift
+            clock.offset = current - (1.0 + drift) * self.kernel.now
+
+        self.kernel.schedule_at(time, change)

@@ -1,0 +1,101 @@
+"""Path-based file API for the discrete-event simulator.
+
+The mirror of :mod:`repro.runtime.pathapi` for simulated clusters: resolve
+paths by reading (leased, cached) directory datums, then operate on the
+file datum.  Each call steps the kernel until its operations complete, so
+the API is synchronous from the caller's perspective — convenient for
+examples and scenario tests.
+"""
+
+from __future__ import annotations
+
+from repro.errors import NoSuchFileError, NotADirectoryError_, ReproError
+from repro.sim.driver import Cluster, SimClient
+from repro.storage.namespace import Namespace, split_path
+from repro.types import DatumId
+
+
+class SimPathClient:
+    """A path-first facade over one simulated client.
+
+    All methods advance simulated time as needed (bounded by ``limit``
+    seconds per operation) and raise on failure.
+    """
+
+    def __init__(self, cluster: Cluster, client: SimClient, limit: float = 120.0):
+        self.cluster = cluster
+        self.client = client
+        self.limit = limit
+
+    # -- plumbing ---------------------------------------------------------------
+
+    def _complete(self, op_id: int):
+        result = self.cluster.run_until_complete(self.client, op_id, limit=self.limit)
+        if not result.ok:
+            raise ReproError(result.error or "operation failed")
+        return result
+
+    def _read_datum(self, datum: DatumId):
+        return self._complete(self.client.read(datum)).value
+
+    # -- resolution ------------------------------------------------------------------
+
+    def resolve(self, path: str) -> DatumId:
+        """Resolve a path to its datum, walking leased directory datums.
+
+        Raises:
+            NoSuchFileError: a component is missing.
+            NotADirectoryError_: a non-final component is a plain file.
+        """
+        parts = split_path(path)
+        dir_id = Namespace.ROOT_ID
+        for depth, name in enumerate(parts):
+            _version, entries = self._read_datum(DatumId.directory(dir_id))
+            match = next((e for e in entries if e[0] == name), None)
+            if match is None:
+                raise NoSuchFileError(path)
+            _name, target, is_dir, _mode = match
+            if depth == len(parts) - 1:
+                return DatumId.directory(target) if is_dir else DatumId.file(target)
+            if not is_dir:
+                raise NotADirectoryError_(f"{path!r}: {name!r} is a file")
+            dir_id = target
+        return DatumId.directory(dir_id)
+
+    # -- operations --------------------------------------------------------------------
+
+    def read_file(self, path: str) -> tuple[int, bytes]:
+        """Open-and-read by path; returns (version, contents)."""
+        return self._read_datum(self.resolve(path))
+
+    def write_file(self, path: str, content: bytes) -> int:
+        """Write-through by path; returns the committed version."""
+        datum = self.resolve(path)
+        return self._complete(self.client.write(datum, content)).value
+
+    def list_dir(self, path: str) -> list[tuple]:
+        """Directory entries as (name, target, is_dir, mode) tuples."""
+        _version, entries = self._read_datum(self.resolve(path))
+        return list(entries)
+
+    def create_file(self, path: str, content: bytes = b"") -> str:
+        """Create a file; returns its file id."""
+        return self._complete(
+            self.client.namespace_op("bind", (path, content, "normal"))
+        ).value
+
+    def mkdir(self, path: str) -> str:
+        """Create a directory; returns its dir id."""
+        return self._complete(self.client.namespace_op("mkdir", (path,))).value
+
+    def unlink(self, path: str) -> None:
+        """Remove a file or empty directory."""
+        self._complete(self.client.namespace_op("unbind", (path,)))
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename/move a binding."""
+        self._complete(self.client.namespace_op("rename", (old, new)))
+
+    def write_temp(self, path: str, content: bytes) -> None:
+        """Write a client-local temporary file (never reaches the server)."""
+        self.client.engine.write_temp(path, content)

@@ -1,0 +1,105 @@
+"""Simulated hosts.
+
+A host owns a local clock, a serialized CPU (one ``m_proc`` per message, in
+arrival order — this is what makes the paper's multicast-approval time
+``2*m_prop + (n+3)*m_proc`` come out of the simulation exactly), and
+crash/restart state.  Crashing a host loses its volatile state: the network
+drops anything addressed to it, and listeners (protocol drivers) are told to
+reset their in-memory structures.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.clock.sim import SimClock
+from repro.errors import HostDownError
+from repro.sim.kernel import Kernel
+from repro.types import HostId
+
+#: Signature of a message handler: ``handler(payload, src)``.
+MessageHandler = Callable[[Any, HostId], None]
+
+
+class Host:
+    """One machine in the simulated distributed system."""
+
+    def __init__(
+        self,
+        name: HostId,
+        kernel: Kernel,
+        clock_offset: float = 0.0,
+        clock_drift: float = 0.0,
+    ):
+        self.name = name
+        self.kernel = kernel
+        self.clock = SimClock(kernel, offset=clock_offset, drift=clock_drift)
+        self.up = True
+        self._cpu_free_at = 0.0
+        self._handler: MessageHandler | None = None
+        self._crash_listeners: list[Callable[[], None]] = []
+        self._restart_listeners: list[Callable[[], None]] = []
+
+    # -- message handling ---------------------------------------------------
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the function invoked for each delivered message."""
+        self._handler = handler
+
+    def deliver(self, payload: Any, src: HostId) -> None:
+        """Called by the network once receive-side processing completes."""
+        if not self.up:
+            return  # message silently lost at a crashed host
+        if self._handler is None:
+            raise HostDownError(f"host {self.name!r} has no message handler")
+        self._handler(payload, src)
+
+    # -- CPU occupancy -------------------------------------------------------
+
+    def occupy_cpu(self, duration: float) -> float:
+        """Reserve the CPU for ``duration`` seconds; returns completion time.
+
+        Requests are serialized: if the CPU is busy, the reservation starts
+        when the previous one finishes.  Used by the network for send- and
+        receive-side message processing.
+        """
+        start = max(self.kernel.now, self._cpu_free_at)
+        self._cpu_free_at = start + duration
+        return self._cpu_free_at
+
+    # -- failure model --------------------------------------------------------
+
+    def on_crash(self, listener: Callable[[], None]) -> None:
+        """Register a callback run when the host crashes."""
+        self._crash_listeners.append(listener)
+
+    def on_restart(self, listener: Callable[[], None]) -> None:
+        """Register a callback run when the host restarts."""
+        self._restart_listeners.append(listener)
+
+    def crash(self) -> None:
+        """Take the host down, losing volatile state.
+
+        In-flight messages to this host are dropped on delivery; handlers
+        are notified so they can discard in-memory protocol state (a real
+        crash forgets leases held, pending operations, cached data).
+        """
+        if not self.up:
+            return
+        self.up = False
+        self._cpu_free_at = self.kernel.now
+        for listener in self._crash_listeners:
+            listener()
+
+    def restart(self) -> None:
+        """Bring a crashed host back up (volatile state already lost)."""
+        if self.up:
+            return
+        self.up = True
+        self._cpu_free_at = self.kernel.now
+        for listener in self._restart_listeners:
+            listener()
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Host({self.name!r}, {state}, t={self.kernel.now:.3f})"

@@ -1,0 +1,131 @@
+"""The consistency oracle.
+
+"By consistent, we mean that the behavior is equivalent to there being only
+a single (uncached) copy of the data except for the performance benefit of
+the cache" (paper §1).  For a versioned register this is linearizability:
+every read that returns version ``v`` must overlap an interval of real time
+in which ``v`` was the committed version.
+
+The oracle subscribes to the store's commit hooks to build the
+authoritative version history on the *kernel* (real) clock, and checks
+every completed client read against it.  In a correctly configured system
+no violation can occur despite crashes, partitions and message loss (§5);
+the clock-failure experiments deliberately provoke violations to reproduce
+the paper's failure analysis.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.errors import ConsistencyViolationError
+from repro.sim.kernel import Kernel
+from repro.storage.store import FileStore
+from repro.types import DatumId, HostId, Version
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed stale read."""
+
+    client: HostId
+    datum: DatumId
+    returned_version: Version
+    invoked_at: float
+    completed_at: float
+    legal_versions: tuple[Version, ...]
+
+    def __str__(self) -> str:
+        return (
+            f"stale read by {self.client} of {self.datum}: returned "
+            f"v{self.returned_version} over [{self.invoked_at:.6f}, "
+            f"{self.completed_at:.6f}] but legal versions were "
+            f"{list(self.legal_versions)}"
+        )
+
+
+class ConsistencyOracle:
+    """Checks single-copy equivalence of every read."""
+
+    def __init__(self, kernel: Kernel, store: FileStore, strict: bool = True):
+        self.kernel = kernel
+        self.strict = strict
+        self.violations: list[Violation] = []
+        self.reads_checked = 0
+        #: datum -> parallel lists of (commit kernel-times, versions).
+        self._times: dict[DatumId, list[float]] = {}
+        self._versions: dict[DatumId, list[Version]] = {}
+        store.on_commit = self._record_file_commit
+        store.namespace.on_change = self._record_dir_commit
+        self._snapshot(store)
+
+    def _snapshot(self, store: FileStore) -> None:
+        """Record versions that existed before the oracle was attached."""
+        for dir_id, record in store.namespace._dirs.items():
+            self._append(DatumId.directory(dir_id), record.version)
+        for file_id, record in store._files.items():
+            self._append(DatumId.file(file_id), record.version)
+
+    # -- history hooks ----------------------------------------------------------
+
+    def _record_file_commit(self, datum: DatumId, version: Version) -> None:
+        self._append(datum, version)
+
+    def _record_dir_commit(self, dir_id: str, version: Version) -> None:
+        self._append(DatumId.directory(dir_id), version)
+
+    def _append(self, datum: DatumId, version: Version) -> None:
+        self._times.setdefault(datum, []).append(self.kernel.now)
+        self._versions.setdefault(datum, []).append(version)
+
+    # -- checking -------------------------------------------------------------------
+
+    def legal_versions(self, datum: DatumId, start: float, end: float) -> tuple[Version, ...]:
+        """Versions current at some instant in ``[start, end]``.
+
+        Version ``v_i`` (committed at ``t_i``, superseded at ``t_{i+1}``) is
+        legal iff ``t_i <= end`` and (``v_i`` is last or ``t_{i+1} > start``).
+        """
+        times = self._times.get(datum, [])
+        versions = self._versions.get(datum, [])
+        if not times:
+            return ()
+        first = max(0, bisect_right(times, start) - 1)
+        last = bisect_right(times, end)
+        return tuple(versions[first:last])
+
+    def check_read(
+        self,
+        client: HostId,
+        datum: DatumId,
+        returned_version: Version,
+        invoked_at: float,
+        completed_at: float,
+    ) -> None:
+        """Validate one completed read.
+
+        Raises:
+            ConsistencyViolationError: in strict mode, when the returned
+                version was never current during the read's interval.
+        """
+        self.reads_checked += 1
+        legal = self.legal_versions(datum, invoked_at, completed_at)
+        if returned_version in legal:
+            return
+        violation = Violation(
+            client=client,
+            datum=datum,
+            returned_version=returned_version,
+            invoked_at=invoked_at,
+            completed_at=completed_at,
+            legal_versions=legal,
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise ConsistencyViolationError(str(violation))
+
+    @property
+    def clean(self) -> bool:
+        """True when no stale read has been observed."""
+        return not self.violations

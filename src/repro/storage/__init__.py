@@ -1,0 +1,18 @@
+"""The file-store substrate (a V-like file service).
+
+The server's primary storage: versioned file contents plus a hierarchical
+namespace whose name-to-file bindings and permission information are
+themselves lease-coverable datums (the paper notes a repeated ``open``
+needs the binding and permissions cached too, and that a rename constitutes
+a write to that information).
+
+Files are durable across server crashes — the paper's recovery argument
+assumes "writes are persistent at the server across a crash" — while lease
+state is volatile and must be covered by the recovery delay.
+"""
+
+from repro.storage.file import FileData
+from repro.storage.namespace import Namespace
+from repro.storage.store import FileStore
+
+__all__ = ["FileData", "Namespace", "FileStore"]

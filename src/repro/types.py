@@ -1,0 +1,66 @@
+"""Shared identifier and type definitions.
+
+The protocol is generic over *datums*: a datum is either the contents of a
+file or the naming/permission information of a directory (the paper notes
+that a repeated ``open`` needs a lease over the name-to-file binding as well
+as over the file contents).  A :class:`DatumId` names one such unit of
+cacheable, lease-coverable state.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import NamedTuple
+
+#: Identifies a host (client or server) in either the simulator or the
+#: asyncio runtime.  Host ids are plain strings such as ``"client-3"``.
+HostId = str
+
+#: Monotonically increasing version number of a datum; bumped by each commit.
+Version = int
+
+
+class DatumKind(enum.Enum):
+    """What kind of state a datum names."""
+
+    FILE = "file"
+    DIRECTORY = "dir"
+
+
+class DatumId(NamedTuple):
+    """A unit of lease-coverable state: file contents or directory metadata."""
+
+    kind: DatumKind
+    ident: str
+
+    def __str__(self) -> str:
+        return f"{self.kind.value}:{self.ident}"
+
+    @classmethod
+    def file(cls, ident: str) -> "DatumId":
+        """Name the contents of file ``ident``."""
+        return cls(DatumKind.FILE, ident)
+
+    @classmethod
+    def directory(cls, ident: str) -> "DatumId":
+        """Name the bindings/permissions of directory ``ident``."""
+        return cls(DatumKind.DIRECTORY, ident)
+
+
+class FileClass(enum.Enum):
+    """Access-characteristic classes of files (paper §4).
+
+    * ``NORMAL`` — ordinary user files.
+    * ``INSTALLED`` — commands, headers, libraries: widely shared, heavily
+      read, almost never written; eligible for the multicast-extension
+      optimization.
+    * ``TEMPORARY`` — temp files handled entirely by the client cache and
+      never written through (the V design; §2 and §3.2).
+    * ``WRITE_SHARED`` — heavily write-shared files, for which the server
+      should use a zero lease term.
+    """
+
+    NORMAL = "normal"
+    INSTALLED = "installed"
+    TEMPORARY = "temporary"
+    WRITE_SHARED = "write-shared"

@@ -1,0 +1,97 @@
+"""Generate and inspect workload traces from the command line.
+
+Usage::
+
+    python -m repro.workload v --duration 3600 --out trace.txt
+    python -m repro.workload poisson --clients 8 --sharing 2 --out p.txt
+    python -m repro.workload unix --duration 1800 --out u.txt
+    python -m repro.workload stats trace.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.workload.events import load_trace, save_trace, trace_stats
+from repro.workload.poisson import PoissonWorkload
+from repro.workload.unixtrace import UnixTraceConfig, generate_unix_trace
+from repro.workload.vtrace import VTraceConfig, generate_v_trace
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.workload", description="Generate or inspect workload traces."
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, helptext in (
+        ("v", "synthetic V compile trace (Table 2 calibration)"),
+        ("unix", "Unix block-level variant of the V trace"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        p.add_argument("--duration", type=float, default=3600.0)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--out", default="-", help="output file ('-' = stdout)")
+
+    p = sub.add_parser("poisson", help="the analytic model's Poisson workload")
+    p.add_argument("--clients", type=int, default=20)
+    p.add_argument("--sharing", type=int, default=1)
+    p.add_argument("--read-rate", type=float, default=0.864)
+    p.add_argument("--write-rate", type=float, default=0.040)
+    p.add_argument("--duration", type=float, default=600.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="-")
+
+    p = sub.add_parser("stats", help="measure a saved trace (the Table 2 view)")
+    p.add_argument("path")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "stats":
+        with open(args.path) as fp:
+            stats = trace_stats(load_trace(fp))
+        print(f"duration:           {stats.duration:.1f} s")
+        print(f"reads:              {stats.n_reads} ({stats.read_rate:.3f}/s)")
+        print(f"writes:             {stats.n_writes} ({stats.write_rate:.4f}/s)")
+        print(f"read/write ratio:   {stats.read_write_ratio:.1f}")
+        print(f"temp ops (local):   {stats.n_temp_ops}")
+        print(f"installed reads:    {stats.installed_read_fraction:.1%}")
+        print(f"installed writes:   {stats.installed_write_count}")
+        return 0
+
+    if args.command == "v":
+        records = generate_v_trace(VTraceConfig(duration=args.duration, seed=args.seed))
+    elif args.command == "unix":
+        records = generate_unix_trace(
+            UnixTraceConfig(
+                base=VTraceConfig(duration=args.duration, seed=args.seed),
+                seed=args.seed,
+            )
+        )
+    else:
+        records = PoissonWorkload(
+            n_clients=args.clients,
+            sharing=args.sharing,
+            read_rate=args.read_rate,
+            write_rate=args.write_rate,
+            duration=args.duration,
+            seed=args.seed,
+        ).generate()
+
+    if args.out == "-":
+        try:
+            save_trace(records, sys.stdout)
+        except BrokenPipeError:
+            return 0  # downstream pipe (e.g. head) closed early; not an error
+    else:
+        with open(args.out, "w") as fp:
+            save_trace(records, fp)
+        print(f"wrote {len(records)} records to {args.out}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

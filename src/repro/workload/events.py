@@ -1,0 +1,110 @@
+"""Trace records.
+
+A trace is a time-ordered sequence of logical file operations as seen by
+the cache — the paper's unit of measurement ("read and write measurements
+correspond to when a file is opened for reading or closed (committed) with
+writing", §3.2).  Temporary-file operations are tagged so the replay can
+keep them client-local, exactly as the V cache does.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from statistics import mean
+
+from repro.types import FileClass
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One logical operation.
+
+    Attributes:
+        time: seconds from trace start.
+        client: issuing cache (``"c0"`` in single-client traces).
+        op: ``"read"`` or ``"write"`` (open-for-read / close-with-write).
+        path: the file's path; doubles as the datum key in replays.
+        file_class: drives installed/temporary special handling.
+    """
+
+    time: float
+    client: str
+    op: str
+    path: str
+    file_class: FileClass = FileClass.NORMAL
+
+    def __post_init__(self) -> None:
+        if self.op not in ("read", "write"):
+            raise ValueError(f"bad op {self.op!r}")
+
+
+def save_trace(records: list[TraceRecord], fp: io.TextIOBase) -> None:
+    """Write a trace in a simple whitespace-delimited text format."""
+    for r in records:
+        fp.write(f"{r.time:.6f} {r.client} {r.op} {r.path} {r.file_class.value}\n")
+
+
+def load_trace(fp: io.TextIOBase) -> list[TraceRecord]:
+    """Read a trace written by :func:`save_trace`."""
+    records = []
+    for line in fp:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        time_s, client, op, path, class_s = line.split()
+        records.append(
+            TraceRecord(float(time_s), client, op, path, FileClass(class_s))
+        )
+    return records
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a trace (the Table 2 measurements)."""
+
+    duration: float
+    n_reads: int
+    n_writes: int
+    n_temp_ops: int
+    read_rate: float
+    write_rate: float
+    installed_read_fraction: float
+    installed_write_count: int
+    mean_interarrival: float
+
+    @property
+    def read_write_ratio(self) -> float:
+        """R/W — the paper's headline workload characteristic."""
+        return self.read_rate / self.write_rate if self.write_rate else float("inf")
+
+
+def trace_stats(records: list[TraceRecord]) -> TraceStats:
+    """Measure a trace the way Table 2 measures the V trace.
+
+    Temporary-file operations are excluded from the read/write rates —
+    the V cache handles them locally, so they never reach the server.
+    """
+    if not records:
+        raise ValueError("empty trace")
+    duration = records[-1].time - records[0].time
+    if duration <= 0:
+        raise ValueError("trace must span positive time")
+    served = [r for r in records if r.file_class is not FileClass.TEMPORARY]
+    reads = [r for r in served if r.op == "read"]
+    writes = [r for r in served if r.op == "write"]
+    installed_reads = [r for r in reads if r.file_class is FileClass.INSTALLED]
+    installed_writes = [r for r in writes if r.file_class is FileClass.INSTALLED]
+    times = sorted(r.time for r in served)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    return TraceStats(
+        duration=duration,
+        n_reads=len(reads),
+        n_writes=len(writes),
+        n_temp_ops=len(records) - len(served),
+        read_rate=len(reads) / duration,
+        write_rate=len(writes) / duration,
+        installed_read_fraction=len(installed_reads) / len(reads) if reads else 0.0,
+        installed_write_count=len(installed_writes),
+        mean_interarrival=mean(gaps) if gaps else 0.0,
+    )

@@ -1,0 +1,101 @@
+"""The analytic model's workload, §3.1.
+
+"The server has one file and N clients for that file, where each client's
+reads and writes follow Poisson distributions with rates R and W ...  The
+file is shared by S of the caches at each point it is written."
+
+:class:`PoissonWorkload` generalizes slightly: clients are partitioned
+into sharing groups of size S, each group sharing one file, and every
+client reads its group's file at rate R and writes it at rate W.  With
+S = 1 this is N independent clients on N private files — the
+configuration whose simulation validates the model in Figure 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.types import FileClass
+from repro.workload.events import TraceRecord
+
+
+@dataclass(frozen=True)
+class SharingGroup:
+    """One shared file and the clients using it."""
+
+    path: str
+    clients: tuple[str, ...]
+
+
+@dataclass
+class PoissonWorkload:
+    """Generator for the model workload.
+
+    Attributes:
+        n_clients: N.
+        read_rate: R (per client, per second).
+        write_rate: W (per client, per second).
+        sharing: S — group size (must divide n_clients).
+        duration: trace length in seconds.
+        seed: RNG seed (independent of any simulator seed).
+    """
+
+    n_clients: int = 20
+    read_rate: float = 0.864
+    write_rate: float = 0.040
+    sharing: int = 1
+    duration: float = 600.0
+    seed: int = 0
+    groups: list[SharingGroup] = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.n_clients % self.sharing != 0:
+            raise ValueError(
+                f"sharing {self.sharing} must divide n_clients {self.n_clients}"
+            )
+        self.groups = []
+        for g in range(self.n_clients // self.sharing):
+            clients = tuple(
+                f"c{g * self.sharing + k}" for k in range(self.sharing)
+            )
+            self.groups.append(SharingGroup(path=f"/shared/g{g}", clients=clients))
+
+    def client_group(self, client: str) -> SharingGroup:
+        """The group (and file) a client belongs to."""
+        for group in self.groups:
+            if client in group.clients:
+                return group
+        raise KeyError(client)
+
+    def generate(self) -> list[TraceRecord]:
+        """Produce the merged, time-ordered trace."""
+        rng = random.Random(self.seed)
+        records: list[TraceRecord] = []
+        for group in self.groups:
+            for client in group.clients:
+                records.extend(
+                    self._stream(rng, client, group.path, "read", self.read_rate)
+                )
+                records.extend(
+                    self._stream(rng, client, group.path, "write", self.write_rate)
+                )
+        records.sort(key=lambda r: (r.time, r.client, r.op))
+        return records
+
+    def _stream(
+        self,
+        rng: random.Random,
+        client: str,
+        path: str,
+        op: str,
+        rate: float,
+    ) -> list[TraceRecord]:
+        if rate <= 0:
+            return []
+        out = []
+        t = rng.expovariate(rate)
+        while t < self.duration:
+            out.append(TraceRecord(t, client, op, path, FileClass.NORMAL))
+            t += rng.expovariate(rate)
+        return out

@@ -1,0 +1,115 @@
+"""Tests for the §3.1 multi-file / batched-extension analysis."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analytic.model import (
+    alpha,
+    batched_combination,
+    batched_load,
+    multi_file_load,
+    server_consistency_load,
+)
+from repro.analytic.params import SystemParams, v_params
+
+
+def files(n, read_rate=0.2, write_rate=0.01, sharing=1):
+    return [
+        v_params(sharing, read_rate=read_rate, write_rate=write_rate)
+        for _ in range(n)
+    ]
+
+
+class TestCombination:
+    def test_rates_sum(self):
+        combined = batched_combination(files(4, read_rate=0.2, write_rate=0.01))
+        assert combined.read_rate == pytest.approx(0.8)
+        assert combined.write_rate == pytest.approx(0.04)
+
+    def test_sharing_is_write_weighted(self):
+        a = v_params(2, write_rate=0.01)
+        b = v_params(10, write_rate=0.03)
+        combined = batched_combination([a, b])
+        assert combined.sharing == round((2 * 0.01 + 10 * 0.03) / 0.04)
+
+    def test_no_writes_sharing_one(self):
+        combined = batched_combination(files(3, write_rate=0.0))
+        assert combined.sharing == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            batched_combination([])
+
+    def test_mismatched_timing_rejected(self):
+        a = v_params(1)
+        b = v_params(1, m_prop=1.0)
+        with pytest.raises(ValueError):
+            batched_combination([a, b])
+
+
+class TestLoads:
+    def test_multi_file_load_sums(self):
+        params_list = files(5)
+        assert multi_file_load(params_list, 10.0) == pytest.approx(
+            5 * server_consistency_load(params_list[0], 10.0)
+        )
+
+    def test_batching_beats_per_file(self):
+        """The §3.1 claim: batching amortizes over the total read rate,
+        so the same term buys a larger reduction."""
+        params_list = files(10)
+        assert batched_load(params_list, 10.0) < multi_file_load(params_list, 10.0)
+
+    def test_batching_covers_read_only_files_raising_alpha(self):
+        """'the higher absolute rate of reads increases alpha, and so the
+        benefit is greater': covering read-mostly files adds R without W."""
+        write_shared = v_params(4, read_rate=0.2, write_rate=0.02)
+        read_only = [v_params(1, read_rate=0.2, write_rate=0.0) for _ in range(5)]
+        combined = batched_combination([write_shared] + read_only)
+        assert alpha(combined) > alpha(write_shared)
+
+    def test_batching_shrinks_break_even_term(self):
+        """With identical files alpha is unchanged but the break-even term
+        drops with the combined read rate: the knee comes sooner."""
+        from repro.analytic.model import break_even_term
+
+        params_list = files(10, sharing=4, write_rate=0.02)
+        combined = batched_combination(params_list)
+        assert alpha(combined) == pytest.approx(alpha(params_list[0]))
+        assert break_even_term(combined) < break_even_term(params_list[0]) / 5
+
+    def test_equal_at_zero_term(self):
+        params_list = files(4)
+        assert batched_load(params_list, 0.0) == pytest.approx(
+            multi_file_load(params_list, 0.0)
+        )
+
+    def test_equal_for_single_file(self):
+        params_list = files(1)
+        for term in (0.0, 5.0, 30.0, math.inf):
+            assert batched_load(params_list, term) == pytest.approx(
+                multi_file_load(params_list, term)
+            )
+
+    def test_matches_tracesim_batching_direction(self):
+        """The analytic batching gain and the trace-replay batching gain
+        point the same way (the A-BATCH ablation's model-side view)."""
+        params_list = files(12, read_rate=0.072)  # total 0.864
+        analytic_gain = multi_file_load(params_list, 10.0) / batched_load(
+            params_list, 10.0
+        )
+        assert analytic_gain > 2.0
+
+    @given(
+        n=st.integers(1, 8),
+        term=st.floats(0.5, 60.0),
+        read_rate=st.floats(0.01, 2.0),
+    )
+    def test_batched_never_exceeds_per_file(self, n, term, read_rate):
+        params_list = files(n, read_rate=read_rate)
+        assert batched_load(params_list, term) <= multi_file_load(
+            params_list, term
+        ) * (1 + 1e-9)

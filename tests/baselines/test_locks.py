@@ -1,0 +1,84 @@
+"""Tests for the DFS breakable-locks baseline."""
+
+import pytest
+
+from repro.baselines import make_dfs_lock_cluster
+from repro.storage.store import FileStore
+
+
+def setup_store(store: FileStore) -> None:
+    store.create_file("/shared.txt", b"v1")
+
+
+def make(min_time=2.0, hold_time=10.0, n_clients=2):
+    return make_dfs_lock_cluster(
+        min_time=min_time,
+        hold_time=hold_time,
+        n_clients=n_clients,
+        setup_store=setup_store,
+    )
+
+
+class TestBreakableLocks:
+    def test_write_waits_only_min_time(self):
+        """The server honors the lock only until its minimum timeout."""
+        cluster = make(min_time=2.0, hold_time=10.0)
+        datum = cluster.store.file_datum("/shared.txt")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        # a is reachable but per DFS it is not asked: actually the server
+        # *does* callback live holders here; isolate a so only the timeout
+        # path remains (the paper's unreliable-notification case).
+        cluster.faults.isolate_host("c0")
+        w = cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+        assert w.latency < 2.5  # min_time, not hold_time
+
+    def test_trusting_client_reads_stale_after_break(self):
+        cluster = make(min_time=2.0, hold_time=10.0)
+        datum = cluster.store.file_datum("/shared.txt")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        part = cluster.faults.isolate_host("c0")
+        cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+        cluster.faults.heal(part)
+        # a still trusts its lock (hold 10 s) and serves the old value
+        r = cluster.run_until_complete(a, a.read(datum))
+        assert r.value == (1, b"v1")
+        assert len(cluster.oracle.violations) == 1
+
+    def test_stale_window_is_hold_minus_min(self):
+        cluster = make(min_time=2.0, hold_time=6.0)
+        datum = cluster.store.file_datum("/shared.txt")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        part = cluster.faults.isolate_host("c0")
+        cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+        cluster.faults.heal(part)
+        cluster.run(until=7.0)  # past a's trusted hold time
+        r = cluster.run_until_complete(a, a.read(datum))
+        assert r.value == (2, b"v2")  # trust expired, revalidated
+
+    def test_equal_times_recover_correct_leasing(self):
+        """min == hold is exactly a (short) lease: no staleness."""
+        cluster = make(min_time=3.0, hold_time=3.0)
+        datum = cluster.store.file_datum("/shared.txt")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        part = cluster.faults.isolate_host("c0")
+        cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+        cluster.faults.heal(part)
+        r = cluster.run_until_complete(a, a.read(datum))
+        assert r.ok
+        assert cluster.oracle.clean
+
+    def test_reachable_holder_still_called_back(self):
+        """With the holder reachable, the callback path keeps things
+        consistent — DFS's problem is the unnotified break."""
+        cluster = make()
+        datum = cluster.store.file_datum("/shared.txt")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        cluster.run_until_complete(b, b.write(datum, b"v2"))
+        r = cluster.run_until_complete(a, a.read(datum))
+        assert r.value == (2, b"v2")
+        assert cluster.oracle.clean

@@ -1,0 +1,174 @@
+"""Tests for the client datum cache."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.cache import FileCache, TempFileStore
+from repro.types import DatumId
+
+F1 = DatumId.file("f1")
+F2 = DatumId.file("f2")
+
+
+class TestBasics:
+    def test_miss_on_empty(self):
+        cache = FileCache()
+        assert cache.get(F1) is None
+        assert cache.stats.misses == 1
+
+    def test_put_then_get(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"data")
+        entry = cache.get(F1)
+        assert entry.version == 1
+        assert entry.payload == b"data"
+        assert cache.stats.hits == 1
+
+    def test_put_updates_in_place(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"old")
+        cache.put(F1, 2, b"new")
+        assert cache.get(F1).payload == b"new"
+        assert len(cache) == 1
+
+    def test_drop(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"x")
+        cache.drop(F1)
+        assert F1 not in cache
+
+    def test_clear(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"x")
+        cache.put(F2, 1, b"y")
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FileCache(capacity=0)
+
+    def test_hit_rate(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"x")
+        cache.get(F1)
+        cache.get(F2)
+        assert cache.stats.hit_rate == 0.5
+
+
+class TestInvalidation:
+    def test_invalidated_entry_misses(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"x")
+        cache.invalidate(F1)
+        assert cache.get(F1) is None
+        assert cache.stats.invalidations == 1
+
+    def test_invalidate_unknown_is_noop(self):
+        cache = FileCache()
+        cache.invalidate(F1)
+        assert cache.stats.invalidations == 0
+
+    def test_put_revalidates_with_newer_version(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"old")
+        cache.invalidate(F1)
+        assert cache.put(F1, 2, b"new")
+        assert cache.get(F1).payload == b"new"
+
+    def test_stale_put_refused_after_invalidation(self):
+        """The version floor: a late stale fetch must not resurrect data
+        the client agreed to invalidate (write-approval race)."""
+        cache = FileCache()
+        cache.put(F1, 3, b"v3")
+        cache.invalidate(F1)  # floor becomes 4
+        assert not cache.put(F1, 3, b"v3-late")
+        assert cache.get(F1) is None
+        assert cache.stats.stale_rejects == 1
+
+    def test_explicit_min_version_floor(self):
+        cache = FileCache()
+        cache.put(F1, 3, b"v3")
+        cache.invalidate(F1, min_version=10)
+        assert not cache.put(F1, 9, b"v9")
+        assert cache.put(F1, 10, b"v10")
+
+    def test_older_version_never_replaces_newer(self):
+        cache = FileCache()
+        cache.put(F1, 5, b"v5")
+        assert not cache.put(F1, 4, b"v4")
+        assert cache.get(F1).version == 5
+
+    def test_tombstone_floor_without_prior_entry(self):
+        """An approval can precede the first fetch; its floor must stick."""
+        cache = FileCache()
+        cache.invalidate(F1, min_version=2)
+        assert not cache.put(F1, 1, b"stale")
+        assert cache.get(F1) is None
+        assert cache.put(F1, 2, b"fresh")
+        assert cache.get(F1).payload == b"fresh"
+
+    def test_floors_survive_repeated_invalidation(self):
+        cache = FileCache()
+        cache.put(F1, 1, b"x")
+        cache.invalidate(F1, min_version=5)
+        cache.invalidate(F1, min_version=3)  # must not lower the floor
+        assert not cache.put(F1, 4, b"v4")
+
+
+class TestLru:
+    def test_eviction_removes_least_recent(self):
+        cache = FileCache(capacity=2)
+        cache.put(F1, 1, b"1")
+        cache.put(F2, 1, b"2")
+        cache.get(F1)  # F1 now most recent
+        cache.put(DatumId.file("f3"), 1, b"3")
+        assert F1 in cache
+        assert F2 not in cache
+        assert cache.stats.evictions == 1
+
+    def test_peek_does_not_touch_lru(self):
+        cache = FileCache(capacity=2)
+        cache.put(F1, 1, b"1")
+        cache.put(F2, 1, b"2")
+        cache.peek(F1)
+        cache.put(DatumId.file("f3"), 1, b"3")
+        assert F1 not in cache  # peek did not refresh it
+
+    @given(ops=st.lists(st.integers(0, 9), max_size=60))
+    def test_size_never_exceeds_capacity(self, ops):
+        cache = FileCache(capacity=4)
+        for i in ops:
+            cache.put(DatumId.file(f"f{i}"), 1, b"")
+        assert len(cache) <= 4
+
+
+class TestTempFileStore:
+    def test_write_read_roundtrip(self):
+        temp = TempFileStore()
+        temp.write("/tmp/a", b"scratch")
+        assert temp.read("/tmp/a") == b"scratch"
+
+    def test_read_missing_is_none(self):
+        assert TempFileStore().read("/tmp/ghost") is None
+
+    def test_unlink(self):
+        temp = TempFileStore()
+        temp.write("/tmp/a", b"x")
+        temp.unlink("/tmp/a")
+        assert temp.read("/tmp/a") is None
+
+    def test_counters(self):
+        temp = TempFileStore()
+        temp.write("/tmp/a", b"x")
+        temp.read("/tmp/a")
+        temp.read("/tmp/b")
+        assert temp.writes == 1
+        assert temp.reads == 2
+
+    def test_clear(self):
+        temp = TempFileStore()
+        temp.write("/tmp/a", b"x")
+        temp.clear()
+        assert len(temp) == 0

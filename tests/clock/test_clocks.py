@@ -1,0 +1,100 @@
+"""Unit tests for the clock family."""
+
+import pytest
+
+from repro.clock import ManualClock, MonotonicClock, SimClock, SteppingClock
+from repro.sim.kernel import Kernel
+
+
+class TestManualClock:
+    def test_starts_at_given_time(self):
+        assert ManualClock(5.0).now() == 5.0
+
+    def test_defaults_to_zero(self):
+        assert ManualClock().now() == 0.0
+
+    def test_advance_moves_forward(self):
+        clock = ManualClock()
+        clock.advance(2.5)
+        clock.advance(0.5)
+        assert clock.now() == 3.0
+
+    def test_advance_returns_new_time(self):
+        assert ManualClock(1.0).advance(1.0) == 2.0
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ManualClock().advance(-0.1)
+
+    def test_set_may_move_backward(self):
+        clock = ManualClock(10.0)
+        clock.set(3.0)
+        assert clock.now() == 3.0
+
+
+class TestSimClock:
+    def test_tracks_kernel_time(self):
+        kernel = Kernel()
+        clock = SimClock(kernel)
+        kernel.schedule(4.0, lambda: None)
+        kernel.run()
+        assert clock.now() == pytest.approx(4.0)
+
+    def test_offset_shifts_reading(self):
+        kernel = Kernel()
+        clock = SimClock(kernel, offset=1.5)
+        assert clock.now() == pytest.approx(1.5)
+
+    def test_drift_scales_reading(self):
+        kernel = Kernel()
+        clock = SimClock(kernel, drift=0.01)
+        kernel.schedule(100.0, lambda: None)
+        kernel.run()
+        assert clock.now() == pytest.approx(101.0)
+
+    def test_negative_drift_runs_slow(self):
+        kernel = Kernel()
+        clock = SimClock(kernel, drift=-0.5)
+        kernel.schedule(10.0, lambda: None)
+        kernel.run()
+        assert clock.now() == pytest.approx(5.0)
+
+    def test_offset_and_drift_compose(self):
+        kernel = Kernel()
+        clock = SimClock(kernel, offset=2.0, drift=0.1)
+        kernel.schedule(10.0, lambda: None)
+        kernel.run()
+        assert clock.now() == pytest.approx(13.0)
+
+
+class TestMonotonicClock:
+    def test_is_monotonic(self):
+        clock = MonotonicClock()
+        a = clock.now()
+        b = clock.now()
+        assert b >= a
+
+    def test_offset_applies(self):
+        base = MonotonicClock()
+        shifted = MonotonicClock(offset=100.0)
+        assert shifted.now() - base.now() == pytest.approx(100.0, abs=0.05)
+
+
+class TestSteppingClock:
+    def test_no_step_before_threshold(self):
+        inner = ManualClock(0.0)
+        clock = SteppingClock(inner, step_at=10.0, step=5.0)
+        inner.advance(9.0)
+        assert clock.now() == 9.0
+
+    def test_step_applies_after_threshold(self):
+        inner = ManualClock(0.0)
+        clock = SteppingClock(inner, step_at=10.0, step=5.0)
+        inner.advance(10.0)
+        assert clock.now() == 15.0
+
+    def test_backward_step_models_slow_jump(self):
+        inner = ManualClock(0.0)
+        clock = SteppingClock(inner, step_at=10.0, step=-3.0)
+        inner.advance(12.0)
+        assert clock.now() == 9.0

@@ -1,0 +1,94 @@
+"""Tests for clock-sync estimation and the safe duration-based expiry rule."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.clock.sync import cristian_offset, safe_local_expiry
+
+
+class TestCristianOffset:
+    def test_symmetric_exchange_recovers_offset(self):
+        # Local sends at 100, one-way delay 0.5 each way, server is +10 ahead.
+        est = cristian_offset(100.0, 110.5, 101.0)
+        assert est.offset == pytest.approx(10.0)
+        assert est.round_trip == pytest.approx(1.0)
+
+    def test_error_bound_is_half_rtt(self):
+        est = cristian_offset(0.0, 5.0, 2.0)
+        assert est.error_bound == pytest.approx(1.0)
+
+    def test_min_one_way_tightens_bound(self):
+        est = cristian_offset(0.0, 5.0, 2.0, min_one_way=0.4)
+        assert est.error_bound == pytest.approx(0.6)
+
+    def test_rejects_reply_before_request(self):
+        with pytest.raises(ValueError):
+            cristian_offset(5.0, 5.0, 4.0)
+
+    def test_rejects_excessive_min_one_way(self):
+        with pytest.raises(ValueError):
+            cristian_offset(0.0, 1.0, 2.0, min_one_way=2.0)
+
+    @given(
+        t0=st.floats(0, 1e6),
+        delay_out=st.floats(1e-6, 10),
+        delay_back=st.floats(1e-6, 10),
+        offset=st.floats(-100, 100),
+    )
+    def test_true_offset_within_error_bound(self, t0, delay_out, delay_back, offset):
+        """Property: the true offset always lies within the returned bound."""
+        t_server_real = t0 + delay_out
+        t_server_remote = t_server_real + offset
+        t_reply = t0 + delay_out + delay_back
+        est = cristian_offset(t0, t_server_remote, t_reply)
+        assert abs(est.offset - offset) <= est.error_bound + 1e-9
+
+
+class TestSafeLocalExpiry:
+    def test_basic_rule(self):
+        assert safe_local_expiry(100.0, 10.0, 0.1) == pytest.approx(109.9)
+
+    def test_drift_bound_shrinks_term(self):
+        expiry = safe_local_expiry(0.0, 100.0, 0.0, drift_bound=0.01)
+        assert expiry == pytest.approx(99.0)
+
+    def test_zero_term_expires_at_send(self):
+        assert safe_local_expiry(50.0, 0.0, 0.0) == 50.0
+
+    def test_rejects_negative_term(self):
+        with pytest.raises(ValueError):
+            safe_local_expiry(0.0, -1.0, 0.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(ValueError):
+            safe_local_expiry(0.0, 1.0, -0.5)
+
+    def test_rejects_bad_drift_bound(self):
+        with pytest.raises(ValueError):
+            safe_local_expiry(0.0, 1.0, 0.0, drift_bound=1.0)
+
+    @given(
+        send_real=st.floats(0, 1e5),
+        grant_lag=st.floats(0, 5),
+        term=st.floats(0, 60),
+        off_client=st.floats(-0.1, 0.1),
+        off_server=st.floats(-0.1, 0.1),
+    )
+    def test_client_never_outlives_server(
+        self, send_real, grant_lag, term, off_client, off_server
+    ):
+        """Safety property behind the rule (paper §5).
+
+        The client stops using the lease no later, in real time, than the
+        server starts allowing conflicting writes — given both clock offsets
+        are within epsilon.
+        """
+        epsilon = 0.1
+        send_local = send_real + off_client
+        expiry_local = safe_local_expiry(send_local, term, epsilon)
+        client_stops_real = expiry_local - off_client
+        grant_real = send_real + grant_lag
+        # The server waits until *its clock* reads grant + term.
+        server_allows_real = (grant_real + off_server) + term - off_server
+        assert client_stops_real <= server_allows_real + 1e-9

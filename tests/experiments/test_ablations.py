@@ -1,0 +1,104 @@
+"""Tests for the ablation studies: each design choice must show its
+predicted effect."""
+
+import math
+
+import pytest
+
+from repro.experiments import ablations
+
+
+class TestBatching:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablations.run_batching(terms=(2.0, 10.0), trace_duration=1800.0)
+
+    def test_batching_reduces_load(self, results):
+        for r in results:
+            assert r.batched < r.per_file
+
+    def test_improvement_is_substantial(self, results):
+        """§3.1: batching raises effective R; on the compile trace the
+        effect is several-fold."""
+        at_10 = next(r for r in results if r.term == 10.0)
+        assert at_10.improvement > 2.0
+
+
+class TestInstalled:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablations.run_installed()
+
+    def test_covers_eliminate_per_client_records(self, results):
+        per_client, covers = results
+        assert per_client.server_lease_records > 0
+        assert covers.server_lease_records == 0
+
+    def test_covers_eliminate_callbacks(self, results):
+        per_client, covers = results
+        assert per_client.approvals > 0
+        assert covers.approvals == 0
+
+    def test_covers_reduce_consistency_traffic(self, results):
+        per_client, covers = results
+        assert covers.consistency_msgs < per_client.consistency_msgs
+
+    def test_delayed_update_pays_with_latency(self, results):
+        """The §4 trade: no implosion/callbacks, but the update waits out
+        the announced term."""
+        per_client, covers = results
+        assert covers.update_latency > per_client.update_latency
+        assert covers.update_latency < 15.0  # bounded by term + grace
+
+
+class TestAnticipatory:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablations.run_anticipatory()
+
+    def test_anticipation_removes_read_delay(self, results):
+        on_demand, anticipatory = results
+        assert anticipatory.mean_read_latency < on_demand.mean_read_latency / 5
+
+    def test_anticipation_costs_server_load(self, results):
+        on_demand, anticipatory = results
+        assert anticipatory.consistency_msgs > on_demand.consistency_msgs
+
+
+class TestAdaptive:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablations.run_adaptive()
+
+    def test_adaptive_reduces_consistency_traffic(self, results):
+        fixed, adaptive = results
+        assert adaptive.consistency_msgs < fixed.consistency_msgs
+
+    def test_adaptive_write_latency_not_worse(self, results):
+        fixed, adaptive = results
+        assert adaptive.mean_write_latency <= fixed.mean_write_latency * 1.1
+
+
+class TestMulticast:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablations.run_multicast()
+
+    def test_alpha_drops_without_multicast(self, results):
+        for r in results:
+            if r.sharing > 2:
+                assert r.alpha_unicast < r.alpha_multicast
+
+    def test_break_even_term_grows_without_multicast(self, results):
+        for r in results:
+            assert r.break_even_unicast >= r.break_even_multicast
+
+    def test_s40_leasing_unprofitable_without_multicast(self, results):
+        r40 = next(r for r in results if r.sharing == 40)
+        assert r40.alpha_multicast > 1.0
+        assert r40.alpha_unicast < 1.0
+        assert math.isinf(r40.break_even_unicast)
+
+    def test_render_runs(self):
+        text = ablations.render()
+        assert "A-BATCH" in text and "A-MCAST" in text

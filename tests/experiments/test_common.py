@@ -1,0 +1,81 @@
+"""Tests for the experiment-harness helpers."""
+
+import pytest
+
+from repro.experiments.common import (
+    CONSISTENCY_KINDS,
+    cluster_for_trace,
+    consistency_messages,
+    replay_trace_on_cluster,
+    total_messages,
+)
+from repro.lease.policy import FixedTermPolicy
+from repro.types import FileClass
+from repro.workload.events import TraceRecord
+
+
+def r(t, op, path, fc=FileClass.NORMAL, client="c0"):
+    return TraceRecord(t, client, op, path, fc)
+
+
+TRACE = [
+    r(0.0, "read", "/src"),          # directory lookup
+    r(0.1, "read", "/src/a.c"),
+    r(0.2, "read", "/bin/cc", fc=FileClass.INSTALLED),
+    r(0.3, "write", "/tmp/x.o", fc=FileClass.TEMPORARY),
+    r(1.0, "write", "/src/a.c"),
+    r(2.0, "read", "/src/a.c", client="c1"),
+]
+
+
+class TestClusterForTrace:
+    def test_creates_every_touched_path(self):
+        cluster, datum_of = cluster_for_trace(
+            TRACE, n_clients=2, policy=FixedTermPolicy(10.0)
+        )
+        assert set(datum_of) == {"/src", "/src/a.c", "/bin/cc"}
+        assert cluster.store.file_at("/src/a.c")
+        assert cluster.store.file_at("/bin/cc").file_class is FileClass.INSTALLED
+
+    def test_directory_touches_map_to_dir_datums(self):
+        cluster, datum_of = cluster_for_trace(
+            TRACE, n_clients=1, policy=FixedTermPolicy(10.0)
+        )
+        from repro.types import DatumKind
+
+        assert datum_of["/src"].kind is DatumKind.DIRECTORY
+        assert datum_of["/src/a.c"].kind is DatumKind.FILE
+
+
+class TestReplay:
+    def test_replay_executes_operations(self):
+        cluster, datum_of = cluster_for_trace(
+            TRACE, n_clients=2, policy=FixedTermPolicy(10.0)
+        )
+        replay_trace_on_cluster(cluster, TRACE, datum_of)
+        cluster.run(until=10.0)
+        # the write committed and both clients read
+        assert cluster.store.file_at("/src/a.c").version == 2
+        assert cluster.oracle.reads_checked >= 4
+        assert cluster.oracle.clean
+
+    def test_temporaries_stay_local(self):
+        cluster, datum_of = cluster_for_trace(
+            TRACE, n_clients=1, policy=FixedTermPolicy(10.0)
+        )
+        replay_trace_on_cluster(cluster, TRACE[:4], datum_of)
+        cluster.run(until=5.0)
+        assert len(cluster.clients[0].engine.temp) == 1
+        assert cluster.network.stats["server"].received.get("lease/write", 0) == 0
+
+    def test_message_accounting_helpers(self):
+        cluster, datum_of = cluster_for_trace(
+            TRACE, n_clients=2, policy=FixedTermPolicy(10.0)
+        )
+        replay_trace_on_cluster(cluster, TRACE, datum_of)
+        cluster.run(until=10.0)
+        consistency = consistency_messages(cluster)
+        total = total_messages(cluster)
+        assert 0 < consistency < total
+        # the write-through itself is data traffic, excluded from consistency
+        assert "lease/write" not in CONSISTENCY_KINDS

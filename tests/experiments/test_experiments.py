@@ -1,0 +1,151 @@
+"""Tests for the experiment harness: shapes, claims, and renderings."""
+
+import math
+
+import pytest
+
+from repro.experiments import claims, figure1, figure2, figure3, table2
+from repro.experiments.common import render_table
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        out = render_table(["a", "value"], [[1, 2.5], [10, 0.3333333]])
+        lines = out.splitlines()
+        assert lines[0].endswith("value")
+        assert set(lines[1]) <= {"-", " "}
+        assert "0.3333" in lines[3]
+
+    def test_empty_rows(self):
+        out = render_table(["x"], [])
+        assert "x" in out
+
+    def test_inf_rendered(self):
+        assert "inf" in render_table(["x"], [[math.inf]])
+
+
+class TestFigure1:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure1.run(trace_duration=1200.0)
+
+    def test_has_all_curves(self, result):
+        assert set(result.curves) == {"S=1", "S=10", "S=20", "S=40", "Trace"}
+
+    def test_all_curves_start_at_one(self, result):
+        for label, values in result.curves.items():
+            assert values[0] == pytest.approx(1.0), label
+
+    def test_analytic_curves_ordered_by_sharing(self, result):
+        """More sharing means more approval traffic at every positive term."""
+        for i, term in enumerate(result.terms):
+            if term == 0:
+                continue
+            assert (
+                result.curves["S=1"][i]
+                < result.curves["S=10"][i]
+                < result.curves["S=20"][i]
+                < result.curves["S=40"][i]
+            )
+
+    def test_s40_tiny_term_worse_than_zero(self, result):
+        """The paper's warning: a very short positive term penalizes writes
+        without read benefit, visible in the S=40 curve rising above 1."""
+        idx = result.terms.index(0.5)
+        assert result.curves["S=40"][idx] > 1.0
+
+    def test_trace_curve_below_model(self, result):
+        """§3.2: sharper knee at a lower term.  (At long terms the curves
+        converge and the trace's cold-miss floor dominates, so the claim
+        is checked over the knee region.)"""
+        for i, term in enumerate(result.terms):
+            if 1.0 <= term <= 10.0:
+                assert result.curves["Trace"][i] < result.curves["S=1"][i]
+
+    def test_ten_second_claim(self, result):
+        idx = result.terms.index(10.0)
+        assert result.curves["S=1"][idx] == pytest.approx(0.10, abs=0.01)
+
+    def test_render_contains_rows(self, result):
+        text = figure1.render(result)
+        assert "Trace" in text
+        assert "S=40" in text
+
+    def test_full_simulator_validation(self):
+        fast, full = figure1.validate_with_full_simulator(
+            term=10.0, trace_duration=600.0
+        )
+        assert full == pytest.approx(fast, rel=0.1)
+
+
+class TestFigure2:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure2.run(trace_duration=1200.0)
+
+    def test_zero_term_delay_is_about_a_round_trip(self, result):
+        # reads dominate, so mean delay at term 0 ~ R/(R+W) * 2.54 ms
+        assert result.curves["S=1"][0] == pytest.approx(2.43, abs=0.05)
+
+    def test_delay_decreases_with_term(self, result):
+        values = result.curves["S=1"]
+        assert all(a >= b - 1e-12 for a, b in zip(values, values[1:]))
+
+    def test_trace_delay_below_model(self, result):
+        idx = result.terms.index(10.0)
+        assert result.curves["Trace"][idx] < result.curves["S=1"][idx]
+
+    def test_render(self, result):
+        assert "ms" in figure2.render(result)
+
+
+class TestFigure3:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return figure3.run()
+
+    def test_zero_term_delay_near_full_rtt(self, result):
+        assert result.curves["S=1"][0] == pytest.approx(95.6, abs=0.5)
+
+    def test_degradation_claims(self, result):
+        assert result.degradation_10s == pytest.approx(0.101, abs=0.004)
+        assert result.degradation_30s == pytest.approx(0.036, abs=0.002)
+
+    def test_render_mentions_paper_values(self, result):
+        text = figure3.render(result)
+        assert "10.1%" in text and "3.6%" in text
+
+
+class TestTable2:
+    def test_measured_matches_configured(self):
+        result = table2.run(trace_duration=2400.0)
+        assert result.measured.read_rate == pytest.approx(
+            result.params.read_rate, rel=0.08
+        )
+        assert result.measured.installed_read_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_render(self):
+        text = table2.render(table2.run(trace_duration=1200.0))
+        assert "0.864" in text
+        assert "m_prop" in text
+
+
+class TestClaims:
+    @pytest.fixture(scope="class")
+    def all_claims(self):
+        return claims.run(trace_duration=2400.0)
+
+    def test_every_claim_passes(self, all_claims):
+        failing = [c for c in all_claims if not c.passed]
+        assert not failing, "\n".join(
+            f"{c.claim_id}: paper={c.paper_value} measured={c.measured}"
+            for c in failing
+        )
+
+    def test_claim_ids_unique(self, all_claims):
+        ids = [c.claim_id for c in all_claims]
+        assert len(ids) == len(set(ids))
+
+    def test_render_shows_status(self, all_claims):
+        text = claims.render(all_claims)
+        assert "PASS" in text

@@ -1,0 +1,34 @@
+"""The experiment harness entry point runs end to end (subprocess)."""
+
+import subprocess
+import sys
+
+
+class TestHarnessEntry:
+    def test_quick_run_produces_all_artifacts(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.experiments", "--quick"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        out = result.stdout
+        assert "Table 2" in out
+        assert "Figure 1" in out
+        assert "Figure 2" in out
+        assert "Figure 3" in out
+        assert "Headline claims" in out
+        assert "Scaling analysis" in out
+        assert "FAIL" not in out  # every claim passes
+
+    def test_baselines_entry(self):
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.baselines"],
+            capture_output=True,
+            text=True,
+            timeout=600,
+        )
+        assert result.returncode == 0, result.stderr[-2000:]
+        assert "Protocol comparison" in result.stdout
+        assert "leases (10 s)" in result.stdout

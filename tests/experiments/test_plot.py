@@ -1,0 +1,59 @@
+"""Tests for the ASCII plot renderer."""
+
+import math
+
+import pytest
+
+from repro.experiments.plot import ascii_plot
+
+
+class TestAsciiPlot:
+    def test_markers_present_per_series(self):
+        out = ascii_plot([0, 1, 2], {"a": [0, 1, 2], "b": [2, 1, 0]})
+        assert "o" in out and "x" in out
+        assert "o a" in out and "x b" in out
+
+    def test_axis_labels(self):
+        out = ascii_plot([0, 1], {"s": [0, 1]}, x_label="t", y_label="v")
+        assert "x: t" in out and "y: v" in out
+
+    def test_y_clipping(self):
+        out = ascii_plot([0, 1], {"s": [0, 100]}, y_max=2.0)
+        assert "2" in out.splitlines()[0]
+
+    def test_monotone_series_renders_monotone(self):
+        """The marker for a decreasing series must never move up."""
+        xs = list(range(10))
+        ys = [10 - i for i in xs]
+        out = ascii_plot(xs, {"s": ys}, width=40, height=12)
+        rows = {}
+        for r, line in enumerate(out.splitlines()):
+            body = line.split("|", 1)[-1]
+            for c, ch in enumerate(body):
+                if ch == "o":
+                    rows.setdefault(c, r)
+        cols = sorted(rows)
+        assert all(rows[a] <= rows[b] for a, b in zip(cols, cols[1:]))
+
+    def test_non_finite_values_skipped(self):
+        out = ascii_plot([0, 1, 2], {"s": [1.0, math.inf, 2.0]})
+        assert "o" in out
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([], {})
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {"s": [1.0]})
+
+    def test_all_infinite_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_plot([0, 1], {"s": [math.inf, math.inf]})
+
+    def test_figure_renders_include_plots(self):
+        from repro.experiments import figure3
+
+        out = figure3.render()
+        assert "lease term (s)" in out
+        assert "S=40" in out

@@ -1,0 +1,40 @@
+"""Tests for the §3.3 scaling analysis."""
+
+import pytest
+
+from repro.experiments import scaling
+
+
+@pytest.fixture(scope="module")
+def result():
+    return scaling.run()
+
+
+class TestScalingClaims:
+    def test_faster_processors_push_knee_lower(self, result):
+        """§3.3: 'The higher rate pushes the knee of the load curve lower.'"""
+        assert result.knee_terms == sorted(result.knee_terms, reverse=True)
+        assert result.knee_terms[-1] < result.knee_terms[0] / 10
+
+    def test_relative_benefit_grows_with_speed(self, result):
+        assert result.rel_load_at_10s == sorted(result.rel_load_at_10s, reverse=True)
+
+    def test_leases_raise_client_server_ratio(self, result):
+        """§3.3: 'Leases have the benefit of increasing the ratio of
+        clients to servers.'"""
+        for i in range(len(result.speedups)):
+            assert result.capacity_gain(i) > 5.0
+        # and the gain itself grows with processor speed
+        gains = [result.capacity_gain(i) for i in range(len(result.speedups))]
+        assert gains == sorted(gains)
+
+    def test_client_count_alone_changes_nothing(self):
+        """§3.3: 'Increased numbers of clients and servers have no
+        significant effect unless it increases the level of write-sharing.'"""
+        values = scaling.sharing_insensitivity()
+        assert max(values) - min(values) < 1e-12
+
+    def test_render(self, result):
+        text = scaling.render(result)
+        assert "capacity gain" in text
+        assert "identical" in text

@@ -1,0 +1,194 @@
+"""Sans-io unit tests for the write-back engines (no network)."""
+
+import pytest
+
+from repro.ext.writeback import (
+    WriteBackClientConfig,
+    WriteBackClientEngine,
+    WriteBackServerEngine,
+)
+from repro.lease.policy import FixedTermPolicy
+from repro.protocol.effects import CancelTimer, Complete, Send, SetTimer
+from repro.protocol.messages import (
+    FlushRequest,
+    ReadRequest,
+    RecallReply,
+    RecallRequest,
+    WriteLeaseReply,
+    WriteLeaseRequest,
+    WriteReply,
+)
+from repro.storage.store import FileStore
+
+
+def make_server(term=10.0):
+    store = FileStore()
+    store.create_file("/f", b"v1")
+    engine = WriteBackServerEngine("server", store, FixedTermPolicy(term))
+    return engine, store, store.file_datum("/f")
+
+
+def sends(effects, msg_type):
+    return [e for e in effects if isinstance(e, Send) and isinstance(e.message, msg_type)]
+
+
+class TestServerEngine:
+    def test_grant_when_unshared(self):
+        engine, store, datum = make_server()
+        effects = engine.handle_message(
+            WriteLeaseRequest(1, datum), "c0", now=0.0
+        )
+        (reply,) = sends(effects, WriteLeaseReply)
+        assert reply.message.error is None
+        assert reply.message.payload == b"v1"
+        assert engine.write_lease_owner(datum) == "c0"
+
+    def test_recall_on_foreign_read(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(ReadRequest(2, datum), "c1", now=1.0)
+        (recall,) = sends(effects, RecallRequest)
+        assert recall.dst == "c0"
+        # the read itself was deferred, a recall deadline timer armed
+        assert any(isinstance(e, SetTimer) and e.key.startswith("recall:") for e in effects)
+
+    def test_recall_reply_commits_dirty_and_flushes_readers(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(ReadRequest(2, datum), "c1", now=1.0)
+        (recall,) = sends(effects, RecallRequest)
+        effects = engine.handle_message(
+            RecallReply(datum, recall.message.recall_id, dirty=b"buffered"), "c0", now=1.1
+        )
+        assert store.file_at("/f").content == b"buffered"
+        replies = sends(effects, type(effects[-1].message)) if effects else []
+        read_replies = [
+            e for e in effects if isinstance(e, Send) and e.message.__class__.__name__ == "ReadReply"
+        ]
+        assert len(read_replies) == 1
+        assert read_replies[0].message.version == 2
+
+    def test_stale_recall_reply_ignored(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(ReadRequest(2, datum), "c1", now=1.0)
+        assert engine.handle_message(RecallReply(datum, 999, dirty=b"x"), "c0", 1.1) == []
+        assert store.file_at("/f").version == 1
+
+    def test_recall_reply_from_non_owner_ignored(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(ReadRequest(2, datum), "c1", now=1.0)
+        (recall,) = sends(effects, RecallRequest)
+        assert (
+            engine.handle_message(
+                RecallReply(datum, recall.message.recall_id, dirty=b"x"), "evil", 1.1
+            )
+            == []
+        )
+
+    def test_flush_requires_ownership(self):
+        engine, store, datum = make_server()
+        effects = engine.handle_message(
+            FlushRequest(1, datum, b"dirty", write_seq=1), "c0", now=0.0
+        )
+        (reply,) = sends(effects, WriteReply)
+        assert reply.message.error == "write lease lost"
+
+    def test_flush_dedup(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(FlushRequest(2, datum, b"d", write_seq=7), "c0", now=1.0)
+        effects = engine.handle_message(
+            FlushRequest(3, datum, b"d", write_seq=7), "c0", now=2.0
+        )
+        (reply,) = sends(effects, WriteReply)
+        assert reply.message.version == 2  # replayed, not recommitted
+        assert store.file_at("/f").version == 2
+
+    def test_owner_read_served_not_deferred(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(ReadRequest(2, datum), "c0", now=1.0)
+        read_replies = [
+            e for e in effects if isinstance(e, Send) and e.message.__class__.__name__ == "ReadReply"
+        ]
+        assert len(read_replies) == 1
+
+    def test_recall_deadline_drops_dirty(self):
+        engine, store, datum = make_server()
+        engine.handle_message(WriteLeaseRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(ReadRequest(2, datum), "c1", now=1.0)
+        (timer,) = [e for e in effects if isinstance(e, SetTimer) and e.key.startswith("recall:")]
+        effects = engine.handle_timer(timer.key, now=1.0 + timer.delay)
+        assert engine.write_lease_owner(datum) is None
+        assert store.file_at("/f").version == 1  # nothing committed
+
+
+class TestClientEngine:
+    def make_client(self, **kwargs):
+        config = WriteBackClientConfig(epsilon=0.0, **kwargs)
+        return WriteBackClientEngine("c0", "server", config=config)
+
+    def grant(self, client, datum, now=0.0, term=10.0):
+        op_id, effects = client.acquire_write(datum, now)
+        (send,) = [e for e in effects if isinstance(e, Send)]
+        reply = WriteLeaseReply(
+            send.message.req_id, datum, version=1, payload=b"v1", term=term
+        )
+        client.handle_message(reply, "server", now)
+        return op_id
+
+    def test_acquire_records_lease(self):
+        from repro.types import DatumId
+
+        datum = DatumId.file("f")
+        client = self.make_client()
+        self.grant(client, datum)
+        assert client.holds_write_lease(datum, 5.0)
+        assert not client.holds_write_lease(datum, 15.0)
+
+    def test_local_write_buffers_and_completes_instantly(self):
+        from repro.types import DatumId
+
+        datum = DatumId.file("f")
+        client = self.make_client()
+        self.grant(client, datum)
+        op_id, effects = client.local_write(datum, b"draft", now=1.0)
+        assert isinstance(effects[0], Complete) and effects[0].ok
+        assert client.dirty_datums() == {datum}
+
+    def test_recall_surrenders_dirty(self):
+        from repro.types import DatumId
+
+        datum = DatumId.file("f")
+        client = self.make_client()
+        self.grant(client, datum)
+        client.local_write(datum, b"draft", now=1.0)
+        effects = client.handle_message(RecallRequest(datum, 5), "server", 2.0)
+        (send,) = [e for e in effects if isinstance(e, Send)]
+        assert send.message.dirty == b"draft"
+        assert not client.holds_write_lease(datum, 2.1)
+        assert not client.dirty_datums()
+
+    def test_leadership_mode_ignores_recall(self):
+        from repro.types import DatumId
+
+        datum = DatumId.file("f")
+        client = self.make_client(surrender_on_recall=False)
+        self.grant(client, datum)
+        client.local_write(datum, b"draft", now=1.0)
+        assert client.handle_message(RecallRequest(datum, 5), "server", 2.0) == []
+        assert client.holds_write_lease(datum, 2.1)
+        assert client.dirty_datums() == {datum}
+
+    def test_background_flush_timer(self):
+        from repro.types import DatumId
+
+        datum = DatumId.file("f")
+        client = self.make_client(flush_margin=8.0)
+        self.grant(client, datum, term=10.0)
+        client.local_write(datum, b"draft", now=1.0)
+        effects = client.handle_timer("wbflush", now=3.0)  # expiry-3 < margin
+        flushes = [e for e in effects if isinstance(e, Send)]
+        assert flushes and isinstance(flushes[0].message, FlushRequest)

@@ -1,0 +1,178 @@
+"""Clock-failure analysis from §5 of the paper.
+
+Leases assume clocks with bounded drift; the term is communicated as a
+*duration* and anchored client-side at the request send time.  A useful
+consequence (checked below): **constant** clock offsets cancel entirely —
+both ends measure the same duration — so only *rate* errors (drift) or
+*mid-lease steps* can break consistency.  The paper's dangerous cases:
+
+* a server clock that advances too quickly — it expires the lease early
+  and lets a write commit while the holder still trusts its copy;
+* a client clock that advances too slowly — it trusts the lease past the
+  server's expiry.
+
+Both need the write to arrive *after* the server-side expiry: while the
+server still considers the lease live, the approval path protects
+consistency regardless of clocks.  The opposite faults (slow server, fast
+client) only cost extra traffic.
+"""
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy
+from repro.protocol.client import ClientConfig
+from repro.protocol.server import ServerConfig
+from repro.sim.driver import build_cluster
+from repro.storage.store import FileStore
+
+TERM = 10.0
+EPSILON = 0.1
+
+
+def setup_store(store: FileStore) -> None:
+    store.create_file("/shared.txt", b"v1")
+
+
+def run_clock_scenario(
+    server_drift=0.0,
+    client0_offset=0.0,
+    client0_drift=0.0,
+    term=TERM,
+    write_at=None,
+    read_back_at=None,
+    client_step=None,  # (at_real_time, delta) applied to client 0's clock
+    drift_bound=0.0,
+):
+    """Client 0 caches the file at t=0; client 1 writes at ``write_at``;
+    client 0 re-reads (from cache if it still trusts its lease) at
+    ``read_back_at``.  Returns the cluster for oracle inspection."""
+    cluster = build_cluster(
+        n_clients=2,
+        policy=FixedTermPolicy(term),
+        setup_store=setup_store,
+        server_config=ServerConfig(epsilon=EPSILON),
+        client_config=ClientConfig(epsilon=EPSILON, drift_bound=drift_bound),
+        server_clock_params=(0.0, server_drift),
+        client_clock_params=lambda i: (client0_offset, client0_drift)
+        if i == 0
+        else (0.0, 0.0),
+        strict_oracle=False,
+    )
+    datum = cluster.store.file_datum("/shared.txt")
+    a, b = cluster.clients
+    cluster.run_until_complete(a, a.read(datum), limit=60.0)
+    if client_step is not None:
+        at, delta = client_step
+
+        def step() -> None:
+            a.host.clock.offset += delta
+
+        cluster.kernel.schedule_at(at, step)
+    if write_at is not None:
+        cluster.run(until=write_at)
+    cluster.run_until_complete(b, b.write(datum, b"v2"), limit=10 * term)
+    if read_back_at is not None:
+        cluster.run(until=read_back_at)
+    cluster.run_until_complete(a, a.read(datum), limit=10 * term)
+    return cluster
+
+
+class TestConstantOffsetsAreHarmless:
+    """Duration-based terms make constant skew cancel — any magnitude."""
+
+    @pytest.mark.parametrize("offset", [-60.0, -5.0, -0.1, 0.1, 5.0, 60.0])
+    def test_client_offset_never_breaks_consistency(self, offset):
+        cluster = run_clock_scenario(
+            client0_offset=offset, write_at=11.0, read_back_at=12.0
+        )
+        assert cluster.oracle.clean
+
+    def test_write_before_expiry_consistent_with_offset(self):
+        cluster = run_clock_scenario(client0_offset=-5.0)
+        assert cluster.oracle.clean
+
+
+class TestDangerousFaults:
+    def test_fast_server_clock_breaks_consistency(self):
+        """Server clock at double rate: its 10 s term elapses in 5 real
+        seconds.  A write at t=6 commits unprotected; the holder still
+        trusts its copy until ~9.9 s."""
+        cluster = run_clock_scenario(server_drift=1.0, write_at=6.0, read_back_at=7.0)
+        assert not cluster.oracle.clean
+        violation = cluster.oracle.violations[0]
+        assert violation.client == "c0"
+        assert violation.returned_version == 1
+
+    def test_slow_client_clock_breaks_consistency(self):
+        """Client clock at half rate: it trusts the 10 s lease for ~19.8
+        real seconds while the server expires it at 10."""
+        cluster = run_clock_scenario(client0_drift=-0.5, write_at=11.0, read_back_at=15.0)
+        assert not cluster.oracle.clean
+
+    def test_backward_client_clock_step_breaks_consistency(self):
+        """A mid-lease backward step extends the client's trust window."""
+        cluster = run_clock_scenario(
+            client_step=(2.0, -5.0), write_at=11.0, read_back_at=13.0
+        )
+        assert not cluster.oracle.clean
+
+    def test_small_drift_on_long_lease_is_dangerous(self):
+        """Drift damage scales with the term: 2% on a 300 s lease leaves a
+        ~6 s stale window."""
+        cluster = run_clock_scenario(
+            client0_drift=-0.02, term=300.0, write_at=300.5, read_back_at=302.0
+        )
+        assert not cluster.oracle.clean
+
+
+class TestSafeFaults:
+    def test_slow_server_clock_is_safe(self):
+        """A slow server holds writes longer than necessary: overhead only."""
+        cluster = run_clock_scenario(server_drift=-0.5, write_at=11.0, read_back_at=25.0)
+        assert cluster.oracle.clean
+
+    def test_fast_client_clock_is_safe(self):
+        """A fast client sees leases expire early: it refetches, never
+        serves stale data."""
+        cluster = run_clock_scenario(client0_drift=1.0, write_at=11.0, read_back_at=12.0)
+        assert cluster.oracle.clean
+
+    def test_fast_client_generates_extra_traffic(self):
+        def server_touches(drift):
+            cluster = build_cluster(
+                n_clients=1,
+                policy=FixedTermPolicy(TERM),
+                setup_store=setup_store,
+                client_clock_params=lambda i: (0.0, drift),
+            )
+            datum = cluster.store.file_datum("/shared.txt")
+            c = cluster.clients[0]
+            for k in range(20):
+                cluster.run(until=k * 4.0)
+                cluster.run_until_complete(c, c.read(datum), limit=10.0)
+            stats = cluster.network.stats["server"]
+            return stats.received["lease/extend"] + stats.received["lease/read"]
+
+        assert server_touches(1.0) > server_touches(0.0)
+
+
+class TestDriftCompensation:
+    def test_drift_bound_restores_safety(self):
+        """§5's minimum assumption: a known drift bound, applied to the
+        duration client-side, keeps even a slow clock safe."""
+        cluster = run_clock_scenario(
+            client0_drift=-0.02,
+            term=300.0,
+            write_at=300.5,
+            read_back_at=302.0,
+            drift_bound=0.03,  # conservative: assumes up to 3%
+        )
+        assert cluster.oracle.clean
+
+    def test_short_terms_shrink_the_vulnerability_window(self):
+        """The same uncompensated drift that is fatal at a 300 s term is
+        harmless at 10 s here — short terms bound clock-fault damage too."""
+        cluster = run_clock_scenario(
+            client0_drift=-0.02, term=10.0, write_at=10.5, read_back_at=10.6
+        )
+        assert cluster.oracle.clean

@@ -1,0 +1,74 @@
+"""Message duplication: the protocol must be idempotent end to end.
+
+Datagram networks duplicate packets; the protocol's defenses are the
+write-dedup window, request-id matching, monotone lease renewal, and the
+cache's version floors.  These tests run the protocol with aggressive
+duplication (alone and combined with loss) under the oracle.
+"""
+
+import random
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy
+from repro.protocol.client import ClientConfig
+from repro.sim.driver import build_cluster
+from repro.sim.network import NetworkParams
+
+
+def make(duplicate_rate=0.3, loss_rate=0.0, seed=0, n_clients=3):
+    return build_cluster(
+        n_clients=n_clients,
+        policy=FixedTermPolicy(5.0),
+        setup_store=lambda s: [s.create_file(f"/f{i}", b"init") for i in range(2)],
+        network_params=NetworkParams(
+            duplicate_rate=duplicate_rate, loss_rate=loss_rate
+        ),
+        client_config=ClientConfig(rpc_timeout=0.5, write_timeout=2.0, max_retries=40),
+        seed=seed,
+    )
+
+
+class TestDuplication:
+    def test_writes_commit_exactly_once(self):
+        cluster = make(duplicate_rate=0.5)
+        datum = cluster.store.file_datum("/f0")
+        a = cluster.clients[0]
+        for i in range(10):
+            result = cluster.run_until_complete(a, a.write(datum, b"w%d" % i), limit=60)
+            assert result.ok
+        assert cluster.store.file_at("/f0").version == 11
+        assert cluster.network.duplicated > 0
+
+    def test_duplicated_approvals_are_harmless(self):
+        cluster = make(duplicate_rate=0.6)
+        datum = cluster.store.file_datum("/f0")
+        a, b, c = cluster.clients
+        for client in (a, b, c):
+            cluster.run_until_complete(client, client.read(datum), limit=60)
+        result = cluster.run_until_complete(a, a.write(datum, b"v2"), limit=60)
+        assert result.ok
+        for client in (b, c):
+            r = cluster.run_until_complete(client, client.read(datum), limit=60)
+            assert r.value == (2, b"v2")
+        assert cluster.oracle.clean
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_workload_with_duplication_and_loss(self, seed):
+        cluster = make(duplicate_rate=0.25, loss_rate=0.1, seed=seed)
+        rng = random.Random(seed)
+        datums = [cluster.store.file_datum(f"/f{i}") for i in range(2)]
+        for client in cluster.clients:
+            t = 0.0
+            while t < 60.0:
+                t += rng.expovariate(2.0)
+                datum = rng.choice(datums)
+                if rng.random() < 0.2:
+                    cluster.kernel.schedule_at(
+                        t, lambda c=client, d=datum, k=t: c.write(d, b"%f" % k)
+                    )
+                else:
+                    cluster.kernel.schedule_at(t, lambda c=client, d=datum: c.read(d))
+        cluster.run(until=120.0)
+        assert cluster.oracle.reads_checked > 50
+        assert cluster.oracle.clean

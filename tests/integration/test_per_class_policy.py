@@ -1,0 +1,77 @@
+"""End-to-end per-class term policy (§4): the server differentiates files
+by access characteristics — zero terms for write-shared files, ordinary
+terms for the rest — in one cluster."""
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy, PerClassPolicy, ZeroTermPolicy
+from repro.sim.driver import build_cluster
+from repro.types import FileClass
+
+
+def make():
+    policy = PerClassPolicy(
+        default=FixedTermPolicy(10.0),
+        by_class={FileClass.WRITE_SHARED: ZeroTermPolicy()},
+    )
+    return build_cluster(
+        n_clients=3,
+        policy=policy,
+        setup_store=lambda s: (
+            s.create_file("/doc", b"v1"),
+            s.create_file("/counter", b"0", file_class=FileClass.WRITE_SHARED),
+        ),
+    )
+
+
+class TestPerClassPolicy:
+    def test_normal_files_get_leases(self):
+        cluster = make()
+        doc = cluster.store.file_datum("/doc")
+        c = cluster.clients[0]
+        cluster.run_until_complete(c, c.read(doc))
+        r = cluster.run_until_complete(c, c.read(doc))
+        assert r.latency == 0.0  # leased, cached
+
+    def test_write_shared_files_get_no_leases(self):
+        cluster = make()
+        counter = cluster.store.file_datum("/counter")
+        c = cluster.clients[0]
+        for _ in range(3):
+            r = cluster.run_until_complete(c, c.read(counter))
+            assert r.latency > 0.0  # always checks with the server
+        assert cluster.server.engine.table.live_holders(counter, cluster.kernel.now) == set()
+
+    def test_write_shared_writes_never_wait(self):
+        """The paper's point: with a zero term on a write-hot file, writers
+        are never delayed by approvals — even with constant readers."""
+        cluster = make()
+        counter = cluster.store.file_datum("/counter")
+        a, b, c = cluster.clients
+        for reader in (a, b):
+            t = 0.01
+            while t < 20.0:
+                cluster.kernel.schedule_at(t, lambda r=reader, d=counter: r.read(d))
+                t += 0.3
+        cluster.run(until=10.0)
+        rtt = cluster.network.params.round_trip
+        for k in range(5):
+            result = cluster.run_until_complete(c, c.write(counter, b"%d" % k), limit=10.0)
+            assert result.ok
+            assert result.latency < 2 * rtt  # no approval round, ever
+        assert cluster.network.stats["server"].handled(["lease/approve"]) == 0
+        assert cluster.oracle.clean
+
+    def test_mixed_consistency_holds(self):
+        cluster = make()
+        doc = cluster.store.file_datum("/doc")
+        counter = cluster.store.file_datum("/counter")
+        a, b, c = cluster.clients
+        for round_no in range(4):
+            cluster.run_until_complete(a, a.read(doc))
+            cluster.run_until_complete(a, a.read(counter))
+            cluster.run_until_complete(b, b.write(counter, b"r%d" % round_no))
+            cluster.run_until_complete(b, b.write(doc, b"d%d" % round_no), limit=30.0)
+            cluster.run_until_complete(c, c.read(doc), limit=30.0)
+            cluster.run_until_complete(c, c.read(counter))
+        assert cluster.oracle.clean

@@ -1,0 +1,126 @@
+"""Randomized whole-system stress: the oracle must stay clean.
+
+Seeded random workloads (reads, writes, namespace ops) over shared files,
+with random partitions, client crashes, server crashes and message loss.
+Every completed read is linearizability-checked.  This is the repository's
+strongest correctness evidence: the protocol guarantee must hold on every
+interleaving the simulator produces.
+"""
+
+import random
+
+import pytest
+
+from repro.lease.policy import AdaptiveTermPolicy, FixedTermPolicy
+from repro.analytic.params import v_params
+from repro.protocol.client import ClientConfig
+from repro.sim.driver import build_cluster
+from repro.sim.network import NetworkParams
+from repro.storage.store import FileStore
+
+N_FILES = 4
+
+
+def setup_store(store: FileStore) -> None:
+    for i in range(N_FILES):
+        store.create_file(f"/file{i}", b"init")
+
+
+def drive_random_workload(
+    seed: int,
+    n_clients: int = 4,
+    duration: float = 120.0,
+    op_rate: float = 2.0,
+    loss_rate: float = 0.0,
+    faults: bool = False,
+    policy=None,
+):
+    """Run a seeded random workload; returns the cluster."""
+    rng = random.Random(seed)
+    cluster = build_cluster(
+        n_clients=n_clients,
+        policy=policy or FixedTermPolicy(5.0),
+        setup_store=setup_store,
+        network_params=NetworkParams(loss_rate=loss_rate),
+        client_config=ClientConfig(rpc_timeout=0.5, write_timeout=2.0, max_retries=40),
+        seed=seed,
+    )
+    datums = [cluster.store.file_datum(f"/file{i}") for i in range(N_FILES)]
+
+    # Schedule a Poisson-ish stream of operations per client.
+    for client in cluster.clients:
+        t = 0.0
+        while t < duration:
+            t += rng.expovariate(op_rate)
+            datum = rng.choice(datums)
+            if rng.random() < 0.2:
+                content = f"{client.host.name}@{t:.3f}".encode()
+                cluster.kernel.schedule_at(
+                    t, lambda c=client, d=datum, b=content: c.host.up and c.write(d, b)
+                )
+            else:
+                cluster.kernel.schedule_at(
+                    t, lambda c=client, d=datum: c.host.up and c.read(d)
+                )
+
+    if faults:
+        # Random crash windows and partitions sprinkled over the run.
+        for _ in range(3):
+            victim = rng.randrange(n_clients)
+            start = rng.uniform(5.0, duration - 20.0)
+            cluster.faults.crash_window(f"c{victim}", start, rng.uniform(2.0, 10.0))
+        for _ in range(2):
+            victim = rng.randrange(n_clients)
+            start = rng.uniform(5.0, duration - 20.0)
+            cluster.faults.partition_window(
+                [f"c{victim}"],
+                ["server"] + [f"c{i}" for i in range(n_clients) if i != victim],
+                start,
+                rng.uniform(2.0, 8.0),
+            )
+        cluster.faults.crash_window("server", rng.uniform(20.0, 60.0), 2.0)
+
+    cluster.run(until=duration + 60.0)  # drain
+    return cluster
+
+
+class TestRandomWorkloads:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fault_free_runs_are_consistent(self, seed):
+        cluster = drive_random_workload(seed)
+        assert cluster.oracle.reads_checked > 100
+        assert cluster.oracle.clean
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_runs_with_faults_are_consistent(self, seed):
+        cluster = drive_random_workload(seed + 100, faults=True)
+        assert cluster.oracle.reads_checked > 50
+        assert cluster.oracle.clean
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_lossy_network_runs_are_consistent(self, seed):
+        cluster = drive_random_workload(seed + 200, loss_rate=0.15, duration=60.0)
+        assert cluster.oracle.reads_checked > 30
+        assert cluster.oracle.clean
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_faults_plus_loss_are_consistent(self, seed):
+        cluster = drive_random_workload(
+            seed + 300, loss_rate=0.1, duration=60.0, faults=True
+        )
+        assert cluster.oracle.clean
+
+    def test_adaptive_policy_runs_are_consistent(self):
+        cluster = drive_random_workload(
+            seed=42, policy=AdaptiveTermPolicy(v_params(), min_term=0.5, max_term=20.0)
+        )
+        assert cluster.oracle.reads_checked > 100
+        assert cluster.oracle.clean
+
+    def test_determinism_same_seed_same_history(self):
+        a = drive_random_workload(7, duration=30.0)
+        b = drive_random_workload(7, duration=30.0)
+        sa = {k: dict(v.received) for k, v in a.network.stats.items()}
+        sb = {k: dict(v.received) for k, v in b.network.stats.items()}
+        assert sa == sb
+        assert a.oracle.reads_checked == b.oracle.reads_checked

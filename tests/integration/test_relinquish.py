@@ -1,0 +1,107 @@
+"""End-to-end tests for voluntary lease relinquishment (§4)."""
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy
+from repro.sim.driver import build_cluster
+
+TERM = 30.0  # long, so unblocking clearly comes from the relinquish
+
+
+def make(n_clients=3):
+    return build_cluster(
+        n_clients=n_clients,
+        policy=FixedTermPolicy(TERM),
+        setup_store=lambda s: (s.create_file("/f", b"v1"), s.create_file("/g", b"g1")),
+    )
+
+
+class TestRelinquish:
+    def test_relinquish_removes_server_record(self):
+        cluster = make()
+        datum = cluster.store.file_datum("/f")
+        a = cluster.clients[0]
+        cluster.run_until_complete(a, a.read(datum))
+        assert cluster.server.engine.table.live_holders(datum, cluster.kernel.now)
+        a.relinquish(datum)
+        cluster.run(until=cluster.kernel.now + 0.1)
+        assert not cluster.server.engine.table.live_holders(datum, cluster.kernel.now)
+
+    def test_relinquish_unblocks_pending_write_immediately(self):
+        """Without the relinquish, the write would wait ~30 s."""
+        cluster = make()
+        datum = cluster.store.file_datum("/f")
+        a, b, _ = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        cluster.faults.isolate_host("c0")  # a cannot receive approvals...
+        op = b.write(datum, b"v2")
+        cluster.run(until=cluster.kernel.now + 1.0)
+        assert op not in b.results  # blocked on a's lease
+        # heal, then the voluntary relinquish unblocks the writer at once
+        for f in list(cluster.network._link_filters):
+            cluster.network.remove_link_filter(f)
+        a.relinquish(datum)
+        result = cluster.run_until_complete(b, op, limit=10.0)
+        assert result.ok
+        assert result.latency < 2.0  # far less than the 30 s term
+
+    def test_relinquish_unblocks_namespace_write(self):
+        cluster = make()
+        root = cluster.store.dir_datum("/")
+        a, b, _ = cluster.clients
+        cluster.run_until_complete(a, a.read(root))
+        cluster.faults.isolate_host("c0")
+        op = b.namespace_op("mkdir", ("/newdir",))
+        cluster.run(until=cluster.kernel.now + 1.0)
+        assert op not in b.results
+        for f in list(cluster.network._link_filters):
+            cluster.network.remove_link_filter(f)
+        a.relinquish(root)
+        result = cluster.run_until_complete(b, op, limit=10.0)
+        assert result.ok
+
+    def test_read_after_relinquish_revalidates_cheaply(self):
+        cluster = make()
+        datum = cluster.store.file_datum("/f")
+        a = cluster.clients[0]
+        cluster.run_until_complete(a, a.read(datum))
+        a.relinquish(datum)
+        result = cluster.run_until_complete(a, a.read(datum))
+        assert result.ok
+        assert result.latency > 0  # had to revalidate...
+        # ...but the payload came from cache (versioned read, no data)
+        assert cluster.oracle.clean
+
+    def test_relinquish_without_lease_is_noop(self):
+        cluster = make()
+        datum = cluster.store.file_datum("/f")
+        a = cluster.clients[0]
+        before = cluster.network.stats["c0"].handled()
+        a.relinquish(datum)
+        cluster.run(until=1.0)
+        assert cluster.network.stats["c0"].handled() == before
+
+    def test_relinquish_all(self):
+        cluster = make()
+        f, g = cluster.store.file_datum("/f"), cluster.store.file_datum("/g")
+        a = cluster.clients[0]
+        cluster.run_until_complete(a, a.read(f))
+        cluster.run_until_complete(a, a.read(g))
+        effects = a.engine.relinquish_all(a.host.clock.now())
+        a._run_effects(effects)
+        cluster.run(until=cluster.kernel.now + 0.1)
+        table = cluster.server.engine.table
+        assert not table.live_holders(f, cluster.kernel.now)
+        assert not table.live_holders(g, cluster.kernel.now)
+
+    def test_consistency_preserved(self):
+        """Relinquish-heavy workload stays oracle-clean."""
+        cluster = make()
+        datum = cluster.store.file_datum("/f")
+        a, b, c = cluster.clients
+        for round_no in range(5):
+            cluster.run_until_complete(a, a.read(datum))
+            a.relinquish(datum)
+            cluster.run_until_complete(b, b.write(datum, b"r%d" % round_no))
+            cluster.run_until_complete(c, c.read(datum))
+        assert cluster.oracle.clean

@@ -1,0 +1,87 @@
+"""End-to-end write anti-starvation (paper footnote 1).
+
+"To avoid starvation of writes, the server does not grant new leases on a
+file when a write is waiting for approval or for leases to expire."
+Without the guard, a steady stream of readers could renew leases forever
+and a writer would never commit.  These tests subject a writer to a
+continuous, gapless read load and assert the bound.
+"""
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy
+from repro.sim.driver import build_cluster
+
+TERM = 5.0
+
+
+def make(n_readers=6):
+    return build_cluster(
+        n_clients=n_readers + 1,
+        policy=FixedTermPolicy(TERM),
+        setup_store=lambda s: s.create_file("/hot", b"v1"),
+    )
+
+
+class TestAntiStarvation:
+    def test_write_commits_within_one_term_under_read_storm(self):
+        cluster = make()
+        datum = cluster.store.file_datum("/hot")
+        readers, writer = cluster.clients[:-1], cluster.clients[-1]
+        # every reader re-reads 5x per second, forever
+        for i, reader in enumerate(readers):
+            t = 0.01 * i
+            while t < 60.0:
+                cluster.kernel.schedule_at(t, lambda c=reader, d=datum: c.host.up and c.read(d))
+                t += 0.2
+        cluster.run(until=10.0)  # the storm is in full swing
+        result = cluster.run_until_complete(writer, writer.write(datum, b"v2"), limit=30.0)
+        assert result.ok
+        # reachable readers approve quickly: far below even one term
+        assert result.latency < 0.1
+        assert cluster.oracle.clean
+
+    def test_write_bounded_even_with_unreachable_reader(self):
+        """Worst case: one reader can neither approve nor re-extend."""
+        cluster = make()
+        datum = cluster.store.file_datum("/hot")
+        readers, writer = cluster.clients[:-1], cluster.clients[-1]
+        for i, reader in enumerate(readers):
+            t = 0.01 * i
+            while t < 60.0:
+                cluster.kernel.schedule_at(t, lambda c=reader, d=datum: c.host.up and c.read(d))
+                t += 0.2
+        cluster.run(until=10.0)
+        cluster.faults.isolate_host("c0")
+        result = cluster.run_until_complete(writer, writer.write(datum, b"v2"), limit=60.0)
+        assert result.ok
+        assert result.latency <= TERM + 0.1  # bounded by the guard + term
+        assert cluster.oracle.clean
+
+    def test_readers_resume_after_the_write(self):
+        cluster = make(n_readers=3)
+        datum = cluster.store.file_datum("/hot")
+        (r0, r1, r2), writer = cluster.clients[:-1], cluster.clients[-1]
+        for reader in (r0, r1, r2):
+            cluster.run_until_complete(reader, reader.read(datum))
+        cluster.run_until_complete(writer, writer.write(datum, b"v2"), limit=30.0)
+        for reader in (r0, r1, r2):
+            result = cluster.run_until_complete(reader, reader.read(datum), limit=30.0)
+            assert result.value == (2, b"v2")
+
+    def test_back_to_back_writes_all_complete(self):
+        """Writes queue fairly behind each other, not behind readers."""
+        cluster = make(n_readers=4)
+        datum = cluster.store.file_datum("/hot")
+        readers, writer = cluster.clients[:-1], cluster.clients[-1]
+        for i, reader in enumerate(readers):
+            t = 0.01 * i
+            while t < 30.0:
+                cluster.kernel.schedule_at(t, lambda c=reader, d=datum: c.host.up and c.read(d))
+                t += 0.25
+        ops = [writer.write(datum, b"w%d" % k) for k in range(5)]
+        for op in ops:
+            result = cluster.run_until_complete(writer, op, limit=60.0)
+            assert result.ok
+        assert cluster.store.file_at("/hot").version == 6
+        assert cluster.oracle.clean

@@ -1,0 +1,128 @@
+"""Tests for the client-side LeaseSet."""
+
+from repro.lease import LeaseSet
+from repro.types import DatumId
+
+F1 = DatumId.file("f1")
+F2 = DatumId.file("f2")
+F3 = DatumId.file("f3")
+D1 = DatumId.directory("bin")
+
+
+class TestValidity:
+    def test_unknown_datum_invalid(self):
+        assert not LeaseSet().valid(F1, 0.0)
+
+    def test_valid_before_expiry(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=10.0)
+        assert leases.valid(F1, 9.99)
+
+    def test_invalid_at_expiry(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=10.0)
+        assert not leases.valid(F1, 10.0)
+
+    def test_add_never_shortens(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=100.0)
+        leases.add(F1, expires_local=50.0)
+        assert leases.expires_at(F1) == 100.0
+
+    def test_expires_at_unknown_is_none(self):
+        assert LeaseSet().expires_at(F1) is None
+
+    def test_contains_and_len(self):
+        leases = LeaseSet()
+        leases.add(F1, 10.0)
+        leases.add(F2, 10.0)
+        assert F1 in leases
+        assert F3 not in leases
+        assert len(leases) == 2
+
+
+class TestDrop:
+    def test_drop_invalidates(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=10.0)
+        leases.drop(F1)
+        assert not leases.valid(F1, 0.0)
+
+    def test_drop_unknown_is_noop(self):
+        LeaseSet().drop(F1)
+
+    def test_clear_drops_everything(self):
+        leases = LeaseSet()
+        leases.add(F1, 10.0)
+        leases.add(F2, 10.0, cover="bin")
+        leases.clear()
+        assert len(leases) == 0
+        assert leases.cover_members("bin") == set()
+
+
+class TestBatching:
+    def test_extension_batch_covers_all_held(self):
+        """§3.1: extend together all leases the cache still holds."""
+        leases = LeaseSet()
+        leases.add(F1, expires_local=5.0)
+        leases.add(F2, expires_local=500.0)
+        assert set(leases.extension_batch(now=100.0)) == {F1, F2}
+
+    def test_extension_batch_excludes_covered(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=5.0)
+        leases.add(F2, expires_local=5.0, cover="bin")
+        assert leases.extension_batch(now=100.0) == [F1]
+
+    def test_extension_batch_deterministic_order(self):
+        leases = LeaseSet()
+        leases.add(F2, 5.0)
+        leases.add(F1, 5.0)
+        assert leases.extension_batch(0.0) == sorted([F1, F2], key=str)
+
+    def test_expiring_before(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=5.0)
+        leases.add(F2, expires_local=50.0)
+        assert leases.expiring_before(10.0) == [F1]
+
+    def test_held_datums(self):
+        leases = LeaseSet()
+        leases.add(F1, 1.0)
+        leases.add(D1, 1.0)
+        assert leases.held_datums() == {F1, D1}
+
+
+class TestCovers:
+    def test_extend_cover_moves_expiry(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=10.0, cover="bin")
+        leases.add(F2, expires_local=10.0, cover="bin")
+        leases.add(F3, expires_local=10.0)
+        extended = leases.extend_cover("bin", expires_local=50.0)
+        assert extended == 2
+        assert leases.valid(F1, 40.0)
+        assert leases.valid(F2, 40.0)
+        assert not leases.valid(F3, 40.0)
+
+    def test_extend_unknown_cover_extends_nothing(self):
+        assert LeaseSet().extend_cover("nope", 99.0) == 0
+
+    def test_extend_cover_never_shortens(self):
+        leases = LeaseSet()
+        leases.add(F1, expires_local=100.0, cover="bin")
+        leases.extend_cover("bin", expires_local=20.0)
+        assert leases.expires_at(F1) == 100.0
+
+    def test_drop_removes_cover_membership(self):
+        leases = LeaseSet()
+        leases.add(F1, 10.0, cover="bin")
+        leases.drop(F1)
+        assert leases.cover_members("bin") == set()
+
+    def test_cover_can_be_assigned_on_later_add(self):
+        leases = LeaseSet()
+        leases.add(F1, 10.0)
+        leases.add(F1, 12.0, cover="bin")
+        assert leases.cover_members("bin") == {F1}
+        assert leases.extension_batch(0.0) == []

@@ -1,0 +1,106 @@
+"""Tests for the installed-files cover-lease manager."""
+
+import pytest
+
+from repro.lease.installed import InstalledFileManager
+from repro.types import DatumId
+
+LS = DatumId.file("bin/ls")
+CC = DatumId.file("bin/cc")
+HDR = DatumId.file("include/stdio.h")
+
+
+def make_manager():
+    mgr = InstalledFileManager(announce_period=5.0, term=10.0)
+    mgr.register("cover:bin", LS)
+    mgr.register("cover:bin", CC)
+    mgr.register("cover:include", HDR)
+    return mgr
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            InstalledFileManager(announce_period=0.0, term=10.0)
+
+    def test_rejects_term_not_exceeding_period(self):
+        with pytest.raises(ValueError):
+            InstalledFileManager(announce_period=5.0, term=5.0)
+
+
+class TestMembership:
+    def test_register_and_lookup(self):
+        mgr = make_manager()
+        assert mgr.cover_of(LS) == "cover:bin"
+        assert mgr.cover_of(DatumId.file("unknown")) is None
+        assert mgr.members("cover:bin") == {LS, CC}
+        assert mgr.covers() == {"cover:bin", "cover:include"}
+
+    def test_reregister_moves_cover(self):
+        mgr = make_manager()
+        mgr.register("cover:include", LS)
+        assert mgr.cover_of(LS) == "cover:include"
+        assert LS not in mgr.members("cover:bin")
+
+
+class TestAnnouncements:
+    def test_announcement_lists_active_covers(self):
+        mgr = make_manager()
+        covers, term = mgr.announcement(now=0.0)
+        assert covers == ["cover:bin", "cover:include"]
+        assert term == 10.0
+
+    def test_excluded_cover_omitted(self):
+        mgr = make_manager()
+        mgr.announcement(now=0.0)
+        mgr.begin_write(LS, now=1.0)
+        covers, _ = mgr.announcement(now=5.0)
+        assert covers == ["cover:include"]
+
+
+class TestDelayedUpdate:
+    def test_write_waits_for_announced_expiry(self):
+        mgr = make_manager()
+        mgr.announcement(now=3.0)
+        ready_at = mgr.begin_write(LS, now=4.0)
+        assert ready_at == 13.0  # 3.0 + 10.0 term
+
+    def test_write_with_no_announcement_is_immediate(self):
+        mgr = make_manager()
+        assert mgr.begin_write(LS, now=4.0) == 4.0
+
+    def test_finish_write_resumes_announcing_under_new_generation(self):
+        """The resumed cover uses a fresh id: re-announcing the old one
+        would revive expired leases over stale cached copies."""
+        mgr = make_manager()
+        mgr.begin_write(LS, now=0.0)
+        mgr.finish_write(LS)
+        covers, _ = mgr.announcement(now=1.0)
+        assert "cover:bin" not in covers
+        assert "cover:bin#g2" in covers
+        assert mgr.cover_of(LS) == "cover:bin#g2"
+
+    def test_concurrent_writes_keep_cover_excluded(self):
+        mgr = make_manager()
+        mgr.begin_write(LS, now=0.0)
+        mgr.begin_write(CC, now=0.0)
+        mgr.finish_write(LS)
+        assert mgr.write_pending(CC)
+        covers, _ = mgr.announcement(now=1.0)
+        assert not any(c.startswith("cover:bin") for c in covers)
+        mgr.finish_write(CC)
+        covers, _ = mgr.announcement(now=2.0)
+        assert any(c.startswith("cover:bin#") for c in covers)
+
+    def test_write_on_noninstalled_raises(self):
+        mgr = make_manager()
+        with pytest.raises(KeyError):
+            mgr.begin_write(DatumId.file("user/doc.tex"), now=0.0)
+
+    def test_write_pending_flag(self):
+        mgr = make_manager()
+        assert not mgr.write_pending(LS)
+        mgr.begin_write(LS, now=0.0)
+        assert mgr.write_pending(LS)
+        assert mgr.write_pending(CC)  # same cover
+        assert not mgr.write_pending(HDR)

@@ -1,0 +1,79 @@
+"""Tests for the Lease record."""
+
+import math
+
+import pytest
+
+from repro.lease import INFINITE_TERM, Lease, is_infinite
+from repro.types import DatumId
+
+F = DatumId.file("f1")
+
+
+class TestGrant:
+    def test_granted_sets_expiry(self):
+        lease = Lease.granted(F, "c0", now=100.0, term=10.0)
+        assert lease.expires_at == 110.0
+        assert lease.granted_at == 100.0
+        assert lease.term == 10.0
+
+    def test_valid_within_term(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=10.0)
+        assert lease.valid(5.0)
+
+    def test_invalid_at_expiry_instant(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=10.0)
+        assert not lease.valid(10.0)
+
+    def test_zero_term_never_valid(self):
+        lease = Lease.granted(F, "c0", now=5.0, term=0.0)
+        assert not lease.valid(5.0)
+
+    def test_infinite_term_always_valid(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=INFINITE_TERM)
+        assert lease.valid(1e12)
+        assert math.isinf(lease.expires_at)
+
+    def test_negative_term_rejected(self):
+        with pytest.raises(ValueError):
+            Lease.granted(F, "c0", now=0.0, term=-1.0)
+
+
+class TestRenew:
+    def test_renew_extends_expiry(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=10.0)
+        lease.renew(now=8.0, term=10.0)
+        assert lease.expires_at == 18.0
+
+    def test_renew_never_shortens(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=100.0)
+        lease.renew(now=1.0, term=5.0)
+        assert lease.expires_at == 100.0
+
+    def test_renew_after_expiry_revives(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=1.0)
+        lease.renew(now=50.0, term=10.0)
+        assert lease.valid(55.0)
+
+    def test_renew_rejects_negative(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=1.0)
+        with pytest.raises(ValueError):
+            lease.renew(now=0.5, term=-2.0)
+
+
+class TestRemaining:
+    def test_remaining_counts_down(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=10.0)
+        assert lease.remaining(4.0) == pytest.approx(6.0)
+
+    def test_remaining_clamps_at_zero(self):
+        lease = Lease.granted(F, "c0", now=0.0, term=10.0)
+        assert lease.remaining(99.0) == 0.0
+
+
+class TestIsInfinite:
+    def test_recognizes_inf(self):
+        assert is_infinite(INFINITE_TERM)
+
+    def test_rejects_finite(self):
+        assert not is_infinite(1e9)

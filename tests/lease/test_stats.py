@@ -1,0 +1,71 @@
+"""Tests for access-rate estimation."""
+
+import pytest
+
+from repro.lease import DatumStats, RateEstimator
+
+
+class TestRateEstimator:
+    def test_initial_rate_is_zero(self):
+        assert RateEstimator().rate(0.0) == 0.0
+
+    def test_converges_to_steady_rate(self):
+        est = RateEstimator(tau=30.0)
+        for t in range(0, 600):
+            est.record(float(t))  # 1 event per second
+        assert est.rate(600.0) == pytest.approx(1.0, rel=0.05)
+
+    def test_rate_decays_when_idle(self):
+        est = RateEstimator(tau=10.0)
+        for t in range(0, 200):
+            est.record(float(t))
+        busy = est.rate(200.0)
+        idle = est.rate(300.0)
+        assert idle < busy / 100
+
+    def test_bulk_count(self):
+        a = RateEstimator(tau=10.0)
+        b = RateEstimator(tau=10.0)
+        a.record(5.0, count=3.0)
+        for _ in range(3):
+            b.record(5.0)
+        assert a.rate(5.0) == pytest.approx(b.rate(5.0))
+
+    def test_out_of_order_does_not_inflate(self):
+        est = RateEstimator(tau=10.0)
+        est.record(100.0)
+        est.record(50.0)  # clamped, not rewound
+        assert est.rate(100.0) == pytest.approx(0.2)
+
+    def test_rejects_bad_tau(self):
+        with pytest.raises(ValueError):
+            RateEstimator(tau=0.0)
+
+
+class TestDatumStats:
+    def test_snapshot_shape(self):
+        stats = DatumStats()
+        reads, writes, sharing = stats.snapshot(0.0)
+        assert reads == 0.0
+        assert writes == 0.0
+        assert sharing == 1.0
+
+    def test_reads_and_writes_tracked_separately(self):
+        stats = DatumStats()
+        for t in range(100):
+            stats.record_read(float(t))
+        stats.record_write(100.0, holders_at_write=1)
+        reads, writes, _ = stats.snapshot(100.0)
+        assert reads > writes
+
+    def test_sharing_tracks_observed_holders(self):
+        stats = DatumStats()
+        for t in range(50):
+            stats.record_write(float(t), holders_at_write=10)
+        assert stats.sharing == pytest.approx(10.0, abs=0.5)
+
+    def test_sharing_never_below_one(self):
+        stats = DatumStats()
+        for t in range(50):
+            stats.record_write(float(t), holders_at_write=0)
+        assert stats.sharing >= 0.99

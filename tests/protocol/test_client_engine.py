@@ -1,0 +1,352 @@
+"""Unit tests for the client engine, driven sans-io."""
+
+import pytest
+
+from repro.protocol.client import ClientConfig, ClientEngine
+from repro.protocol.effects import CancelTimer, Complete, Send, SetTimer
+from repro.protocol.messages import (
+    ApprovalReply,
+    ApprovalRequest,
+    ExtendGrant,
+    ExtendReply,
+    ExtendRequest,
+    InstalledAnnounce,
+    ReadReply,
+    ReadRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.types import DatumId
+
+F1 = DatumId.file("f1")
+F2 = DatumId.file("f2")
+
+
+def make_client(**overrides):
+    defaults = dict(epsilon=0.0, drift_bound=0.0)
+    defaults.update(overrides)
+    return ClientEngine("c0", "server", config=ClientConfig(**defaults))
+
+
+def only(effects, cls):
+    found = [e for e in effects if isinstance(e, cls)]
+    assert len(found) == 1, f"expected one {cls.__name__}, got {found}"
+    return found[0]
+
+
+def fetch(client, datum=F1, version=1, payload=b"v1", term=10.0, now=0.0):
+    """Drive the client through one full read RPC."""
+    op_id, effects = client.read(datum, now)
+    send = only(effects, Send)
+    reply = ReadReply(
+        send.message.req_id, datum, version=version, payload=payload, term=term
+    )
+    effects = client.handle_message(reply, "server", now)
+    return op_id, effects
+
+
+class TestReadPath:
+    def test_first_read_sends_read_request(self):
+        client = make_client()
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        assert isinstance(send.message, ReadRequest)
+        assert send.dst == "server"
+        assert only(effects, SetTimer).key == f"rpc:{send.message.req_id}"
+
+    def test_read_reply_completes_and_caches(self):
+        client = make_client()
+        op_id, effects = fetch(client)
+        complete = only(effects, Complete)
+        assert complete.op_id == op_id
+        assert complete.value == (1, b"v1")
+        assert client.leases.valid(F1, 5.0)
+
+    def test_cached_read_completes_locally(self):
+        client = make_client()
+        fetch(client)
+        op_id, effects = client.read(F1, now=5.0)
+        complete = only(effects, Complete)
+        assert complete.value == (1, b"v1")
+        assert not [e for e in effects if isinstance(e, Send)]
+        assert client.metrics.local_hits == 1
+
+    def test_expired_lease_triggers_batched_extension(self):
+        client = make_client()
+        fetch(client, F1)
+        fetch(client, F2, payload=b"v2")
+        op_id, effects = client.read(F1, now=20.0)  # both leases expired
+        send = only(effects, Send)
+        assert isinstance(send.message, ExtendRequest)
+        covered = {item[0] for item in send.message.items}
+        assert covered == {F1, F2}  # §3.1: extend everything held
+
+    def test_extension_grant_completes_from_cache(self):
+        client = make_client()
+        fetch(client, F1)
+        op_id, effects = client.read(F1, now=20.0)
+        send = only(effects, Send)
+        reply = ExtendReply(
+            send.message.req_id, grants=(ExtendGrant(F1, 10.0, 1),)
+        )
+        effects = client.handle_message(reply, "server", now=20.001)
+        complete = only(effects, Complete)
+        assert complete.value == (1, b"v1")
+        assert client.leases.valid(F1, 25.0)
+
+    def test_extension_with_changed_payload_updates_cache(self):
+        client = make_client()
+        fetch(client, F1)
+        op_id, effects = client.read(F1, now=20.0)
+        send = only(effects, Send)
+        reply = ExtendReply(
+            send.message.req_id,
+            grants=(ExtendGrant(F1, 10.0, 3, payload=b"v3", changed=True),),
+        )
+        effects = client.handle_message(reply, "server", now=20.001)
+        complete = only(effects, Complete)
+        assert complete.value == (3, b"v3")
+
+    def test_denied_extension_falls_back_to_read(self):
+        client = make_client()
+        fetch(client, F1)
+        op_id, effects = client.read(F1, now=20.0)
+        send = only(effects, Send)
+        reply = ExtendReply(send.message.req_id, denied=(F1,))
+        effects = client.handle_message(reply, "server", now=20.001)
+        follow_up = only(effects, Send)
+        assert isinstance(follow_up.message, ReadRequest)
+        assert not client.leases.valid(F1, 20.1)
+        # the deferred read eventually answers
+        reply = ReadReply(follow_up.message.req_id, F1, version=5, payload=b"v5", term=10.0)
+        effects = client.handle_message(reply, "server", now=21.0)
+        assert only(effects, Complete).value == (5, b"v5")
+
+    def test_concurrent_reads_coalesce_into_one_request(self):
+        client = make_client()
+        op1, e1 = client.read(F1, now=0.0)
+        op2, e2 = client.read(F1, now=0.0)
+        assert [e for e in e1 if isinstance(e, Send)]
+        assert e2 == []  # rides on the first request
+        send = only(e1, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"v1", term=10.0)
+        effects = client.handle_message(reply, "server", now=0.01)
+        completes = [e for e in effects if isinstance(e, Complete)]
+        assert {c.op_id for c in completes} == {op1, op2}
+
+    def test_zero_term_reply_gives_no_lease(self):
+        client = make_client()
+        fetch(client, term=0.0)
+        assert not client.leases.valid(F1, 0.01)
+        # next read goes remote again (check-on-use)
+        op_id, effects = client.read(F1, now=0.02)
+        send = only(effects, Send)
+        assert isinstance(send.message, ReadRequest)
+        assert send.message.cached_version == 1
+
+    def test_unchanged_reply_completes_from_cached_payload(self):
+        client = make_client(batch_extensions=False)
+        fetch(client)
+        op_id, effects = client.read(F1, now=20.0)
+        send = only(effects, Send)
+        assert isinstance(send.message, ReadRequest)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=None, term=10.0)
+        effects = client.handle_message(reply, "server", now=20.001)
+        assert only(effects, Complete).value == (1, b"v1")
+
+    def test_error_reply_fails_op(self):
+        client = make_client()
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, error="no such datum")
+        effects = client.handle_message(reply, "server", now=0.01)
+        complete = only(effects, Complete)
+        assert not complete.ok
+        assert complete.error == "no such datum"
+
+    def test_duplicate_reply_ignored(self):
+        client = make_client()
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"v1", term=10.0)
+        client.handle_message(reply, "server", now=0.01)
+        assert client.handle_message(reply, "server", now=0.02) == []
+
+
+class TestLeaseExpiryBounds:
+    def test_expiry_anchored_at_send_time_minus_epsilon(self):
+        client = make_client(epsilon=0.1)
+        op_id, effects = client.read(F1, now=100.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"x", term=10.0)
+        client.handle_message(reply, "server", now=100.5)
+        assert client.leases.expires_at(F1) == pytest.approx(109.9)  # 100 + 10 - 0.1
+
+    def test_drift_bound_shrinks_term(self):
+        client = make_client(drift_bound=0.01)
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"x", term=100.0)
+        client.handle_message(reply, "server", now=0.5)
+        assert client.leases.expires_at(F1) == pytest.approx(99.0)
+
+
+class TestWritePath:
+    def test_write_sends_request_with_seq(self):
+        client = make_client()
+        op_id, effects = client.write(F1, b"data", now=0.0)
+        send = only(effects, Send)
+        assert isinstance(send.message, WriteRequest)
+        assert send.message.write_seq == 1
+
+    def test_write_seqs_increase(self):
+        client = make_client()
+        _, e1 = client.write(F1, b"a", now=0.0)
+        _, e2 = client.write(F1, b"b", now=0.0)
+        assert only(e2, Send).message.write_seq == only(e1, Send).message.write_seq + 1
+
+    def test_write_reply_completes_and_caches_content(self):
+        client = make_client()
+        op_id, effects = client.write(F1, b"data", now=0.0)
+        send = only(effects, Send)
+        reply = WriteReply(send.message.req_id, F1, version=4)
+        effects = client.handle_message(reply, "server", now=0.01)
+        assert only(effects, Complete).value == 4
+        assert client.cache.peek(F1).payload == b"data"
+        assert client.cache.peek(F1).version == 4
+
+    def test_read_does_not_coalesce_onto_write(self):
+        client = make_client()
+        client.write(F1, b"data", now=0.0)
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        assert isinstance(send.message, ReadRequest)
+
+
+class TestApprovals:
+    def test_approval_invalidates_and_replies(self):
+        client = make_client()
+        fetch(client)
+        effects = client.handle_message(ApprovalRequest(F1, 7, 2), "server", now=1.0)
+        send = only(effects, Send)
+        assert isinstance(send.message, ApprovalReply)
+        assert send.message.write_id == 7
+        assert client.cache.get(F1) is None  # invalidated
+        assert client.leases.valid(F1, 1.5)  # lease kept
+
+    def test_stale_fetch_after_approval_is_refused_and_refetched(self):
+        client = make_client()
+        # A read is in flight; an approval for version 2 lands first.
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        client.handle_message(ApprovalRequest(F1, 7, 2), "server", now=0.001)
+        stale = ReadReply(send.message.req_id, F1, version=1, payload=b"old", term=10.0)
+        effects = client.handle_message(stale, "server", now=0.002)
+        follow_up = only(effects, Send)
+        assert isinstance(follow_up.message, ReadRequest)
+        assert not [e for e in effects if isinstance(e, Complete)]
+        fresh = ReadReply(follow_up.message.req_id, F1, version=2, payload=b"new", term=10.0)
+        effects = client.handle_message(fresh, "server", now=0.01)
+        assert only(effects, Complete).value == (2, b"new")
+
+
+class TestAnnouncements:
+    def test_announce_extends_covered_leases(self):
+        client = make_client(announce_delay_bound=0.0)
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        reply = ReadReply(
+            send.message.req_id, F1, version=1, payload=b"x", term=5.0, cover="bin"
+        )
+        client.handle_message(reply, "server", now=0.01)
+        client.handle_message(InstalledAnnounce(("bin",), 10.0), "server", now=4.0)
+        assert client.leases.valid(F1, 13.0)
+
+    def test_announce_subtracts_delivery_bound(self):
+        client = make_client(announce_delay_bound=0.5)
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        reply = ReadReply(
+            send.message.req_id, F1, version=1, payload=b"x", term=5.0, cover="bin"
+        )
+        client.handle_message(reply, "server", now=0.01)
+        client.handle_message(InstalledAnnounce(("bin",), 10.0), "server", now=4.0)
+        assert client.leases.expires_at(F1) == pytest.approx(13.5)
+
+    def test_covered_datums_excluded_from_extension_batches(self):
+        client = make_client()
+        op_id, effects = client.read(F1, now=0.0)
+        send = only(effects, Send)
+        reply = ReadReply(
+            send.message.req_id, F1, version=1, payload=b"x", term=5.0, cover="bin"
+        )
+        client.handle_message(reply, "server", now=0.01)
+        fetch(client, F2, payload=b"y")
+        op_id, effects = client.read(F2, now=20.0)
+        send = only(effects, Send)
+        assert isinstance(send.message, ExtendRequest)
+        covered = {item[0] for item in send.message.items}
+        assert F1 not in covered
+
+
+class TestRetransmission:
+    def test_timeout_resends_same_message(self):
+        client = make_client()
+        op_id, effects = client.read(F1, now=0.0)
+        original = only(effects, Send).message
+        effects = client.handle_timer(f"rpc:{original.req_id}", now=2.0)
+        resend = only(effects, Send)
+        assert resend.message is original
+        assert client.metrics.retransmissions == 1
+
+    def test_retries_exhaust_into_failure(self):
+        client = make_client(max_retries=2)
+        op_id, effects = client.read(F1, now=0.0)
+        req_id = only(effects, Send).message.req_id
+        client.handle_timer(f"rpc:{req_id}", now=2.0)
+        client.handle_timer(f"rpc:{req_id}", now=4.0)
+        effects = client.handle_timer(f"rpc:{req_id}", now=6.0)
+        complete = only(effects, Complete)
+        assert not complete.ok
+        assert client.metrics.failures == 1
+
+    def test_timeout_of_closed_request_is_noop(self):
+        client = make_client()
+        fetch(client)
+        assert client.handle_timer("rpc:1", now=5.0) == []
+
+
+class TestAnticipatory:
+    def test_anticipate_timer_armed_at_startup(self):
+        client = make_client(anticipatory=True)
+        effects = client.startup_effects(0.0)
+        assert only(effects, SetTimer).key == "anticipate"
+
+    def test_anticipate_renews_expiring_leases(self):
+        client = make_client(anticipatory=True, anticipate_margin=5.0)
+        fetch(client, term=10.0)
+        effects = client.handle_timer("anticipate", now=7.0)  # expires at 10
+        sends = [e for e in effects if isinstance(e, Send)]
+        assert len(sends) == 1
+        assert isinstance(sends[0].message, ExtendRequest)
+
+    def test_anticipate_idles_with_fresh_leases(self):
+        client = make_client(anticipatory=True, anticipate_margin=2.0)
+        fetch(client, term=100.0)
+        effects = client.handle_timer("anticipate", now=1.0)
+        assert not [e for e in effects if isinstance(e, Send)]
+        assert only(effects, SetTimer).key == "anticipate"
+
+
+class TestTempFiles:
+    def test_temp_files_never_touch_server(self):
+        client = make_client()
+        client.write_temp("/tmp/scratch", b"intermediate")
+        assert client.read_temp("/tmp/scratch") == b"intermediate"
+        assert client.outstanding_requests() == 0
+
+    def test_relinquish_drops_holding(self):
+        client = make_client()
+        fetch(client)
+        client.relinquish(F1)
+        assert not client.leases.valid(F1, 0.1)

@@ -1,0 +1,116 @@
+"""Tests for the wire codec."""
+
+import json
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import (
+    ApprovalReply,
+    ApprovalRequest,
+    ExtendGrant,
+    ExtendReply,
+    ExtendRequest,
+    FlushRequest,
+    InstalledAnnounce,
+    NamespaceReply,
+    NamespaceRequest,
+    ReadReply,
+    ReadRequest,
+    RecallReply,
+    RecallRequest,
+    RelinquishRequest,
+    WriteLeaseReply,
+    WriteLeaseRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.types import DatumId
+
+F = DatumId.file("file:1")
+D = DatumId.directory("dir:/bin")
+
+SAMPLES = [
+    ReadRequest(1, F, cached_version=3),
+    ReadRequest(2, D),
+    ReadReply(1, F, version=3, payload=b"\x00binary\xff", term=10.0),
+    ReadReply(2, F, version=1, payload=None, term=0.0, cover="cover:/bin"),
+    ReadReply(3, F, error="no such datum"),
+    ExtendRequest(4, ((F, 1), (D, 2))),
+    ExtendReply(
+        4,
+        grants=(ExtendGrant(F, 10.0, 2, payload=b"x", changed=True),),
+        denied=(D,),
+    ),
+    WriteRequest(5, F, b"content", write_seq=9),
+    WriteReply(5, F, version=4),
+    ApprovalRequest(F, 7, 5),
+    ApprovalReply(F, 7),
+    NamespaceRequest(6, "rename", ("/a", "/b"), write_seq=10),
+    NamespaceReply(6, "rename", result="ok"),
+    InstalledAnnounce(("cover:/bin", "cover:/lib"), 10.0, seq=3),
+    ReadReply(9, F, version=1, payload=b"", term=math.inf),
+    RelinquishRequest((F, D)),
+    WriteLeaseRequest(10, F, cached_version=2),
+    WriteLeaseReply(10, F, version=2, payload=b"x", term=10.0),
+    RecallRequest(F, 3),
+    RecallReply(F, 3, dirty=b"buffered"),
+    RecallReply(F, 4, dirty=None),
+    FlushRequest(11, F, b"dirty", write_seq=12),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: type(m).__name__)
+    def test_roundtrip_equals(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    @pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: type(m).__name__)
+    def test_encoding_is_json_safe(self, msg):
+        json.dumps(encode_message(msg))
+
+    def test_directory_payload_roundtrip(self):
+        payload = (("latex", "file:1", False, "rw"), ("sub", "dir:/bin/sub", True, None))
+        msg = ReadReply(1, D, version=2, payload=payload, term=5.0)
+        decoded = decode_message(encode_message(msg))
+        assert decoded.payload == payload
+
+
+class TestErrors:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"type": "EvilMessage"})
+
+    def test_malformed_fields_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message({"type": "ReadRequest", "nonsense": 1})
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_message(
+                {"type": "ReadRequest", "req_id": 1, "datum": {"__wat__": 1},
+                 "cached_version": None}
+            )
+
+
+class TestProperties:
+    @given(
+        req_id=st.integers(0, 2**31),
+        ident=st.text(min_size=1, max_size=32),
+        version=st.integers(0, 2**31),
+        payload=st.binary(max_size=256),
+        term=st.floats(0, 1e6),
+    )
+    def test_read_reply_roundtrip(self, req_id, ident, version, payload, term):
+        msg = ReadReply(req_id, DatumId.file(ident), version=version, payload=payload, term=term)
+        redecoded = decode_message(json.loads(json.dumps(encode_message(msg))))
+        assert redecoded == msg
+
+    @given(content=st.binary(max_size=512), seq=st.integers(0, 2**31))
+    def test_write_request_roundtrip(self, content, seq):
+        msg = WriteRequest(1, F, content, write_seq=seq)
+        assert decode_message(encode_message(msg)) == msg

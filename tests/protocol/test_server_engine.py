@@ -1,0 +1,478 @@
+"""Unit tests for the server engine, driven sans-io."""
+
+import pytest
+
+from repro.lease.installed import InstalledFileManager
+from repro.lease.policy import FixedTermPolicy, ZeroTermPolicy
+from repro.protocol.effects import Broadcast, Send, SetTimer
+from repro.protocol.messages import (
+    ApprovalReply,
+    ApprovalRequest,
+    ExtendReply,
+    ExtendRequest,
+    NamespaceReply,
+    NamespaceRequest,
+    ReadReply,
+    ReadRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.protocol.server import ServerConfig, ServerEngine
+from repro.storage.store import FileStore
+from repro.types import DatumId, FileClass
+
+
+def make_engine(term=10.0, installed=None, config=None, store=None):
+    if store is None:
+        store = FileStore()
+        store.create_file("/f", b"v1")
+    engine = ServerEngine(
+        "server",
+        store,
+        FixedTermPolicy(term),
+        config=config or ServerConfig(),
+        installed=installed,
+    )
+    return engine, store
+
+
+def sends(effects, msg_type=None):
+    out = [e for e in effects if isinstance(e, Send)]
+    if msg_type is not None:
+        out = [e for e in out if isinstance(e.message, msg_type)]
+    return out
+
+
+class TestRead:
+    def test_read_returns_payload_and_lease(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        effects = engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        (send,) = sends(effects, ReadReply)
+        assert send.dst == "c0"
+        assert send.message.payload == b"v1"
+        assert send.message.version == 1
+        assert send.message.term == 10.0
+        assert engine.table.live_holders(datum, 1.0) == {"c0"}
+
+    def test_read_with_current_cached_version_omits_payload(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        effects = engine.handle_message(
+            ReadRequest(1, datum, cached_version=1), "c0", now=0.0
+        )
+        (send,) = sends(effects, ReadReply)
+        assert send.message.payload is None
+        assert send.message.version == 1
+
+    def test_read_missing_datum_errors(self):
+        engine, store = make_engine()
+        effects = engine.handle_message(
+            ReadRequest(1, DatumId.file("file:999")), "c0", now=0.0
+        )
+        (send,) = sends(effects, ReadReply)
+        assert send.message.error is not None
+
+    def test_zero_term_policy_grants_no_lease(self):
+        engine, store = make_engine(term=0.0)
+        datum = store.file_datum("/f")
+        effects = engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        (send,) = sends(effects, ReadReply)
+        assert send.message.term == 0.0
+        assert engine.table.lease_count() == 0
+
+    def test_read_deferred_while_write_pending(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=1.0)
+        effects = engine.handle_message(ReadRequest(3, datum), "c2", now=1.5)
+        assert effects == []  # deferred, not refused
+        # approval from c0 commits the write, which flushes the read
+        effects = engine.handle_message(ApprovalReply(datum, 1), "c0", now=2.0)
+        read_replies = sends(effects, ReadReply)
+        assert len(read_replies) == 1
+        assert read_replies[0].message.version == 2
+
+    def test_directory_datum_readable(self):
+        engine, store = make_engine()
+        datum = store.dir_datum("/")
+        effects = engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        (send,) = sends(effects, ReadReply)
+        assert send.message.error is None
+        assert any(name == "f" for name, *_ in send.message.payload)
+
+
+class TestExtend:
+    def test_extend_grants_all_clean_items(self):
+        engine, store = make_engine()
+        store.create_file("/g", b"g1")
+        d1, d2 = store.file_datum("/f"), store.file_datum("/g")
+        effects = engine.handle_message(
+            ExtendRequest(1, ((d1, 1), (d2, 1))), "c0", now=0.0
+        )
+        (send,) = sends(effects, ExtendReply)
+        assert len(send.message.grants) == 2
+        assert all(not g.changed for g in send.message.grants)
+
+    def test_extend_sends_payload_when_changed(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        store.commit_file_write(datum, b"v2", now=0.5)
+        effects = engine.handle_message(ExtendRequest(1, ((datum, 1),)), "c0", now=1.0)
+        (send,) = sends(effects, ExtendReply)
+        (grant,) = send.message.grants
+        assert grant.changed
+        assert grant.payload == b"v2"
+        assert grant.version == 2
+
+    def test_extend_denied_while_write_pending(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=1.0)
+        effects = engine.handle_message(ExtendRequest(3, ((datum, 1),)), "c2", now=1.5)
+        (send,) = sends(effects, ExtendReply)
+        assert send.message.denied == (datum,)
+        assert send.message.grants == ()
+
+    def test_extend_denies_missing_datum(self):
+        engine, store = make_engine()
+        ghost = DatumId.file("file:999")
+        effects = engine.handle_message(ExtendRequest(1, ((ghost, 1),)), "c0", now=0.0)
+        (send,) = sends(effects, ExtendReply)
+        assert send.message.denied == (ghost,)
+
+
+class TestWrite:
+    def test_unshared_write_commits_immediately(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        effects = engine.handle_message(
+            WriteRequest(1, datum, b"v2", write_seq=1), "c0", now=0.0
+        )
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2
+        assert store.file_at("/f").content == b"v2"
+
+    def test_writer_with_own_lease_needs_no_approval(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(
+            WriteRequest(2, datum, b"v2", write_seq=1), "c0", now=1.0
+        )
+        assert sends(effects, WriteReply)
+        assert not [e for e in effects if isinstance(e, Broadcast)]
+
+    def test_shared_write_broadcasts_approval_requests(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(ReadRequest(2, datum), "c1", now=0.0)
+        effects = engine.handle_message(
+            WriteRequest(3, datum, b"v2", write_seq=1), "c2", now=1.0
+        )
+        (broadcast,) = [e for e in effects if isinstance(e, Broadcast)]
+        assert set(broadcast.dsts) == {"c0", "c1"}
+        assert isinstance(broadcast.message, ApprovalRequest)
+        assert broadcast.message.new_version == 2
+        # and a deadline timer for lease expiry
+        assert any(
+            isinstance(e, SetTimer) and e.key.startswith("write:") for e in effects
+        )
+
+    def test_write_commits_after_all_approvals(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(ReadRequest(2, datum), "c1", now=0.0)
+        engine.handle_message(WriteRequest(3, datum, b"v2", write_seq=1), "c2", now=1.0)
+        assert engine.handle_message(ApprovalReply(datum, 1), "c0", now=1.1) == []
+        effects = engine.handle_message(ApprovalReply(datum, 1), "c1", now=1.2)
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2
+
+    def test_write_commits_at_lease_expiry_without_approvals(self):
+        """An unreachable leaseholder delays the write only one term (§5)."""
+        engine, store = make_engine(term=10.0)
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(
+            WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=1.0
+        )
+        (timer,) = [e for e in effects if isinstance(e, SetTimer)]
+        assert timer.delay == pytest.approx(9.0)  # until the lease expires
+        effects = engine.handle_timer(timer.key, now=10.0)
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2
+
+    def test_writes_serialize_in_arrival_order(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(WriteRequest(2, datum, b"A", write_seq=1), "c1", now=1.0)
+        engine.handle_message(WriteRequest(3, datum, b"B", write_seq=1), "c2", now=1.0)
+        effects = engine.handle_message(ApprovalReply(datum, 1), "c0", now=1.1)
+        # first write committed; second now waits on c0's still-live lease
+        assert sends(effects, WriteReply)[0].message.version == 2
+        effects = engine.handle_message(ApprovalReply(datum, 2), "c0", now=1.2)
+        assert sends(effects, WriteReply)[0].message.version == 3
+        assert store.file_at("/f").content == b"B"
+
+    def test_duplicate_write_seq_commits_once(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=7), "c0", now=0.0)
+        effects = engine.handle_message(
+            WriteRequest(9, datum, b"v2", write_seq=7), "c0", now=0.5
+        )
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2  # replayed result, no second commit
+        assert store.file_at("/f").version == 2
+
+    def test_inflight_retransmission_swallowed(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=1.0)
+        effects = engine.handle_message(
+            WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=2.0
+        )
+        assert effects == []
+
+    def test_write_to_directory_datum_rejected(self):
+        engine, store = make_engine()
+        datum = store.dir_datum("/")
+        effects = engine.handle_message(
+            WriteRequest(1, datum, b"x", write_seq=1), "c0", now=0.0
+        )
+        (send,) = sends(effects, WriteReply)
+        assert send.message.error is not None
+
+    def test_stale_approval_is_ignored(self):
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        assert engine.handle_message(ApprovalReply(datum, 42), "c0", now=0.0) == []
+
+
+class TestStarvationGuard:
+    def test_no_new_leases_while_write_waits(self):
+        """Footnote 1: reads defer rather than racing the writer."""
+        engine, store = make_engine()
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        engine.handle_message(WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=1.0)
+        # A stream of reads must not extend the wait indefinitely.
+        for i, t in enumerate((1.1, 1.2, 1.3)):
+            assert engine.handle_message(ReadRequest(10 + i, datum), f"r{i}", now=t) == []
+        effects = engine.handle_message(ApprovalReply(datum, 1), "c0", now=2.0)
+        replies = sends(effects, ReadReply)
+        assert len(replies) == 3
+        assert all(r.message.version == 2 for r in replies)
+
+
+class TestRecovery:
+    def test_writes_deferred_during_recovery(self):
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        engine = ServerEngine(
+            "server",
+            store,
+            FixedTermPolicy(10.0),
+            config=ServerConfig(recovery_delay=10.0),
+            now=100.0,
+        )
+        startup = engine.startup_effects(100.0)
+        assert any(
+            isinstance(e, SetTimer) and e.key == "recovery" for e in startup
+        )
+        datum = store.file_datum("/f")
+        assert (
+            engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=1), "c0", 101.0)
+            == []
+        )
+        # reads are fine during recovery
+        effects = engine.handle_message(ReadRequest(2, datum), "c1", 102.0)
+        assert sends(effects, ReadReply)
+        # recovery ends: the write replays and commits
+        effects = engine.handle_timer("recovery", now=110.0)
+        deadline_timers = [e for e in effects if isinstance(e, SetTimer)]
+        # c1 got a lease during recovery, so the write now awaits it
+        assert any(t.key.startswith("write:") for t in deadline_timers)
+
+    def test_retransmission_during_recovery_not_duplicated(self):
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        engine = ServerEngine(
+            "server",
+            store,
+            FixedTermPolicy(10.0),
+            config=ServerConfig(recovery_delay=5.0),
+            now=0.0,
+        )
+        datum = store.file_datum("/f")
+        engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=1), "c0", 1.0)
+        engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=1), "c0", 2.0)
+        effects = engine.handle_timer("recovery", now=5.0)
+        assert store.file_at("/f").version == 2  # exactly one commit
+        assert len(sends(effects, WriteReply)) == 1
+
+
+class TestNamespace:
+    def test_mkdir_and_bind(self):
+        engine, store = make_engine()
+        effects = engine.handle_message(
+            NamespaceRequest(1, "mkdir", ("/src",), write_seq=1), "c0", now=0.0
+        )
+        (send,) = sends(effects, NamespaceReply)
+        assert send.message.error is None
+        effects = engine.handle_message(
+            NamespaceRequest(2, "bind", ("/src/a.c", b"int main;", "normal"), write_seq=2),
+            "c0",
+            now=0.1,
+        )
+        (send,) = sends(effects, NamespaceReply)
+        assert send.message.error is None
+        assert store.file_at("/src/a.c").content == b"int main;"
+
+    def test_rename_requires_approval_of_dir_leaseholders(self):
+        engine, store = make_engine()
+        root = store.dir_datum("/")
+        engine.handle_message(ReadRequest(1, root), "c0", now=0.0)
+        effects = engine.handle_message(
+            NamespaceRequest(2, "rename", ("/f", "/g"), write_seq=1), "c1", now=1.0
+        )
+        (broadcast,) = [e for e in effects if isinstance(e, Broadcast)]
+        assert broadcast.dsts == ("c0",)
+        effects = engine.handle_message(
+            ApprovalReply(root, broadcast.message.write_id), "c0", now=1.1
+        )
+        (send,) = sends(effects, NamespaceReply)
+        assert send.message.error is None
+        assert store.file_at("/g").content == b"v1"
+
+    def test_unbind_removes_file(self):
+        engine, store = make_engine()
+        effects = engine.handle_message(
+            NamespaceRequest(1, "unbind", ("/f",), write_seq=1), "c0", now=0.0
+        )
+        (send,) = sends(effects, NamespaceReply)
+        assert send.message.error is None
+        assert store.file_count() == 0
+
+    def test_namespace_error_propagates(self):
+        engine, store = make_engine()
+        effects = engine.handle_message(
+            NamespaceRequest(1, "unbind", ("/ghost",), write_seq=1), "c0", now=0.0
+        )
+        (send,) = sends(effects, NamespaceReply)
+        assert send.message.error is not None
+
+    def test_namespace_ops_serialize_globally(self):
+        engine, store = make_engine()
+        root = store.dir_datum("/")
+        engine.handle_message(ReadRequest(1, root), "c0", now=0.0)
+        e1 = engine.handle_message(
+            NamespaceRequest(2, "mkdir", ("/a",), write_seq=1), "c1", now=1.0
+        )
+        assert [e for e in e1 if isinstance(e, Broadcast)]
+        e2 = engine.handle_message(
+            NamespaceRequest(3, "mkdir", ("/b",), write_seq=1), "c2", now=1.0
+        )
+        assert e2 == []  # queued behind the first
+        root_pending = [e for e in e1 if isinstance(e, Broadcast)][0]
+        effects = engine.handle_message(
+            ApprovalReply(root, root_pending.message.write_id), "c0", now=1.1
+        )
+        # first committed; second activated and needs c0's approval again
+        replies = sends(effects, NamespaceReply)
+        assert len(replies) == 1
+        assert [e for e in effects if isinstance(e, Broadcast)]
+
+
+class TestInstalled:
+    def make_installed(self):
+        store = FileStore()
+        store.namespace.mkdir("/bin")
+        record = store.create_file("/bin/latex", b"bin-v1", file_class=FileClass.INSTALLED)
+        installed = InstalledFileManager(announce_period=5.0, term=10.0)
+        datum = DatumId.file(record.file_id)
+        installed.register("cover:/bin", datum)
+        engine = ServerEngine(
+            "server", store, FixedTermPolicy(10.0), installed=installed
+        )
+        return engine, store, datum
+
+    def test_startup_announces_and_rearms(self):
+        engine, store, datum = self.make_installed()
+        engine.known_clients.add("c0")
+        effects = engine.startup_effects(0.0)
+        assert any(isinstance(e, Broadcast) for e in effects)
+        assert any(isinstance(e, SetTimer) and e.key == "announce" for e in effects)
+
+    def test_read_of_covered_datum_keeps_no_record(self):
+        """§4: the server need not track leaseholders of installed files."""
+        engine, store, datum = self.make_installed()
+        engine.startup_effects(0.0)
+        effects = engine.handle_message(ReadRequest(1, datum), "c0", now=1.0)
+        (send,) = sends(effects, ReadReply)
+        assert send.message.cover == "cover:/bin"
+        assert send.message.term == pytest.approx(9.0)  # rest of announce window
+        assert engine.table.lease_count() == 0
+
+    def test_covered_write_waits_out_announcement(self):
+        engine, store, datum = self.make_installed()
+        engine.startup_effects(0.0)  # announcement at t=0, expires t=10
+        effects = engine.handle_message(
+            WriteRequest(1, datum, b"bin-v2", write_seq=1), "c0", now=2.0
+        )
+        (timer,) = [e for e in effects if isinstance(e, SetTimer)]
+        assert timer.key.startswith("iwrite:")
+        assert timer.delay == pytest.approx(10.0 - 2.0 + engine.config.announce_grace)
+        effects = engine.handle_timer(timer.key, now=2.0 + timer.delay)
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2
+
+    def test_excluded_cover_not_announced_until_write_done(self):
+        engine, store, datum = self.make_installed()
+        engine.known_clients.add("c0")
+        engine.startup_effects(0.0)
+        effects = engine.handle_message(
+            WriteRequest(1, datum, b"v2", write_seq=1), "c0", now=2.0
+        )
+        (timer,) = [e for e in effects if isinstance(e, SetTimer)]
+        announce = engine.handle_timer("announce", now=5.0)
+        assert not any(isinstance(e, Broadcast) for e in announce)
+        engine.handle_timer(timer.key, now=2.0 + timer.delay)
+        announce = engine.handle_timer("announce", now=15.0)
+        assert any(isinstance(e, Broadcast) for e in announce)
+
+    def test_reads_deferred_during_covered_write(self):
+        engine, store, datum = self.make_installed()
+        engine.startup_effects(0.0)
+        engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=1), "c0", now=2.0)
+        assert engine.handle_message(ReadRequest(2, datum), "c1", now=3.0) == []
+
+    def test_update_changes_the_announced_cover_id(self):
+        """Regression (found by the kitchen-sink test): re-announcing the
+        pre-update cover id would revive expired leases over stale cached
+        copies at every client.  After an update the cover must be
+        announced under a new id so old holdings stay dead."""
+        engine, store, datum = self.make_installed()
+        engine.known_clients.add("c0")
+        engine.startup_effects(0.0)
+        old_reply = engine.handle_message(ReadRequest(1, datum), "c0", now=1.0)
+        old_cover = sends(old_reply, ReadReply)[0].message.cover
+        effects = engine.handle_message(
+            WriteRequest(2, datum, b"v2", write_seq=1), "c0", now=2.0
+        )
+        (timer,) = [e for e in effects if isinstance(e, SetTimer)]
+        engine.handle_timer(timer.key, now=2.0 + timer.delay)  # commit
+        announce = engine.handle_timer("announce", now=15.0)
+        (broadcast,) = [e for e in announce if isinstance(e, Broadcast)]
+        assert old_cover not in broadcast.message.covers
+        new_reply = engine.handle_message(ReadRequest(3, datum), "c0", now=16.0)
+        new_cover = sends(new_reply, ReadReply)[0].message.cover
+        assert new_cover != old_cover
+        assert new_cover in broadcast.message.covers

@@ -1,0 +1,108 @@
+"""End-to-end tests of the command-line interface (real subprocesses)."""
+
+import socket
+import subprocess
+import sys
+import time
+
+import pytest
+
+
+def free_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+def cli(*args, port, transport="tcp", timeout=20):
+    return subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "repro.runtime",
+            "client",
+            "--port",
+            str(port),
+            "--transport",
+            transport,
+            *args,
+        ],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.fixture(scope="module", params=["tcp", "udp"])
+def server(request):
+    transport = request.param
+    port = free_port()
+    proc = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.runtime",
+            "server",
+            "--port",
+            str(port),
+            "--transport",
+            transport,
+            "--term",
+            "5",
+            "--file",
+            "/etc/motd=hello",
+            "--file",
+            "/data/config=v1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    # wait for the startup banner
+    deadline = time.time() + 15
+    line = ""
+    while time.time() < deadline:
+        line = proc.stdout.readline()
+        if "lease server" in line:
+            break
+    else:  # pragma: no cover - startup failure
+        proc.kill()
+        pytest.fail(f"server did not start: {line}")
+    yield port, transport
+    proc.terminate()
+    proc.wait(timeout=10)
+
+
+class TestCli:
+    def test_read(self, server):
+        port, transport = server
+        result = cli("read", "/etc/motd", port=port, transport=transport)
+        assert result.returncode == 0, result.stderr
+        assert "hello" in result.stdout
+
+    def test_write_then_read(self, server):
+        port, transport = server
+        result = cli("write", "/data/config", "v2-from-cli", port=port, transport=transport)
+        assert result.returncode == 0, result.stderr
+        assert "committed" in result.stdout
+        result = cli("read", "/data/config", port=port, transport=transport)
+        assert "v2-from-cli" in result.stdout
+
+    def test_ls(self, server):
+        port, transport = server
+        result = cli("ls", "/", port=port, transport=transport)
+        assert "etc" in result.stdout and "data" in result.stdout
+
+    def test_create_rename_remove(self, server):
+        port, transport = server
+        name = f"/scratch-{transport}.txt"
+        renamed = f"/kept-{transport}.txt"
+        assert "created" in cli("create", name, "temp", port=port, transport=transport).stdout
+        assert "renamed" in cli("mv", name, renamed, port=port, transport=transport).stdout
+        assert "temp" in cli("read", renamed, port=port, transport=transport).stdout
+        assert "removed" in cli("rm", renamed, port=port, transport=transport).stdout
+
+    def test_missing_file_reports_error(self, server):
+        port, transport = server
+        result = cli("read", "/no/such/file", port=port, transport=transport)
+        assert result.returncode != 0

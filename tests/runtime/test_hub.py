@@ -1,0 +1,122 @@
+"""Direct tests for the in-memory hub transport."""
+
+import asyncio
+
+import pytest
+
+from repro.protocol.messages import ReadRequest
+from repro.runtime.transport import InMemoryHub
+from repro.types import DatumId
+
+MSG = ReadRequest(1, DatumId.file("f"))
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def exchange(hub, src="a", dst="b", message=MSG, settle=0.05):
+    received = []
+    endpoint_a = hub.endpoint(src)
+    endpoint_b = hub.endpoint(dst)
+    endpoint_b.set_handler(lambda m, s: received.append((m, s)))
+    await endpoint_a.send(dst, message)
+    await asyncio.sleep(settle)
+    return received
+
+
+class TestDelivery:
+    def test_basic_delivery(self):
+        async def scenario():
+            hub = InMemoryHub()
+            received = await exchange(hub)
+            assert received == [(MSG, "a")]
+
+        run(scenario())
+
+    def test_unknown_destination_counts_as_drop(self):
+        async def scenario():
+            hub = InMemoryHub()
+            sender = hub.endpoint("a")
+            await sender.send("ghost", MSG)
+            await asyncio.sleep(0.02)
+            assert hub.dropped == 1
+
+        run(scenario())
+
+    def test_latency_delays_delivery(self):
+        async def scenario():
+            hub = InMemoryHub(latency=0.1)
+            received = []
+            hub.endpoint("b").set_handler(lambda m, s: received.append(m))
+            await hub.endpoint("a").send("b", MSG)
+            await asyncio.sleep(0.02)
+            assert received == []
+            await asyncio.sleep(0.15)
+            assert received == [MSG]
+
+        run(scenario())
+
+    def test_loss_rate_drops_messages(self):
+        async def scenario():
+            hub = InMemoryHub(loss_rate=1.0)
+            received = await exchange(hub)
+            assert received == []
+            assert hub.dropped == 1
+
+        run(scenario())
+
+    def test_loss_rate_validation(self):
+        with pytest.raises(ValueError):
+            InMemoryHub(loss_rate=2.0)
+
+
+class TestPartitions:
+    def test_block_is_directional(self):
+        async def scenario():
+            hub = InMemoryHub()
+            hub.endpoint("a")
+            hub.endpoint("b")
+            hub.block("a", "b")
+            assert await exchange(hub, "a", "b") == []
+            assert len(await exchange(hub, "b", "a")) == 1
+
+        run(scenario())
+
+    def test_unblock(self):
+        async def scenario():
+            hub = InMemoryHub()
+            hub.endpoint("a")
+            hub.endpoint("b")
+            hub.block("a", "b")
+            hub.unblock("a", "b")
+            assert len(await exchange(hub)) == 1
+
+        run(scenario())
+
+    def test_isolate_and_heal(self):
+        async def scenario():
+            hub = InMemoryHub()
+            for name in ("a", "b", "c"):
+                hub.endpoint(name)
+            hub.isolate("a")
+            assert await exchange(hub, "a", "b") == []
+            assert await exchange(hub, "c", "a") == []
+            assert len(await exchange(hub, "b", "c")) == 1
+            hub.heal()
+            assert len(await exchange(hub, "a", "b")) == 1
+
+        run(scenario())
+
+    def test_close_stops_delivery(self):
+        async def scenario():
+            hub = InMemoryHub()
+            received = []
+            endpoint_b = hub.endpoint("b")
+            endpoint_b.set_handler(lambda m, s: received.append(m))
+            await endpoint_b.close()
+            await hub.endpoint("a").send("b", MSG)
+            await asyncio.sleep(0.02)
+            assert received == []
+
+        run(scenario())

@@ -1,0 +1,119 @@
+"""Error-path tests for the asyncio nodes."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import ReproError
+from repro.lease.policy import FixedTermPolicy, ZeroTermPolicy
+from repro.protocol.client import ClientConfig
+from repro.protocol.server import ServerConfig
+from repro.runtime import InMemoryHub, LeaseClientNode, LeaseServerNode
+from repro.storage.store import FileStore
+from repro.types import DatumId
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def make_world(term=1.0, client_config=None):
+    hub = InMemoryHub()
+    store = FileStore()
+    store.create_file("/doc", b"v1")
+    server = LeaseServerNode(
+        hub.endpoint("server"),
+        store,
+        FixedTermPolicy(term),
+        config=ServerConfig(epsilon=0.01, announce_period=0.5, sweep_period=10.0),
+    )
+    client = LeaseClientNode(
+        hub.endpoint("c0"),
+        "server",
+        config=client_config
+        or ClientConfig(epsilon=0.01, rpc_timeout=0.1, write_timeout=0.1, max_retries=2),
+    )
+    return hub, store, server, client
+
+
+class TestNodeErrors:
+    def test_missing_datum_raises_repro_error(self):
+        async def scenario():
+            hub, store, server, client = await make_world()
+            with pytest.raises(ReproError, match="no such datum"):
+                await client.read(DatumId.file("file:404"))
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_unreachable_server_times_out(self):
+        async def scenario():
+            hub, store, server, client = await make_world()
+            hub.isolate("c0")
+            with pytest.raises(ReproError, match="timed out"):
+                await asyncio.wait_for(client.read(store.file_datum("/doc")), 5.0)
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_namespace_error_propagates(self):
+        async def scenario():
+            hub, store, server, client = await make_world()
+            with pytest.raises(ReproError):
+                await client.namespace_op("unbind", ("/ghost",))
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_failed_op_does_not_poison_later_ops(self):
+        async def scenario():
+            hub, store, server, client = await make_world()
+            with pytest.raises(ReproError):
+                await client.read(DatumId.file("file:404"))
+            version, payload = await client.read(store.file_datum("/doc"))
+            assert payload == b"v1"
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_relinquish_then_read_revalidates(self):
+        async def scenario():
+            hub, store, server, client = await make_world(term=5.0)
+            datum = store.file_datum("/doc")
+            await client.read(datum)
+            client.relinquish(datum)
+            await asyncio.sleep(0.05)
+            assert not server.engine.table.live_holders(
+                datum, server.clock.now()
+            )
+            version, payload = await client.read(datum)
+            assert payload == b"v1"
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+    def test_zero_term_server_still_serves(self):
+        async def scenario():
+            hub = InMemoryHub()
+            store = FileStore()
+            store.create_file("/doc", b"v1")
+            server = LeaseServerNode(
+                hub.endpoint("server"), store, ZeroTermPolicy(),
+                config=ServerConfig(epsilon=0.01, announce_period=0.5, sweep_period=10.0),
+            )
+            client = LeaseClientNode(
+                hub.endpoint("c0"), "server", config=ClientConfig(epsilon=0.01)
+            )
+            datum = store.file_datum("/doc")
+            for _ in range(3):
+                assert (await client.read(datum))[1] == b"v1"
+            assert server.engine.table.lease_count() == 0
+            await client.close()
+            await server.close()
+
+        run(scenario())

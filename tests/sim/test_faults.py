@@ -1,0 +1,175 @@
+"""Tests for fault injection: partitions, crash windows, isolation."""
+
+import pytest
+
+from repro.sim.faults import FaultInjector, Partition
+from repro.sim.host import Host
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, NetworkParams
+
+
+def make_world(names=("server", "c0", "c1")):
+    kernel = Kernel()
+    net = Network(kernel, NetworkParams(m_prop=0.001, m_proc=0.0005))
+    hosts = {}
+    for n in names:
+        h = Host(n, kernel)
+        net.attach(h)
+        hosts[n] = h
+    return kernel, net, hosts
+
+
+class TestPartition:
+    def test_overlapping_sides_rejected(self):
+        with pytest.raises(ValueError):
+            Partition(["a", "b"], ["b", "c"])
+
+    def test_inactive_partition_allows_all(self):
+        part = Partition(["a"], ["b"])
+        assert part("a", "b")
+
+    def test_active_partition_blocks_both_directions(self):
+        part = Partition(["a"], ["b"])
+        part.active = True
+        assert not part("a", "b")
+        assert not part("b", "a")
+
+    def test_active_partition_spares_outsiders(self):
+        part = Partition(["a"], ["b"])
+        part.active = True
+        assert part("a", "c")
+        assert part("c", "b")
+        assert part("c", "d")
+
+
+class TestInjector:
+    def test_partition_blocks_traffic(self):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        seen = []
+        hosts["server"].set_handler(lambda p, s: seen.append(p))
+        inj.partition(["c0"], ["server"])
+        net.unicast("c0", "server", "blocked")
+        net.unicast("c1", "server", "passes")
+        kernel.run()
+        assert seen == ["passes"]
+
+    def test_heal_restores_traffic(self):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        seen = []
+        hosts["server"].set_handler(lambda p, s: seen.append(p))
+        part = inj.partition(["c0"], ["server"])
+        inj.heal(part)
+        net.unicast("c0", "server", "ok")
+        kernel.run()
+        assert seen == ["ok"]
+
+    def test_partition_window_schedules_start_and_stop(self):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        seen = []
+        hosts["server"].set_handler(lambda p, s: seen.append((p, kernel.now)))
+        inj.partition_window(["c0"], ["server"], start=10.0, duration=5.0)
+
+        kernel.schedule_at(1.0, net.unicast, "c0", "server", "before")
+        kernel.schedule_at(12.0, net.unicast, "c0", "server", "during")
+        kernel.schedule_at(20.0, net.unicast, "c0", "server", "after")
+        kernel.run()
+        payloads = [p for p, _ in seen]
+        assert payloads == ["before", "after"]
+
+    def test_crash_window(self):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        seen = []
+        hosts["c0"].set_handler(lambda p, s: seen.append(p))
+        inj.crash_window("c0", start=5.0, duration=10.0)
+        kernel.schedule_at(6.0, net.unicast, "server", "c0", "lost")
+        kernel.schedule_at(16.0, net.unicast, "server", "c0", "delivered")
+        kernel.run()
+        assert seen == ["delivered"]
+        assert not hosts["c0"].up if kernel.now < 15 else hosts["c0"].up
+
+    def test_isolate_host_cuts_all_links(self):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        seen = []
+        hosts["server"].set_handler(lambda p, s: seen.append(p))
+        hosts["c1"].set_handler(lambda p, s: seen.append(p))
+        inj.isolate_host("c0")
+        net.unicast("c0", "server", "a")
+        net.unicast("c0", "c1", "b")
+        net.unicast("c1", "server", "c")
+        kernel.run()
+        assert seen == ["c"]
+
+
+class TestClockFaults:
+    def test_step_clock_at(self):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        inj.step_clock_at("c0", time=5.0, delta=-2.0)
+        kernel.run(until=4.0)
+        assert hosts["c0"].clock.now() == pytest.approx(4.0)
+        kernel.run(until=6.0)
+        assert hosts["c0"].clock.now() == pytest.approx(4.0)  # 6 - 2
+
+    def test_set_drift_is_continuous(self):
+        """The reading must not jump when the rate changes."""
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        inj.set_drift_at("c0", time=10.0, drift=1.0)
+        kernel.run(until=10.0)
+        at_change = hosts["c0"].clock.now()
+        assert at_change == pytest.approx(10.0)
+        kernel.run(until=15.0)
+        # 5 kernel seconds at double rate = 10 local seconds
+        assert hosts["c0"].clock.now() == pytest.approx(at_change + 10.0)
+
+    def test_drift_fault_breaks_consistency_end_to_end(self):
+        """The injector reproduces the §5 failure without manual clock
+        plumbing: the client's crystal goes slow mid-lease."""
+        from repro.lease.policy import FixedTermPolicy
+        from repro.sim.driver import build_cluster
+
+        cluster = build_cluster(
+            n_clients=2,
+            policy=FixedTermPolicy(10.0),
+            setup_store=lambda s: s.create_file("/f", b"v1"),
+            strict_oracle=False,
+        )
+        datum = cluster.store.file_datum("/f")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        cluster.faults.set_drift_at("c0", time=1.0, drift=-0.9)  # 10x slow
+        cluster.run(until=11.0)
+        cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+        cluster.run(until=20.0)
+        cluster.run_until_complete(a, a.read(datum), limit=60.0)
+        assert not cluster.oracle.clean
+
+
+class TestHostCrashState:
+    def test_crash_notifies_listeners_once(self):
+        kernel, net, hosts = make_world()
+        calls = []
+        hosts["c0"].on_crash(lambda: calls.append("crash"))
+        hosts["c0"].crash()
+        hosts["c0"].crash()
+        assert calls == ["crash"]
+
+    def test_restart_notifies_listeners(self):
+        kernel, net, hosts = make_world()
+        calls = []
+        hosts["c0"].on_restart(lambda: calls.append("up"))
+        hosts["c0"].crash()
+        hosts["c0"].restart()
+        assert calls == ["up"]
+
+    def test_restart_when_up_is_noop(self):
+        kernel, net, hosts = make_world()
+        calls = []
+        hosts["c0"].on_restart(lambda: calls.append("up"))
+        hosts["c0"].restart()
+        assert calls == []

@@ -1,0 +1,91 @@
+"""Tests for the simulator's path-based file API."""
+
+import pytest
+
+from repro.errors import NoSuchFileError, NotADirectoryError_, ReproError
+from repro.lease.policy import FixedTermPolicy
+from repro.sim.driver import build_cluster
+from repro.sim.fileapi import SimPathClient
+
+
+def make(n_clients=2):
+    cluster = build_cluster(
+        n_clients=n_clients,
+        policy=FixedTermPolicy(10.0),
+        setup_store=lambda s: (
+            s.namespace.mkdir("/docs"),
+            s.create_file("/docs/paper.tex", b"content"),
+            s.create_file("/readme", b"top"),
+        ),
+    )
+    return cluster, [SimPathClient(cluster, c) for c in cluster.clients]
+
+
+class TestResolutionAndIo:
+    def test_read_by_path(self):
+        cluster, (a, _) = make()
+        version, payload = a.read_file("/docs/paper.tex")
+        assert payload == b"content"
+
+    def test_repeated_resolution_cached(self):
+        cluster, (a, _) = make()
+        a.read_file("/docs/paper.tex")
+        before = cluster.network.stats["c0"].handled()
+        a.read_file("/docs/paper.tex")
+        assert cluster.network.stats["c0"].handled() == before  # all cached
+
+    def test_missing_raises(self):
+        cluster, (a, _) = make()
+        with pytest.raises(NoSuchFileError):
+            a.read_file("/docs/ghost.tex")
+
+    def test_file_as_directory_raises(self):
+        cluster, (a, _) = make()
+        with pytest.raises(NotADirectoryError_):
+            a.read_file("/readme/inner")
+
+    def test_write_and_cross_client_read(self):
+        cluster, (a, b) = make()
+        version = a.write_file("/docs/paper.tex", b"v2")
+        assert version == 2
+        assert b.read_file("/docs/paper.tex") == (2, b"v2")
+        assert cluster.oracle.clean
+
+    def test_list_dir(self):
+        cluster, (a, _) = make()
+        assert [e[0] for e in a.list_dir("/")] == ["docs", "readme"]
+
+
+class TestMutation:
+    def test_create_unlink(self):
+        cluster, (a, _) = make()
+        a.create_file("/docs/new.txt", b"x")
+        assert a.read_file("/docs/new.txt")[1] == b"x"
+        a.unlink("/docs/new.txt")
+        with pytest.raises(NoSuchFileError):
+            a.resolve("/docs/new.txt")
+
+    def test_rename_visible_to_other_clients(self):
+        cluster, (a, b) = make()
+        b.read_file("/docs/paper.tex")  # b caches the binding
+        a.rename("/docs/paper.tex", "/docs/final.tex")
+        with pytest.raises(NoSuchFileError):
+            b.resolve("/docs/paper.tex")
+        assert b.read_file("/docs/final.tex")[1] == b"content"
+        assert cluster.oracle.clean
+
+    def test_mkdir_nested(self):
+        cluster, (a, _) = make()
+        a.mkdir("/docs/drafts")
+        a.create_file("/docs/drafts/one.txt", b"1")
+        assert a.read_file("/docs/drafts/one.txt")[1] == b"1"
+
+    def test_error_surfaces_as_exception(self):
+        cluster, (a, _) = make()
+        with pytest.raises(ReproError):
+            a.mkdir("/docs")  # already exists
+
+    def test_temp_files_local(self):
+        cluster, (a, _) = make()
+        a.write_temp("/tmp/scratch", b"local")
+        assert a.client.engine.read_temp("/tmp/scratch") == b"local"

@@ -1,0 +1,175 @@
+"""Unit and property tests for the discrete-event kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.kernel import Kernel
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Kernel().now == 0.0
+
+    def test_events_fire_in_time_order(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(3.0, fired.append, "c")
+        kernel.schedule(1.0, fired.append, "a")
+        kernel.schedule(2.0, fired.append, "b")
+        kernel.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_schedule_order(self):
+        kernel = Kernel()
+        fired = []
+        for tag in "abcde":
+            kernel.schedule(1.0, fired.append, tag)
+        kernel.run()
+        assert fired == list("abcde")
+
+    def test_now_advances_to_event_time(self):
+        kernel = Kernel()
+        seen = []
+        kernel.schedule(2.5, lambda: seen.append(kernel.now))
+        kernel.run()
+        assert seen == [2.5]
+        assert kernel.now == 2.5
+
+    def test_events_can_schedule_events(self):
+        kernel = Kernel()
+        fired = []
+
+        def first():
+            fired.append(("first", kernel.now))
+            kernel.schedule(1.0, second)
+
+        def second():
+            fired.append(("second", kernel.now))
+
+        kernel.schedule(1.0, first)
+        kernel.run()
+        assert fired == [("first", 1.0), ("second", 2.0)]
+
+    def test_schedule_rejects_negative_delay(self):
+        with pytest.raises(SimulationError):
+            Kernel().schedule(-1.0, lambda: None)
+
+    def test_schedule_at_rejects_past(self):
+        kernel = Kernel()
+        kernel.schedule(5.0, lambda: None)
+        kernel.run()
+        with pytest.raises(SimulationError):
+            kernel.schedule_at(4.0, lambda: None)
+
+    def test_zero_delay_runs_after_current_event(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, lambda: (fired.append("a"), kernel.schedule(0.0, fired.append, "b")))
+        kernel.schedule(1.0, fired.append, "c")
+        kernel.run()
+        assert fired[0] == "a"
+        assert set(fired) == {"a", "b", "c"}
+        # zero-delay event at t=1 scheduled during the first event runs after
+        # the already-queued same-time event
+        assert fired == ["a", "c", "b"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        kernel = Kernel()
+        fired = []
+        handle = kernel.schedule(1.0, fired.append, "x")
+        handle.cancel()
+        kernel.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        kernel = Kernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        kernel.run()
+
+    def test_pending_excludes_cancelled(self):
+        kernel = Kernel()
+        keep = kernel.schedule(1.0, lambda: None)
+        drop = kernel.schedule(2.0, lambda: None)
+        drop.cancel()
+        assert kernel.pending() == 1
+        assert not keep.cancelled
+
+
+class TestRunUntil:
+    def test_run_until_stops_before_later_events(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "a")
+        kernel.schedule(10.0, fired.append, "b")
+        kernel.run(until=5.0)
+        assert fired == ["a"]
+        assert kernel.now == 5.0
+
+    def test_run_until_includes_boundary_event(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(5.0, fired.append, "edge")
+        kernel.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_run_until_advances_time_with_no_events(self):
+        kernel = Kernel()
+        kernel.run(until=42.0)
+        assert kernel.now == 42.0
+
+    def test_resume_after_run_until(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(10.0, fired.append, "late")
+        kernel.run(until=5.0)
+        kernel.run()
+        assert fired == ["late"]
+        assert kernel.now == 10.0
+
+
+class TestStep:
+    def test_step_runs_one_event(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "a")
+        kernel.schedule(2.0, fired.append, "b")
+        assert kernel.step()
+        assert fired == ["a"]
+
+    def test_step_returns_false_when_empty(self):
+        assert not Kernel().step()
+
+    def test_step_skips_cancelled(self):
+        kernel = Kernel()
+        fired = []
+        kernel.schedule(1.0, fired.append, "a").cancel()
+        kernel.schedule(2.0, fired.append, "b")
+        assert kernel.step()
+        assert fired == ["b"]
+
+
+class TestDeterminism:
+    def test_rng_is_seeded(self):
+        a = [Kernel(seed=7).rng.random() for _ in range(3)]
+        b = [Kernel(seed=7).rng.random() for _ in range(3)]
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert Kernel(seed=1).rng.random() != Kernel(seed=2).rng.random()
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=50))
+    def test_events_always_fire_in_nondecreasing_time(self, delays):
+        """Property: observed firing times are sorted regardless of schedule order."""
+        kernel = Kernel()
+        times = []
+        for d in delays:
+            kernel.schedule(d, lambda: times.append(kernel.now))
+        kernel.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)

@@ -1,0 +1,70 @@
+"""Tests for latency summaries."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.driver import OpResult
+from repro.sim.metrics import percentile, summarize_latencies, summarize_ops
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([1.0, 2.0, 3.0], 0.5) == 2.0
+
+    def test_p99_small_sample_is_max(self):
+        assert percentile([1.0, 2.0, 3.0], 0.99) == 3.0
+
+    def test_zero_fraction_is_min(self):
+        assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=200), st.floats(0, 1))
+    def test_percentile_is_an_element(self, values, fraction):
+        values.sort()
+        assert percentile(values, fraction) in values
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=100))
+    def test_percentiles_monotone(self, values):
+        values.sort()
+        assert (
+            percentile(values, 0.1)
+            <= percentile(values, 0.5)
+            <= percentile(values, 0.9)
+        )
+
+
+class TestSummaries:
+    def test_bimodal_distribution_visible(self):
+        """The lease latency signature: mostly zeros, a few round trips."""
+        latencies = [0.0] * 90 + [0.00254] * 9 + [10.0]
+        summary = summarize_latencies(latencies)
+        assert summary.zero_fraction == pytest.approx(0.9)
+        assert summary.p50 == 0.0
+        assert summary.p99 == pytest.approx(0.00254)
+        assert summary.max == 10.0
+        assert summary.mean > summary.p90  # the tail dominates the mean
+
+    def test_str_renders_ms(self):
+        text = str(summarize_latencies([0.001, 0.002]))
+        assert "p50" in text and "ms" in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_summarize_ops_filters_failures(self):
+        results = [
+            OpResult(1, True, None, None, 0.0, 0.1),
+            OpResult(2, False, None, "boom", 0.0, 5.0),
+        ]
+        summary = summarize_ops(results)
+        assert summary.count == 1
+        assert summary.max == pytest.approx(0.1)

@@ -1,0 +1,111 @@
+"""Unit tests for the linearizability oracle."""
+
+import pytest
+
+from repro.errors import ConsistencyViolationError
+from repro.sim.kernel import Kernel
+from repro.sim.oracle import ConsistencyOracle
+from repro.storage.store import FileStore
+from repro.types import DatumId
+
+
+def make():
+    kernel = Kernel()
+    store = FileStore()
+    store.create_file("/f", b"v1")
+    oracle = ConsistencyOracle(kernel, store, strict=True)
+    datum = store.file_datum("/f")
+    return kernel, store, oracle, datum
+
+
+def advance(kernel, to):
+    kernel.run(until=to)
+
+
+class TestHistory:
+    def test_initial_snapshot_recorded(self):
+        kernel, store, oracle, datum = make()
+        assert oracle.legal_versions(datum, 0.0, 0.0) == (1,)
+
+    def test_commits_recorded_with_kernel_time(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        assert oracle.legal_versions(datum, 6.0, 6.0) == (2,)
+
+    def test_directory_changes_recorded(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 2.0)
+        root = store.dir_datum("/")
+        before = oracle.legal_versions(root, 2.0, 2.0)[-1]
+        store.namespace.mkdir("/d")
+        assert oracle.legal_versions(root, 3.0, 3.0) == (before + 1,)
+
+    def test_files_created_after_attach_are_tracked(self):
+        kernel, store, oracle, _ = make()
+        advance(kernel, 1.0)
+        record = store.create_file("/new", b"x")
+        datum = DatumId.file(record.file_id)
+        assert oracle.legal_versions(datum, 2.0, 2.0) == (1,)
+
+
+class TestLegalWindows:
+    def test_interval_spanning_commit_allows_both(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        assert oracle.legal_versions(datum, 4.0, 6.0) == (1, 2)
+
+    def test_point_before_commit_allows_old_only(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        assert oracle.legal_versions(datum, 4.0, 4.5) == (1,)
+
+    def test_unknown_datum_has_no_legal_versions(self):
+        kernel, store, oracle, _ = make()
+        assert oracle.legal_versions(DatumId.file("ghost"), 0.0, 1.0) == ()
+
+
+class TestChecking:
+    def test_current_read_passes(self):
+        kernel, store, oracle, datum = make()
+        oracle.check_read("c0", datum, 1, 0.0, 0.0)
+        assert oracle.clean
+        assert oracle.reads_checked == 1
+
+    def test_overlapping_read_passes_with_either_version(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        oracle.check_read("c0", datum, 1, 4.9, 5.1)
+        oracle.check_read("c0", datum, 2, 4.9, 5.1)
+        assert oracle.clean
+
+    def test_stale_read_raises_in_strict_mode(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        with pytest.raises(ConsistencyViolationError):
+            oracle.check_read("c0", datum, 1, 6.0, 6.0)
+        assert not oracle.clean
+        violation = oracle.violations[0]
+        assert violation.returned_version == 1
+        assert violation.legal_versions == (2,)
+        assert "stale read" in str(violation)
+
+    def test_non_strict_mode_records_without_raising(self):
+        kernel = Kernel()
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        oracle = ConsistencyOracle(kernel, store, strict=False)
+        datum = store.file_datum("/f")
+        kernel.run(until=5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        oracle.check_read("c0", datum, 1, 6.0, 6.0)
+        assert len(oracle.violations) == 1
+
+    def test_future_version_is_also_a_violation(self):
+        kernel, store, oracle, datum = make()
+        with pytest.raises(ConsistencyViolationError):
+            oracle.check_read("c0", datum, 7, 0.0, 0.0)

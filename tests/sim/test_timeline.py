@@ -1,0 +1,100 @@
+"""Tests for the protocol timeline recorder."""
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy
+from repro.sim.driver import build_cluster
+from repro.sim.timeline import Timeline
+
+
+def make():
+    cluster = build_cluster(
+        n_clients=2,
+        policy=FixedTermPolicy(10.0),
+        setup_store=lambda s: s.create_file("/f", b"v1"),
+    )
+    timeline = Timeline(cluster)
+    return cluster, timeline
+
+
+class TestRecording:
+    def test_read_exchange_recorded(self):
+        cluster, timeline = make()
+        datum = cluster.store.file_datum("/f")
+        c = cluster.clients[0]
+        cluster.run_until_complete(c, c.read(datum))
+        assert timeline.count("Read(") == 1
+        assert timeline.count("ReadOk") == 1
+
+    def test_write_approval_commit_sequence(self):
+        cluster, timeline = make()
+        datum = cluster.store.file_datum("/f")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        cluster.run_until_complete(b, b.write(datum, b"v2"))
+        assert timeline.count("Write(") == 1
+        assert timeline.count("Approve?") == 1
+        assert timeline.count("Approve!") == 1
+        assert timeline.count("COMMIT") == 1
+        assert timeline.count("WriteOk") == 1
+        # causality: the commit happens after the approval
+        order = [e.summary.split("(")[0] for e in timeline.events]
+        assert order.index("Approve!") < order.index("* COMMIT".split("(")[0].strip("* ")) or True
+        commit_idx = next(i for i, e in enumerate(timeline.events) if "COMMIT" in e.summary)
+        approve_idx = next(i for i, e in enumerate(timeline.events) if "Approve!" in e.summary)
+        assert approve_idx < commit_idx
+
+    def test_delivery_not_altered(self):
+        cluster, timeline = make()
+        datum = cluster.store.file_datum("/f")
+        c = cluster.clients[0]
+        result = cluster.run_until_complete(c, c.read(datum))
+        assert result.ok
+        assert cluster.oracle.clean
+
+    def test_capacity_bounds_memory(self):
+        cluster, timeline = make()
+        timeline.capacity = 10
+        datum = cluster.store.file_datum("/f")
+        c = cluster.clients[0]
+        for _ in range(30):
+            cluster.run_until_complete(c, c.write(datum, b"x"))
+        assert len(timeline.events) <= 10
+
+
+class TestRendering:
+    def test_render_lane_diagram(self):
+        cluster, timeline = make()
+        datum = cluster.store.file_datum("/f")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        cluster.run_until_complete(b, b.write(datum, b"v2"))
+        text = timeline.render()
+        assert "time (s)" in text
+        assert "c0" in text and "c1" in text and "server" in text
+        assert "->" in text
+        assert "COMMIT" in text
+
+    def test_render_last_n(self):
+        cluster, timeline = make()
+        datum = cluster.store.file_datum("/f")
+        c = cluster.clients[0]
+        for _ in range(5):
+            cluster.run_until_complete(c, c.write(datum, b"x"))
+        lines_all = timeline.render().count("\n")
+        lines_two = timeline.render(last=2).count("\n")
+        assert lines_two < lines_all
+
+    def test_render_empty(self):
+        cluster, timeline = make()
+        assert "no events" in timeline.render()
+
+    def test_filter_by_host(self):
+        cluster, timeline = make()
+        datum = cluster.store.file_datum("/f")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        cluster.run_until_complete(b, b.read(datum))
+        c0_events = timeline.filter("c0")
+        assert c0_events
+        assert all("c0" in (e.src, e.dst) for e in c0_events)

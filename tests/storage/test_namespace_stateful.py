@@ -1,0 +1,154 @@
+"""Stateful property testing of the namespace against a dict model."""
+
+import posixpath
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.errors import (
+    FileExistsError_,
+    NoSuchDirectoryError,
+    NoSuchFileError,
+    NotADirectoryError_,
+)
+from repro.storage.namespace import Namespace
+
+NAMES = ["a", "b", "c", "d"]
+StorageError = (
+    FileExistsError_,
+    NoSuchDirectoryError,
+    NoSuchFileError,
+    NotADirectoryError_,
+)
+
+
+class NamespaceMachine(RuleBasedStateMachine):
+    """The model is a flat dict: path -> 'dir' | file_id."""
+
+    def __init__(self):
+        super().__init__()
+        self.ns = Namespace()
+        self.model = {"/": "dir"}
+        self.counter = 0
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _model_ok_parent(self, path):
+        parent = posixpath.dirname(path) or "/"
+        return self.model.get(parent) == "dir"
+
+    def _paths(self):
+        return sorted(self.model)
+
+    def _candidate_paths(self, draw_name, draw_parent):
+        parent = draw_parent if self.model.get(draw_parent) == "dir" else "/"
+        if parent == "/":
+            return f"/{draw_name}"
+        return f"{parent}/{draw_name}"
+
+    # -- rules ------------------------------------------------------------------------
+
+    @rule(name=st.sampled_from(NAMES), parent=st.sampled_from(["/", "/a", "/a/b", "/b"]))
+    def mkdir(self, name, parent):
+        path = self._candidate_paths(name, parent)
+        should_work = self._model_ok_parent(path) and path not in self.model
+        try:
+            self.ns.mkdir(path)
+            assert should_work, f"mkdir {path} should have failed"
+            self.model[path] = "dir"
+        except StorageError:
+            assert not should_work, f"mkdir {path} should have worked"
+
+    @rule(name=st.sampled_from(NAMES), parent=st.sampled_from(["/", "/a", "/a/b", "/b"]))
+    def bind(self, name, parent):
+        path = self._candidate_paths(name, parent)
+        should_work = self._model_ok_parent(path) and path not in self.model
+        file_id = f"file:{self.counter}"
+        self.counter += 1
+        try:
+            self.ns.bind(path, file_id)
+            assert should_work, f"bind {path} should have failed"
+            self.model[path] = file_id
+        except StorageError:
+            assert not should_work, f"bind {path} should have worked"
+
+    @rule(index=st.integers(0, 30))
+    def unbind(self, index):
+        paths = self._paths()
+        path = paths[index % len(paths)]
+        if path == "/":
+            return
+        is_dir = self.model.get(path) == "dir"
+        has_children = any(
+            p != path and p.startswith(path + "/") for p in self.model
+        )
+        should_work = path in self.model and not (is_dir and has_children)
+        try:
+            self.ns.unbind(path)
+            assert should_work, f"unbind {path} should have failed"
+            del self.model[path]
+        except StorageError:
+            assert not should_work, f"unbind {path} should have worked"
+
+    @rule(index=st.integers(0, 30), name=st.sampled_from(NAMES),
+          parent=st.sampled_from(["/", "/a", "/b"]))
+    def rename(self, index, name, parent):
+        paths = self._paths()
+        old = paths[index % len(paths)]
+        new = self._candidate_paths(name, parent)
+        if old == "/" or new == old or new.startswith(old + "/"):
+            return  # moving into itself: undefined; skipped
+        should_work = (
+            old in self.model
+            and self._model_ok_parent(new)
+            and new not in self.model
+        )
+        try:
+            self.ns.rename(old, new)
+            assert should_work, f"rename {old} -> {new} should have failed"
+            moved = {
+                p: v for p, v in self.model.items()
+                if p == old or p.startswith(old + "/")
+            }
+            for p in moved:
+                del self.model[p]
+            for p, v in moved.items():
+                self.model[new + p[len(old):]] = v
+        except StorageError:
+            assert not should_work, f"rename {old} -> {new} should have worked"
+
+    # -- invariants ---------------------------------------------------------------------
+
+    @invariant()
+    def every_model_path_resolves(self):
+        for path, value in self.model.items():
+            if path == "/":
+                continue
+            entry = self.ns.lookup(path)
+            if value == "dir":
+                assert entry.is_dir
+            else:
+                assert not entry.is_dir
+                assert entry.target == value
+
+    @invariant()
+    def listings_match_model(self):
+        for path, value in self.model.items():
+            if value != "dir":
+                continue
+            expected = sorted(
+                p.rsplit("/", 1)[-1]
+                for p in self.model
+                if p != path
+                and p.startswith(path.rstrip("/") + "/")
+                and "/" not in p[len(path.rstrip("/")) + 1 :]
+            )
+            actual = [e.name for e in self.ns.listdir(path)]
+            assert actual == expected, (path, actual, expected)
+
+
+TestNamespaceMachine = NamespaceMachine.TestCase
+TestNamespaceMachine.settings = settings(
+    max_examples=50, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,114 @@
+"""Tests for the FileStore datum interface."""
+
+import pytest
+
+from repro.errors import NoSuchFileError, PermissionDeniedError
+from repro.storage import FileStore
+from repro.types import DatumId, FileClass
+
+
+def make_store():
+    store = FileStore()
+    store.namespace.mkdir("/bin")
+    store.create_file("/bin/latex", b"v1 binary", file_class=FileClass.INSTALLED)
+    store.create_file("/doc.tex", b"\\documentclass{article}")
+    return store
+
+
+class TestFiles:
+    def test_create_and_read(self):
+        store = make_store()
+        record = store.file_at("/doc.tex")
+        assert record.content == b"\\documentclass{article}"
+        assert record.version == 1
+
+    def test_create_assigns_unique_ids(self):
+        store = make_store()
+        assert store.file_at("/bin/latex").file_id != store.file_at("/doc.tex").file_id
+
+    def test_file_class_recorded(self):
+        store = make_store()
+        assert store.file_at("/bin/latex").file_class is FileClass.INSTALLED
+
+    def test_missing_file_raises(self):
+        with pytest.raises(NoSuchFileError):
+            make_store().file("file:999")
+
+    def test_file_at_directory_raises(self):
+        with pytest.raises(NoSuchFileError):
+            make_store().file_at("/bin")
+
+    def test_unlink_drops_record(self):
+        store = make_store()
+        file_id = store.file_at("/doc.tex").file_id
+        store.unlink("/doc.tex")
+        with pytest.raises(NoSuchFileError):
+            store.file(file_id)
+
+    def test_file_count(self):
+        assert make_store().file_count() == 2
+
+
+class TestWrites:
+    def test_commit_bumps_version_and_mtime(self):
+        store = make_store()
+        datum = store.file_datum("/doc.tex")
+        v = store.commit_file_write(datum, b"edited", now=42.0)
+        assert v == 2
+        record = store.file_at("/doc.tex")
+        assert record.content == b"edited"
+        assert record.mtime == 42.0
+
+    def test_versions_strictly_increase(self):
+        store = make_store()
+        datum = store.file_datum("/doc.tex")
+        versions = [store.commit_file_write(datum, bytes([i]), now=i) for i in range(5)]
+        assert versions == sorted(set(versions))
+
+    def test_readonly_file_rejects_write(self):
+        store = FileStore()
+        store.create_file("/etc/passwd".replace("/etc", ""), b"x", mode="r")
+        datum = store.file_datum("/passwd")
+        with pytest.raises(PermissionDeniedError):
+            store.commit_file_write(datum, b"hacked", now=0.0)
+
+    def test_write_to_directory_datum_rejected(self):
+        store = make_store()
+        with pytest.raises(NoSuchFileError):
+            store.commit_file_write(store.dir_datum("/bin"), b"x", now=0.0)
+
+
+class TestDatumInterface:
+    def test_file_datum_roundtrip(self):
+        store = make_store()
+        datum = store.file_datum("/doc.tex")
+        version, payload = store.read_datum(datum)
+        assert version == 1
+        assert payload == b"\\documentclass{article}"
+
+    def test_dir_datum_payload_includes_modes(self):
+        store = make_store()
+        datum = store.dir_datum("/bin")
+        _, payload = store.read_datum(datum)
+        (name, target, is_dir, mode), = payload
+        assert name == "latex"
+        assert not is_dir
+        assert mode == "rw"
+
+    def test_dir_version_tracks_binding_changes(self):
+        store = make_store()
+        datum = store.dir_datum("/bin")
+        v1 = store.version_of(datum)
+        store.create_file("/bin/dvips", b"")
+        assert store.version_of(datum) == v1 + 1
+
+    def test_datum_exists(self):
+        store = make_store()
+        assert store.datum_exists(store.file_datum("/doc.tex"))
+        assert store.datum_exists(store.dir_datum("/bin"))
+        assert not store.datum_exists(DatumId.file("file:999"))
+        assert not store.datum_exists(DatumId.directory("dir:/ghost"))
+
+    def test_read_missing_datum_raises(self):
+        with pytest.raises(NoSuchFileError):
+            make_store().read_datum(DatumId.file("file:999"))

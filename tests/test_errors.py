@@ -1,0 +1,36 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_lease_errors_grouped(self):
+        assert issubclass(errors.LeaseExpiredError, errors.LeaseError)
+        assert issubclass(errors.LeaseDeniedError, errors.LeaseError)
+
+    def test_storage_errors_grouped(self):
+        for cls in (
+            errors.NoSuchFileError,
+            errors.NoSuchDirectoryError,
+            errors.FileExistsError_,
+            errors.PermissionDeniedError,
+            errors.NotADirectoryError_,
+        ):
+            assert issubclass(cls, errors.StorageError)
+
+    def test_catching_base_covers_subsystems(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.ConsistencyViolationError("stale")
+        with pytest.raises(errors.ReproError):
+            raise errors.RequestTimeoutError("late")
+
+    def test_timeout_is_a_transport_error(self):
+        assert issubclass(errors.RequestTimeoutError, errors.RuntimeTransportError)

@@ -1,0 +1,57 @@
+"""Tests for shared type definitions."""
+
+import pytest
+
+from repro.types import DatumId, DatumKind, FileClass
+
+
+class TestDatumId:
+    def test_file_constructor(self):
+        datum = DatumId.file("file:7")
+        assert datum.kind is DatumKind.FILE
+        assert datum.ident == "file:7"
+
+    def test_directory_constructor(self):
+        datum = DatumId.directory("dir:/bin")
+        assert datum.kind is DatumKind.DIRECTORY
+
+    def test_str_is_compact(self):
+        assert str(DatumId.file("file:7")) == "file:file:7"
+        assert str(DatumId.directory("dir:/")) == "dir:dir:/"
+
+    def test_hashable_and_equal(self):
+        a = DatumId.file("x")
+        b = DatumId.file("x")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert len({a, b}) == 1
+
+    def test_file_and_directory_differ(self):
+        assert DatumId.file("x") != DatumId.directory("x")
+
+    def test_usable_as_dict_key(self):
+        table = {DatumId.file("x"): 1}
+        assert table[DatumId.file("x")] == 1
+
+    def test_tuple_unpacking(self):
+        kind, ident = DatumId.file("x")
+        assert kind is DatumKind.FILE
+        assert ident == "x"
+
+
+class TestFileClass:
+    def test_values_round_trip(self):
+        for fc in FileClass:
+            assert FileClass(fc.value) is fc
+
+    def test_expected_members(self):
+        assert {fc.name for fc in FileClass} == {
+            "NORMAL",
+            "INSTALLED",
+            "TEMPORARY",
+            "WRITE_SHARED",
+        }
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(ValueError):
+            FileClass("bogus")

@@ -1,0 +1,43 @@
+"""Tests for the workload command-line tool."""
+
+import subprocess
+import sys
+
+
+def run_cli(*args, timeout=120):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.workload", *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestWorkloadCli:
+    def test_generate_and_stats_roundtrip(self, tmp_path):
+        out = tmp_path / "trace.txt"
+        result = run_cli("v", "--duration", "600", "--out", str(out))
+        assert result.returncode == 0, result.stderr
+        assert out.exists()
+        stats = run_cli("stats", str(out))
+        assert stats.returncode == 0
+        assert "read/write ratio" in stats.stdout
+        assert "installed reads" in stats.stdout
+
+    def test_poisson_to_stdout(self):
+        result = run_cli("poisson", "--clients", "2", "--duration", "30")
+        assert result.returncode == 0
+        lines = [l for l in result.stdout.splitlines() if l]
+        assert lines
+        assert all(len(l.split()) == 5 for l in lines)
+
+    def test_unix_variant(self, tmp_path):
+        out = tmp_path / "u.txt"
+        result = run_cli("unix", "--duration", "300", "--out", str(out))
+        assert result.returncode == 0
+        stats = run_cli("stats", str(out))
+        assert stats.returncode == 0
+
+    def test_requires_subcommand(self):
+        result = run_cli()
+        assert result.returncode != 0

@@ -1,0 +1,69 @@
+"""Tests for trace records and statistics."""
+
+import io
+
+import pytest
+
+from repro.types import FileClass
+from repro.workload import TraceRecord, load_trace, save_trace, trace_stats
+
+
+def make_trace():
+    return [
+        TraceRecord(0.0, "c0", "read", "/bin/cc", FileClass.INSTALLED),
+        TraceRecord(1.0, "c0", "read", "/src/a.c"),
+        TraceRecord(2.0, "c0", "write", "/tmp/x", FileClass.TEMPORARY),
+        TraceRecord(3.0, "c0", "write", "/src/a.o"),
+        TraceRecord(10.0, "c0", "read", "/src/a.c"),
+    ]
+
+
+class TestRecord:
+    def test_rejects_bad_op(self):
+        with pytest.raises(ValueError):
+            TraceRecord(0.0, "c0", "open", "/x")
+
+    def test_default_class_is_normal(self):
+        assert TraceRecord(0.0, "c0", "read", "/x").file_class is FileClass.NORMAL
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        trace = make_trace()
+        buf = io.StringIO()
+        save_trace(trace, buf)
+        buf.seek(0)
+        assert load_trace(buf) == trace
+
+    def test_load_skips_comments_and_blanks(self):
+        buf = io.StringIO("# header\n\n0.5 c1 read /x normal\n")
+        (record,) = load_trace(buf)
+        assert record.client == "c1"
+        assert record.time == 0.5
+
+
+class TestStats:
+    def test_rates_exclude_temporaries(self):
+        stats = trace_stats(make_trace())
+        assert stats.n_reads == 3
+        assert stats.n_writes == 1
+        assert stats.n_temp_ops == 1
+        assert stats.read_rate == pytest.approx(3 / 10.0)
+        assert stats.write_rate == pytest.approx(1 / 10.0)
+
+    def test_installed_fraction(self):
+        stats = trace_stats(make_trace())
+        assert stats.installed_read_fraction == pytest.approx(1 / 3)
+        assert stats.installed_write_count == 0
+
+    def test_read_write_ratio(self):
+        stats = trace_stats(make_trace())
+        assert stats.read_write_ratio == pytest.approx(3.0)
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats([])
+
+    def test_zero_span_rejected(self):
+        with pytest.raises(ValueError):
+            trace_stats([TraceRecord(1.0, "c0", "read", "/x")])

@@ -1,0 +1,57 @@
+"""Tests for the Poisson model workload."""
+
+import pytest
+
+from repro.workload import PoissonWorkload, trace_stats
+
+
+class TestStructure:
+    def test_groups_partition_clients(self):
+        w = PoissonWorkload(n_clients=6, sharing=3, duration=10.0)
+        assert len(w.groups) == 2
+        all_clients = [c for g in w.groups for c in g.clients]
+        assert sorted(all_clients) == [f"c{i}" for i in range(6)]
+
+    def test_sharing_must_divide(self):
+        with pytest.raises(ValueError):
+            PoissonWorkload(n_clients=5, sharing=2)
+
+    def test_client_group_lookup(self):
+        w = PoissonWorkload(n_clients=4, sharing=2, duration=10.0)
+        assert "c1" in w.client_group("c1").clients
+        with pytest.raises(KeyError):
+            w.client_group("ghost")
+
+
+class TestGeneration:
+    def test_trace_is_time_ordered(self):
+        trace = PoissonWorkload(n_clients=4, duration=100.0).generate()
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_rates_match_parameters(self):
+        w = PoissonWorkload(
+            n_clients=8, read_rate=0.9, write_rate=0.1, duration=2000.0, seed=1
+        )
+        stats = trace_stats(w.generate())
+        assert stats.read_rate == pytest.approx(8 * 0.9, rel=0.08)
+        assert stats.write_rate == pytest.approx(8 * 0.1, rel=0.15)
+
+    def test_deterministic_for_seed(self):
+        a = PoissonWorkload(n_clients=2, duration=50.0, seed=5).generate()
+        b = PoissonWorkload(n_clients=2, duration=50.0, seed=5).generate()
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = PoissonWorkload(n_clients=2, duration=50.0, seed=5).generate()
+        b = PoissonWorkload(n_clients=2, duration=50.0, seed=6).generate()
+        assert a != b
+
+    def test_clients_touch_only_their_group_file(self):
+        w = PoissonWorkload(n_clients=4, sharing=2, duration=100.0)
+        for record in w.generate():
+            assert record.path == w.client_group(record.client).path
+
+    def test_zero_write_rate_produces_no_writes(self):
+        w = PoissonWorkload(n_clients=2, write_rate=0.0, duration=100.0)
+        assert all(r.op == "read" for r in w.generate())

@@ -1,0 +1,205 @@
+"""Tests for the fast trace-driven simulator.
+
+Includes the key cross-validation: the fast path must agree with the full
+discrete-event protocol stack on consistency-message counts.
+"""
+
+import math
+
+import pytest
+
+from repro.analytic import relative_consistency_load, v_params
+from repro.lease.policy import FixedTermPolicy
+from repro.sim.driver import build_cluster
+from repro.types import FileClass
+from repro.workload import (
+    PoissonWorkload,
+    TraceRecord,
+    VTraceConfig,
+    generate_v_trace,
+    simulate_trace,
+)
+
+P = v_params(1)
+
+
+def r(t, op, path, client="c0", fc=FileClass.NORMAL):
+    return TraceRecord(t, client, op, path, fc)
+
+
+class TestBasicAccounting:
+    def test_zero_term_charges_every_read(self):
+        trace = [r(float(i), "read", "/f") for i in range(10)]
+        result = simulate_trace(trace, 0.0, P)
+        assert result.extension_messages == 20
+        assert result.relative_load == 1.0
+
+    def test_reads_within_term_are_free(self):
+        trace = [r(0.0, "read", "/f"), r(1.0, "read", "/f"), r(2.0, "read", "/f")]
+        result = simulate_trace(trace, 10.0, P)
+        assert result.extension_messages == 2  # only the first fetch
+
+    def test_read_after_expiry_extends(self):
+        trace = [r(0.0, "read", "/f"), r(30.0, "read", "/f")]
+        result = simulate_trace(trace, 10.0, P)
+        assert result.extension_messages == 4
+
+    def test_effective_term_shortens_window(self):
+        # term 1.0 => t_c = 1.0 - overhead - epsilon ≈ 0.896
+        trace = [r(0.0, "read", "/f"), r(0.95, "read", "/f")]
+        result = simulate_trace(trace, 1.0, P)
+        assert result.extension_messages == 4  # second read just misses
+
+    def test_infinite_term_only_cold_misses(self):
+        trace = [r(float(i), "read", "/f") for i in range(100)]
+        result = simulate_trace(trace, math.inf, P)
+        assert result.extension_messages == 2
+
+    def test_temporary_files_ignored(self):
+        trace = [
+            r(0.0, "write", "/tmp/x", fc=FileClass.TEMPORARY),
+            r(1.0, "read", "/tmp/x", fc=FileClass.TEMPORARY),
+        ]
+        result = simulate_trace(trace, 10.0, P)
+        assert result.n_reads == 0
+        assert result.n_writes == 0
+        assert result.consistency_messages == 0
+
+    def test_negative_term_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_trace([r(0.0, "read", "/f")], -1.0, P)
+
+
+class TestWrites:
+    def test_unshared_write_costs_nothing(self):
+        trace = [r(0.0, "read", "/f"), r(1.0, "write", "/f")]
+        result = simulate_trace(trace, 10.0, P)
+        assert result.approval_messages == 0
+
+    def test_shared_write_costs_multicast_plus_replies(self):
+        trace = [
+            r(0.0, "read", "/f", client="c0"),
+            r(0.1, "read", "/f", client="c1"),
+            r(0.2, "read", "/f", client="c2"),
+            r(1.0, "write", "/f", client="c0"),
+        ]
+        result = simulate_trace(trace, 10.0, P)
+        assert result.approval_messages == 3  # 1 multicast + 2 replies
+
+    def test_write_invalidates_other_copies(self):
+        trace = [
+            r(0.0, "read", "/f", client="c0"),
+            r(0.1, "read", "/f", client="c1"),
+            r(1.0, "write", "/f", client="c0"),
+            r(2.0, "read", "/f", client="c1"),  # lease valid, copy invalid
+        ]
+        result = simulate_trace(trace, 30.0, P)
+        # c0 fetch + c1 fetch + c1 refetch = 6, approvals = 2
+        assert result.extension_messages == 6
+        assert result.approval_messages == 2
+
+    def test_expired_holders_need_no_approval(self):
+        trace = [
+            r(0.0, "read", "/f", client="c1"),
+            r(50.0, "write", "/f", client="c0"),
+        ]
+        result = simulate_trace(trace, 10.0, P)
+        assert result.approval_messages == 0
+
+    def test_zero_term_writes_need_no_approval(self):
+        trace = [
+            r(0.0, "read", "/f", client="c1"),
+            r(0.5, "write", "/f", client="c0"),
+        ]
+        result = simulate_trace(trace, 0.0, P)
+        assert result.approval_messages == 0
+
+
+class TestBatching:
+    def test_batched_extension_renews_all_held(self):
+        trace = [
+            r(0.0, "read", "/a"),
+            r(0.1, "read", "/b"),
+            # both leases lapse; extending /a renews /b too
+            r(30.0, "read", "/a"),
+            r(31.0, "read", "/b"),
+        ]
+        batched = simulate_trace(trace, 10.0, P, batch_extensions=True)
+        naive = simulate_trace(trace, 10.0, P, batch_extensions=False)
+        assert batched.extension_messages == 6  # /b's second read rides along
+        assert naive.extension_messages == 8
+
+    def test_first_touch_never_batches(self):
+        trace = [r(0.0, "read", "/a"), r(1.0, "read", "/b")]
+        result = simulate_trace(trace, 10.0, P, batch_extensions=True)
+        assert result.extension_messages == 4
+
+
+class TestAgainstAnalyticModel:
+    def test_poisson_single_file_matches_formula(self):
+        """Replaying the model's own workload must reproduce formula (1)."""
+        workload = PoissonWorkload(
+            n_clients=8, sharing=1, duration=4000.0, seed=2
+        )
+        trace = workload.generate()
+        for term in (0.0, 5.0, 10.0, 20.0):
+            result = simulate_trace(trace, term, P)
+            expected = relative_consistency_load(v_params(1), term)
+            assert result.relative_load == pytest.approx(expected, rel=0.08), term
+
+    def test_v_trace_has_sharper_lower_knee(self):
+        """§3.2: the Trace curve lies below the Poisson model — burstiness
+        and batched extension make short terms even more effective."""
+        trace = generate_v_trace(VTraceConfig(duration=3600.0, seed=0))
+        for term in (1.0, 3.0, 5.0, 10.0, 20.0):
+            measured = simulate_trace(trace, term, P).relative_load
+            model = relative_consistency_load(v_params(1), term)
+            assert measured < model, term
+
+    def test_v_trace_10s_gets_most_of_the_benefit(self):
+        """Most of the benefit of a non-zero term by ~10 seconds (§3.2)."""
+        trace = generate_v_trace(VTraceConfig(duration=3600.0, seed=0))
+        at_10 = simulate_trace(trace, 10.0, P).relative_load
+        assert at_10 < 0.12
+
+
+class TestAgainstFullSimulator:
+    def test_fast_path_matches_discrete_event_stack(self):
+        """The fast replay and the full protocol must count (nearly) the
+        same consistency messages for the same workload and term."""
+        workload = PoissonWorkload(n_clients=4, sharing=1, duration=400.0, seed=7)
+        trace = workload.generate()
+
+        def full_sim_messages(term):
+            cluster = build_cluster(
+                n_clients=4,
+                policy=FixedTermPolicy(term),
+                setup_store=lambda store: [
+                    store.create_file(g.path.replace("/shared/", "/"), b"x")
+                    for g in workload.groups
+                ],
+            )
+            datum_of = {
+                g.path: cluster.store.file_datum(g.path.replace("/shared/", "/"))
+                for g in workload.groups
+            }
+            index = {f"c{i}": c for i, c in enumerate(cluster.clients)}
+            for record in trace:
+                client = index[record.client]
+                datum = datum_of[record.path]
+                if record.op == "read":
+                    cluster.kernel.schedule_at(
+                        record.time, lambda c=client, d=datum: c.read(d)
+                    )
+                else:
+                    cluster.kernel.schedule_at(
+                        record.time, lambda c=client, d=datum: c.write(d, b"w")
+                    )
+            cluster.run(until=500.0)
+            stats = cluster.network.stats["server"]
+            return stats.handled(["lease/read", "lease/extend", "lease/approve"])
+
+        for term in (0.0, 10.0):
+            fast = simulate_trace(trace, term, v_params(1)).consistency_messages
+            full = full_sim_messages(term)
+            assert full == pytest.approx(fast, rel=0.05), term

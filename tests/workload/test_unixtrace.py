@@ -1,0 +1,72 @@
+"""Tests for the Unix block-level workload variant (§3.2)."""
+
+import pytest
+
+from repro.types import FileClass
+from repro.workload.events import trace_stats
+from repro.workload.unixtrace import UnixTraceConfig, generate_unix_trace
+from repro.workload.vtrace import VTraceConfig, generate_v_trace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    base = VTraceConfig(duration=1800.0, seed=0)
+    logical = generate_v_trace(base)
+    block = generate_unix_trace(UnixTraceConfig(base=base, seed=0))
+    return logical, block
+
+
+class TestExpansion:
+    def test_higher_read_rate(self, traces):
+        logical, block = traces
+        assert trace_stats(block).read_rate > 1.5 * trace_stats(logical).read_rate
+
+    def test_lower_read_write_ratio(self, traces):
+        logical, block = traces
+        assert trace_stats(block).read_write_ratio < trace_stats(logical).read_write_ratio / 2
+
+    def test_time_ordered(self, traces):
+        _, block = traces
+        times = [r.time for r in block]
+        assert times == sorted(times)
+
+    def test_directory_reads_not_expanded(self, traces):
+        logical, block = traces
+        logical_dir = sum(1 for r in logical if r.op == "read" and r.path == "/vsrc")
+        block_dir = sum(1 for r in block if r.op == "read" and r.path == "/vsrc")
+        assert block_dir == logical_dir
+
+    def test_temporaries_pass_through(self, traces):
+        logical, block = traces
+        count = lambda t: sum(1 for r in t if r.file_class is FileClass.TEMPORARY)
+        assert count(block) == count(logical)
+
+    def test_deterministic(self):
+        cfg = UnixTraceConfig(base=VTraceConfig(duration=300.0, seed=2), seed=2)
+        assert generate_unix_trace(cfg) == generate_unix_trace(cfg)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            UnixTraceConfig(blocks_per_read=0.5)
+
+
+class TestPredictions:
+    def test_section32_predictions_hold(self):
+        from repro.experiments import unix_variant
+
+        result = unix_variant.run(duration=1800.0)
+        # 1-2: rates
+        assert result.block.read_rate > result.logical.read_rate
+        assert result.block.read_write_ratio < result.logical.read_write_ratio
+        # 3: sharper knee
+        assert result.knee_sharper
+        # 4: more sensitive to sharing
+        assert result.max_profitable_sharing("block") < result.max_profitable_sharing(
+            "logical"
+        )
+
+    def test_render(self):
+        from repro.experiments import unix_variant
+
+        text = unix_variant.render(unix_variant.run(duration=900.0))
+        assert "Unix block" in text and "alpha" in text

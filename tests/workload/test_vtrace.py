@@ -1,0 +1,65 @@
+"""Tests that the synthetic V trace reproduces Table 2's statistics."""
+
+import pytest
+
+from repro.types import FileClass
+from repro.workload import VTraceConfig, generate_v_trace, trace_stats
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_v_trace(VTraceConfig(duration=7200.0, seed=0))
+
+
+@pytest.fixture(scope="module")
+def stats(trace):
+    return trace_stats(trace)
+
+
+class TestCalibration:
+    def test_read_rate_matches_table2(self, stats):
+        assert stats.read_rate == pytest.approx(0.864, rel=0.06)
+
+    def test_write_rate_matches_table2(self, stats):
+        assert stats.write_rate == pytest.approx(0.040, rel=0.12)
+
+    def test_read_write_ratio_near_reconstruction(self, stats):
+        assert stats.read_write_ratio == pytest.approx(21.6, rel=0.15)
+
+    def test_installed_files_about_half_of_reads(self, stats):
+        """§4: installed files account for almost half of all reads."""
+        assert stats.installed_read_fraction == pytest.approx(0.5, abs=0.03)
+
+    def test_installed_files_never_written(self, stats):
+        """§4: ... but no writes."""
+        assert stats.installed_write_count == 0
+
+    def test_temporaries_present_but_local(self, trace, stats):
+        temp = [r for r in trace if r.file_class is FileClass.TEMPORARY]
+        assert temp, "compile cycles must produce temporaries"
+        assert all(r.op == "write" for r in temp)
+
+
+class TestBurstiness:
+    def test_trace_is_burstier_than_poisson(self, trace):
+        """The paper: actual access is burstier than Poisson, giving the
+        Trace curve its sharper knee.  Coefficient of variation of the
+        interarrival times must exceed 1 (the Poisson value)."""
+        from statistics import mean, stdev
+
+        times = [r.time for r in trace if r.file_class is not FileClass.TEMPORARY]
+        gaps = [b - a for a, b in zip(times, times[1:]) if b > a]
+        cv = stdev(gaps) / mean(gaps)
+        assert cv > 1.3
+
+    def test_time_ordered(self, trace):
+        times = [r.time for r in trace]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        a = generate_v_trace(VTraceConfig(duration=600.0, seed=3))
+        b = generate_v_trace(VTraceConfig(duration=600.0, seed=3))
+        assert a == b
+
+    def test_single_client(self, trace):
+        assert {r.client for r in trace} == {"c0"}
