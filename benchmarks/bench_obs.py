@@ -1,0 +1,106 @@
+"""Measure the observability layer's overhead; emit ``BENCH_obs.json``.
+
+Runs the end-to-end simulated-read scenario (the same workload as
+``benchmarks/test_engine_throughput.py::TestEndToEnd``) three ways:
+
+* ``disabled`` — ``obs=None``: the hot paths pay one ``None``/``active``
+  check per emission site.  The acceptance bar is < 5 % overhead versus
+  the pre-instrumentation baseline; since that baseline no longer exists
+  in-tree, the artifact records disabled-vs-enabled and the disabled
+  path's absolute cost so regressions are visible run over run.
+* ``inactive_bus`` — a real bus with ``active=False``: components hold a
+  bus object but never build payloads.
+* ``enabled`` — a capacity-bounded active bus recording everything.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_obs.py [--rounds N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+from repro.lease.policy import FixedTermPolicy
+from repro.obs import TraceBus
+from repro.sim.driver import build_cluster
+
+N_CLIENTS = 4
+N_ROUNDS_DEFAULT = 5
+READS_PER_CLIENT = 500
+
+
+def run_scenario(obs: TraceBus | None) -> int:
+    """Drive 2000 leased reads end to end; returns reads checked."""
+    cluster = build_cluster(
+        n_clients=N_CLIENTS,
+        policy=FixedTermPolicy(10.0),
+        setup_store=lambda store: store.create_file("/f", b"v1"),
+        obs=obs,
+    )
+    datum = cluster.store.file_datum("/f")
+    for k in range(READS_PER_CLIENT):
+        for client in cluster.clients:
+            cluster.kernel.schedule_at(0.001 * k, lambda c=client, d=datum: c.read(d))
+    cluster.run(until=5.0)
+    return cluster.oracle.reads_checked
+
+
+def time_mode(make_obs, rounds: int) -> dict:
+    """Best-of-``rounds`` wall time (seconds) for one obs configuration."""
+    times = []
+    reads = 0
+    for _ in range(rounds):
+        obs = make_obs()
+        start = time.perf_counter()
+        reads = run_scenario(obs)
+        times.append(time.perf_counter() - start)
+    return {
+        "best_s": min(times),
+        "median_s": statistics.median(times),
+        "reads": reads,
+    }
+
+
+def main() -> dict:
+    """Run all three modes and write the JSON artifact."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=N_ROUNDS_DEFAULT)
+    parser.add_argument("--out", default="BENCH_obs.json")
+    args = parser.parse_args()
+
+    modes = {
+        "disabled": lambda: None,
+        "inactive_bus": lambda: TraceBus(active=False),
+        "enabled": lambda: TraceBus(capacity=65536),
+    }
+    results = {name: time_mode(make, args.rounds) for name, make in modes.items()}
+
+    disabled = results["disabled"]["best_s"]
+    report = {
+        "benchmark": "end_to_end_simulated_reads",
+        "reads_per_run": results["disabled"]["reads"],
+        "rounds": args.rounds,
+        "modes": results,
+        # how much a *disabled* observability layer costs relative to a
+        # fully active one (the interesting direction is the first ratio:
+        # it must stay ~1.0 for the instrumentation to be free by default)
+        "overhead_ratio_inactive_bus_vs_disabled": (
+            results["inactive_bus"]["best_s"] / disabled
+        ),
+        "overhead_ratio_enabled_vs_disabled": (
+            results["enabled"]["best_s"] / disabled
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(json.dumps(report, indent=2, sort_keys=True))
+    return report
+
+
+if __name__ == "__main__":
+    main()

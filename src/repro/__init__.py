@@ -77,6 +77,7 @@ from repro.lease import (
 )
 from repro.lease.installed import InstalledFileManager
 from repro.protocol import ClientConfig, ClientEngine, ServerConfig, ServerEngine
+from repro.obs import NULL_BUS, Registry, TraceBus
 from repro.runtime import InMemoryHub, LeaseClientNode, LeaseServerNode
 from repro.sim.driver import (
     Cluster,
@@ -137,6 +138,10 @@ __all__ = [
     "FaultInjector",
     "Partition",
     "ConsistencyOracle",
+    # observability
+    "TraceBus",
+    "NULL_BUS",
+    "Registry",
     # substrate
     "FileStore",
     "DatumId",

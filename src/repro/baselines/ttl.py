@@ -43,12 +43,15 @@ class TtlServerEngine:
     TTL (its term for the datum).
     """
 
-    def __init__(self, name, store: FileStore, policy, config=None, installed=None, now=0.0):
+    def __init__(
+        self, name, store: FileStore, policy, config=None, installed=None, now=0.0, obs=None
+    ):
         self.name = name
         self.store = store
         self.policy = policy
         self.config = config
         self.installed = installed  # unused: no announcements in NFS
+        self.obs = obs  # accepted for driver compatibility; TTL emits nothing
         self._write_dedup: dict[tuple[HostId, int], tuple[int, str | None]] = {}
 
     def startup_effects(self, now: float) -> list[Effect]:

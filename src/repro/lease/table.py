@@ -22,6 +22,8 @@ from typing import Iterator
 
 from repro.errors import LeaseDeniedError
 from repro.lease.lease import Lease
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import LEASE_EXPIRE, LEASE_GRANT, LEASE_RELEASE, LEASE_RENEW
 from repro.types import DatumId, HostId
 
 
@@ -68,7 +70,12 @@ class PendingWrite:
 class LeaseTable:
     """All lease state held by one server."""
 
-    def __init__(self) -> None:
+    def __init__(self, obs=None, owner: HostId | None = None) -> None:
+        """Args:
+            obs: optional :class:`~repro.obs.bus.TraceBus` receiving
+                ``lease.*`` lifecycle events.
+            owner: host id stamped on emitted events (the owning server).
+        """
         self._by_datum: dict[DatumId, dict[HostId, Lease]] = {}
         self._by_holder: dict[HostId, set[DatumId]] = {}
         self._pending: dict[DatumId, deque[PendingWrite]] = {}
@@ -76,6 +83,8 @@ class LeaseTable:
         #: Largest term ever granted; a recovering server must delay all
         #: writes for this long (paper §2's crash-recovery rule).
         self.max_term_granted = 0.0
+        self.obs = obs or NULL_BUS
+        self.owner = owner
 
     # -- grants -------------------------------------------------------------
 
@@ -92,22 +101,36 @@ class LeaseTable:
         self._prune(datum, now)
         holders = self._by_datum.setdefault(datum, {})
         lease = holders.get(holder)
-        if lease is not None and lease.valid(now):
+        renewal = lease is not None and lease.valid(now)
+        if renewal:
             lease.renew(now, term)
         else:
             lease = Lease.granted(datum, holder, now, term)
             holders[holder] = lease
         self._by_holder.setdefault(holder, set()).add(datum)
         self.max_term_granted = max(self.max_term_granted, term)
+        if self.obs.active:
+            self.obs.emit(
+                LEASE_RENEW if renewal else LEASE_GRANT, now, self.owner,
+                datum=str(datum), holder=holder, term=term,
+            )
         return lease
 
-    def release(self, datum: DatumId, holder: HostId) -> None:
-        """Relinquish a lease voluntarily (client option, §4)."""
+    def release(self, datum: DatumId, holder: HostId, now: float = 0.0) -> None:
+        """Relinquish a lease voluntarily (client option, §4).
+
+        Args:
+            now: event timestamp for tracing (bookkeeping is time-free).
+        """
         holders = self._by_datum.get(datum)
         if holders and holder in holders:
             del holders[holder]
             if not holders:
                 del self._by_datum[datum]
+            if self.obs.active:
+                self.obs.emit(
+                    LEASE_RELEASE, now, self.owner, datum=str(datum), holder=holder
+                )
         held = self._by_holder.get(holder)
         if held:
             held.discard(datum)
@@ -115,10 +138,10 @@ class LeaseTable:
                 del self._by_holder[holder]
         self._on_holder_gone(datum, holder)
 
-    def release_holder(self, holder: HostId) -> None:
+    def release_holder(self, holder: HostId, now: float = 0.0) -> None:
         """Drop every lease held by ``holder`` (e.g. observed client death)."""
         for datum in list(self._by_holder.get(holder, ())):
-            self.release(datum, holder)
+            self.release(datum, holder, now)
 
     # -- queries ------------------------------------------------------------
 
@@ -248,12 +271,22 @@ class LeaseTable:
             removed += self._prune(datum, now)
         return removed
 
-    def clear(self) -> None:
-        """Forget everything — models the server's volatile state on crash."""
+    def clear(self) -> float:
+        """Forget everything — models the server's volatile state on crash.
+
+        Returns:
+            The pre-crash :attr:`max_term_granted`.  A restarting server
+            needs exactly this value as its write-delay bound (paper §2's
+            crash rule) even though every lease record is gone, so the
+            only way to drop the table is to be handed the bound —
+            restart paths cannot lose it silently.
+        """
+        bound = self.max_term_granted
         self._by_datum.clear()
         self._by_holder.clear()
         self._pending.clear()
         self.max_term_granted = 0.0
+        return bound
 
     # -- internals ----------------------------------------------------------------
 
@@ -262,8 +295,13 @@ class LeaseTable:
         if not holders:
             return 0
         dead = [h for h, lease in holders.items() if not lease.valid(now)]
+        obs = self.obs
         for holder in dead:
             del holders[holder]
+            if obs.active:
+                obs.emit(
+                    LEASE_EXPIRE, now, self.owner, datum=str(datum), holder=holder
+                )
             held = self._by_holder.get(holder)
             if held:
                 held.discard(datum)

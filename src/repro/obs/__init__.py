@@ -1,0 +1,49 @@
+"""Unified observability layer: trace events, metrics, timing.
+
+The paper's claims are quantitative — server consistency load, lease-added
+delay, storage cost versus term — so the reproduction needs its own
+nervous system.  This package provides it, dependency-free:
+
+* :mod:`repro.obs.events` — the typed protocol-event taxonomy (grants,
+  renewals, expiries, approvals, write deferrals, recovery holds,
+  retransmissions, timer fires, network sends/drops) and its schemas.
+* :mod:`repro.obs.bus` — :class:`TraceBus`, a process-local pub/sub event
+  stream with a bounded replay buffer and JSON Lines export.
+* :mod:`repro.obs.registry` — :class:`Registry` of counters/histograms
+  with ``span``/``timed`` hooks for hot paths, also JSONL-exportable.
+* :mod:`repro.obs.adapter` — folds the event stream into registries and
+  into plot-ready time series for the experiments harness.
+
+Both runtimes speak it: the simulator (kernel, network, drivers) and the
+asyncio nodes thread one bus through the shared sans-io engines, so a
+simulated run and a real run of the same scenario yield event streams
+with identical schemas.  Everything is disabled-by-default and
+no-op-cheap when off: instrumentation sites guard on ``bus.active`` (or a
+``None`` bus) before building any payload.
+"""
+
+from repro.obs import events
+from repro.obs.adapter import (
+    attach_registry,
+    bucket_series,
+    counts_by_type,
+    events_of_host,
+    server_message_load,
+)
+from repro.obs.bus import NULL_BUS, TraceBus, read_jsonl
+from repro.obs.registry import Counter, Histogram, Registry
+
+__all__ = [
+    "TraceBus",
+    "NULL_BUS",
+    "read_jsonl",
+    "Registry",
+    "Counter",
+    "Histogram",
+    "events",
+    "attach_registry",
+    "counts_by_type",
+    "events_of_host",
+    "server_message_load",
+    "bucket_series",
+]

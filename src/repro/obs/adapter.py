@@ -1,0 +1,125 @@
+"""Adapters from the raw event stream to metrics and plots.
+
+The experiments harness and the consistency oracle consume the
+:class:`~repro.obs.bus.TraceBus` stream through this module: events can
+be folded into a :class:`~repro.obs.registry.Registry` live (subscriber),
+or post-processed into bucketed time series shaped for
+:func:`repro.experiments.plot.ascii_plot`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterable, Sequence
+
+from repro.obs.bus import TraceBus
+from repro.obs.registry import Registry
+
+
+def attach_registry(bus: TraceBus, registry: Registry, prefix: str = "events") -> object:
+    """Fold every bus event into per-type registry counters, live.
+
+    Each event of type ``t`` increments counter ``"<prefix>.<t>"``.
+
+    Returns:
+        The subscriber handle; pass it to ``bus.unsubscribe`` to detach.
+    """
+
+    def fold(event: dict) -> None:
+        registry.inc(f"{prefix}.{event['type']}")
+
+    return bus.subscribe(fold)
+
+
+def counts_by_type(events: Iterable[dict]) -> Counter:
+    """Event count per type over an event collection."""
+    return Counter(e["type"] for e in events)
+
+
+def events_of_host(events: Iterable[dict], host: str) -> list[dict]:
+    """Events attributed to one host."""
+    return [e for e in events if e.get("host") == host]
+
+
+def server_message_load(
+    events: Iterable[dict],
+    host: str = "server",
+    kinds: Sequence[str] | None = None,
+    kind_prefix: str | None = None,
+) -> int:
+    """Messages handled (sent plus received) by ``host`` per the net events.
+
+    This is the paper's server *consistency load* metric computed from the
+    trace stream instead of the network's own counters; with ``kinds`` set
+    to the experiment harness's consistency kinds the two agree exactly
+    (asserted in ``tests/obs/test_adapter.py``).
+
+    Args:
+        kinds: exact message kinds to count (None counts all).
+        kind_prefix: alternatively, count kinds sharing a prefix.
+    """
+    kindset = set(kinds) if kinds is not None else None
+    total = 0
+    for event in events:
+        etype = event["type"]
+        if etype == "net.send":
+            involved = event["src"] == host
+        elif etype == "net.recv":
+            involved = event["dst"] == host
+        else:
+            continue
+        if not involved:
+            continue
+        kind = event["kind"]
+        if kindset is not None and kind not in kindset:
+            continue
+        if kind_prefix is not None and not kind.startswith(kind_prefix):
+            continue
+        total += 1
+    return total
+
+
+def bucket_series(
+    events: Iterable[dict],
+    bucket: float,
+    types: Sequence[str] | None = None,
+    t_end: float | None = None,
+) -> tuple[list[float], dict[str, list[float]]]:
+    """Bucket events into per-type count series for plotting.
+
+    Args:
+        events: the stream (only ``ts`` and ``type`` are consulted).
+        bucket: bucket width in seconds (must be positive).
+        types: restrict the series to these types (default: all seen).
+        t_end: extend the x axis to at least this time.
+
+    Returns:
+        ``(xs, series)`` where ``xs`` holds each bucket's start time and
+        ``series`` maps event type to per-bucket counts — directly
+        consumable by :func:`repro.experiments.plot.ascii_plot`.
+    """
+    if bucket <= 0:
+        raise ValueError(f"bucket must be positive: {bucket}")
+    wanted = set(types) if types is not None else None
+    per_type: dict[str, Counter] = {}
+    last_bucket = -1
+    for event in events:
+        etype = event["type"]
+        if wanted is not None and etype not in wanted:
+            continue
+        index = int(event["ts"] / bucket)
+        per_type.setdefault(etype, Counter())[index] += 1
+        if index > last_bucket:
+            last_bucket = index
+    if t_end is not None:
+        last_bucket = max(last_bucket, int(t_end / bucket))
+    if wanted is not None:
+        for etype in wanted:
+            per_type.setdefault(etype, Counter())
+    n = last_bucket + 1
+    xs = [i * bucket for i in range(n)]
+    series = {
+        etype: [float(buckets[i]) for i in range(n)]
+        for etype, buckets in sorted(per_type.items())
+    }
+    return xs, series

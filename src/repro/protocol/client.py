@@ -32,6 +32,8 @@ from repro.cache.filecache import FileCache, TempFileStore
 from repro.clock.sync import safe_local_expiry
 from repro.errors import ReproError
 from repro.lease.holder import LeaseSet
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import LOCAL_HIT, RETRANSMIT, RPC_FAIL
 from repro.protocol.effects import CancelTimer, Complete, Effect, Send, SetTimer
 from repro.protocol.messages import (
     ApprovalReply,
@@ -131,6 +133,7 @@ class ClientEngine:
         server: HostId,
         config: ClientConfig | None = None,
         id_base: int = 0,
+        obs=None,
     ):
         """Args:
             id_base: starting value for op/request/write-sequence counters.
@@ -139,10 +142,13 @@ class ClientEngine:
                 late replies would mis-match, and worst of all the server's
                 write dedup table would swallow post-restart writes that
                 reuse a pre-crash ``write_seq``.
+            obs: optional :class:`~repro.obs.bus.TraceBus` receiving
+                ``rpc.*``/``read.local_hit`` events.
         """
         self.name = name
         self.server = server
         self.config = config or ClientConfig()
+        self.obs = obs or NULL_BUS
         self.cache = FileCache(capacity=self.config.cache_capacity)
         self.leases = LeaseSet()
         self.temp = TempFileStore()
@@ -173,6 +179,8 @@ class ClientEngine:
             entry = self.cache.get(datum)
             if entry is not None:
                 self.metrics.local_hits += 1
+                if self.obs.active:
+                    self.obs.emit(LOCAL_HIT, now, self.name, datum=str(datum))
                 done = Complete(op.op_id, ok=True, value=(entry.version, entry.payload))
                 del self._ops[op.op_id]
                 return op.op_id, [done]
@@ -470,8 +478,16 @@ class ClientEngine:
             self._close_request(req_id)
             all_ops = [op for ops in req.waiters.values() for op in ops]
             self.metrics.failures += 1
+            if self.obs.active:
+                self.obs.emit(
+                    RPC_FAIL, now, self.name, req_id=req_id, retries=req.retries - 1
+                )
             return self._fail_ops(all_ops, "request timed out")
         self.metrics.retransmissions += 1
+        if self.obs.active:
+            self.obs.emit(
+                RETRANSMIT, now, self.name, req_id=req_id, retries=req.retries
+            )
         return [Send(self.server, req.message), SetTimer(f"rpc:{req_id}", req.timeout)]
 
     def _on_anticipate(self, now: float) -> list[Effect]:

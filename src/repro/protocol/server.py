@@ -27,6 +27,16 @@ from repro.lease.installed import InstalledFileManager
 from repro.lease.policy import TermPolicy
 from repro.lease.stats import DatumStats
 from repro.lease.table import LeaseTable, PendingWrite
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import (
+    APPROVAL_REPLY,
+    APPROVAL_REQUEST,
+    RECOVERY_BEGIN,
+    RECOVERY_END,
+    RECOVERY_HOLD,
+    WRITE_COMMIT,
+    WRITE_DEFER,
+)
 from repro.protocol.effects import Broadcast, Effect, Send, SetTimer
 from repro.protocol.messages import (
     ApprovalReply,
@@ -127,16 +137,23 @@ class ServerEngine:
         config: ServerConfig | None = None,
         installed: InstalledFileManager | None = None,
         now: float = 0.0,
+        obs=None,
     ):
         self.name = name
         self.store = store
         self.policy = policy
         self.config = config or ServerConfig()
         self.installed = installed
-        self.table = LeaseTable()
+        #: Trace bus for ``write.*``/``recovery.*`` events; shared with the
+        #: lease table (``lease.*``).  NULL_BUS when tracing is off.
+        self.obs = obs or NULL_BUS
+        self.table = LeaseTable(obs=self.obs, owner=name)
         self.stats: dict[DatumId, DatumStats] = {}
         self.known_clients: set[HostId] = set()
         self._recovering_until = now + self.config.recovery_delay
+        #: Last authoritative answer to "is the recovery window open?";
+        #: refreshed by every ``now``-bearing check (see ``recovering``).
+        self._recovery_open = self._recovering_until > now
         #: Reads/extend-items deferred behind a pending write, per datum.
         self._deferred: dict[DatumId, list[tuple[Message, HostId]]] = {}
         #: Writes deferred by crash recovery.
@@ -167,14 +184,40 @@ class ServerEngine:
         if self.installed is not None:
             effects.extend(self._announce(now))
         if self._recovering_until > now:
+            if self.obs.active:
+                self.obs.emit(
+                    RECOVERY_BEGIN, now, self.name, until=self._recovering_until
+                )
             effects.append(SetTimer("recovery", self._recovering_until - now))
         return effects
 
     @property
     def recovering(self) -> bool:
-        """True while post-crash write delay is in force (time-insensitive
-        view; the authoritative check compares ``now``)."""
-        return bool(self._recovery_queue) or self.config.recovery_delay > 0
+        """True while post-crash write delay is in force.
+
+        Time-insensitive view reflecting the last authoritative check (the
+        authoritative checks take ``now`` and go through
+        :meth:`_in_recovery`); also True while recovery-deferred writes
+        are still queued for replay.
+        """
+        return self._recovery_open or bool(self._recovery_queue)
+
+    def _in_recovery(self, now: float) -> bool:
+        """Authoritative recovery-window check; records the answer.
+
+        The first check past the window flips the cached state used by
+        :attr:`recovering` and emits the ``recovery.end`` trace event —
+        previously the property reported True forever once
+        ``recovery_delay`` was configured, long after the window passed.
+        """
+        open_ = now < self._recovering_until
+        if self._recovery_open and not open_:
+            self._recovery_open = False
+            if self.obs.active:
+                self.obs.emit(
+                    RECOVERY_END, now, self.name, queued=len(self._recovery_queue)
+                )
+        return open_
 
     # -- dispatch -------------------------------------------------------------
 
@@ -203,6 +246,7 @@ class ServerEngine:
         if key == "announce":
             return self._announce(now)
         if key == "recovery":
+            self._in_recovery(now)  # flip the cached state, emit recovery.end
             queued, self._recovery_queue = self._recovery_queue, []
             effects: list[Effect] = []
             for msg, src in queued:
@@ -232,6 +276,11 @@ class ServerEngine:
             return [Send(src, ReadReply(msg.req_id, datum, error="no such datum"))]
         if self._write_blocked(datum):
             self._deferred.setdefault(datum, []).append((msg, src))
+            if self.obs.active:
+                self.obs.emit(
+                    WRITE_DEFER, now, self.name,
+                    datum=str(datum), src=src, reason="write_pending",
+                )
             return []
         version, payload = self.store.read_datum(datum)
         self._stats_of(datum).record_read(now)
@@ -315,8 +364,12 @@ class ServerEngine:
         if not self.store.datum_exists(datum):
             return [Send(src, WriteReply(msg.req_id, datum, error="no such datum"))]
         self._inflight.add((src, msg.write_seq))
-        if now < self._recovering_until:
+        if self._in_recovery(now):
             self._recovery_queue.append((msg, src))
+            if self.obs.active:
+                self.obs.emit(
+                    RECOVERY_HOLD, now, self.name, src=src, write_seq=msg.write_seq
+                )
             return []
         if self.installed is not None:
             if self.installed.cover_of(datum) is not None:
@@ -329,6 +382,11 @@ class ServerEngine:
                 hold_id = self._next_installed_id
                 self._next_installed_id += 1
                 self._demotion_holds[hold_id] = (msg, src)
+                if self.obs.active:
+                    self.obs.emit(
+                        WRITE_DEFER, now, self.name,
+                        datum=str(datum), src=src, reason="demotion_barrier",
+                    )
                 return [SetTimer(f"dmwrite:{hold_id}", barrier - now)]
         return self._begin_file_write(msg, src, now)
 
@@ -356,6 +414,12 @@ class ServerEngine:
             return self._commit_file_write(ctx, now)
         new_version = self.store.version_of(ctx.datum) + 1
         request = ApprovalRequest(ctx.datum, pending.write_id, new_version)
+        if self.obs.active:
+            self.obs.emit(
+                APPROVAL_REQUEST, now, self.name,
+                datum=str(ctx.datum), write_id=pending.write_id,
+                awaiting=len(pending.awaiting),
+            )
         effects: list[Effect] = [Broadcast(tuple(sorted(pending.awaiting)), request)]
         if pending.deadline != float("inf"):
             effects.append(
@@ -365,6 +429,11 @@ class ServerEngine:
 
     def _commit_file_write(self, ctx: _FileWriteCtx, now: float) -> list[Effect]:
         version = self.store.commit_file_write(ctx.datum, ctx.content, now)
+        if self.obs.active:
+            self.obs.emit(
+                WRITE_COMMIT, now, self.name,
+                datum=str(ctx.datum), writer=ctx.src, version=version,
+            )
         self._stats_of(ctx.datum).record_write(now, ctx.sharing_at_begin)
         self._record_commit(ctx.src, ctx.write_seq, version, None)
         self.table.finish_write(ctx.datum, ctx.pending.write_id)
@@ -385,7 +454,14 @@ class ServerEngine:
 
     def _handle_approval(self, msg: ApprovalReply, src: HostId, now: float) -> list[Effect]:
         pending = self.table.approve(msg.datum, src, msg.write_id)
-        if pending is None or not pending.ready(now):
+        if pending is None:
+            return []
+        if self.obs.active:
+            self.obs.emit(
+                APPROVAL_REPLY, now, self.name,
+                datum=str(msg.datum), write_id=msg.write_id, holder=src,
+            )
+        if not pending.ready(now):
             return []
         return self._try_commit_head(msg.datum, now)
 
@@ -397,7 +473,7 @@ class ServerEngine:
         a well-behaved cache shrink without waiting out terms)."""
         effects: list[Effect] = []
         for datum in msg.datums:
-            self.table.release(datum, src)
+            self.table.release(datum, src, now)
             committed = self._try_commit_head(datum, now)
             effects.extend(committed)
             if not committed:
@@ -460,6 +536,11 @@ class ServerEngine:
     def _on_installed_ready(self, iwrite_id: int, now: float) -> list[Effect]:
         ctx = self._installed_writes.pop(iwrite_id)
         version = self.store.commit_file_write(ctx.datum, ctx.content, now)
+        if self.obs.active:
+            self.obs.emit(
+                WRITE_COMMIT, now, self.name,
+                datum=str(ctx.datum), writer=ctx.src, version=version,
+            )
         self.installed.finish_write(ctx.datum)
         self._stats_of(ctx.datum).record_write(now, 1)
         self._record_commit(ctx.src, ctx.write_seq, version, None)
@@ -491,9 +572,13 @@ class ServerEngine:
         dedup = self._check_dedup(src, msg)
         if dedup is not None:
             return dedup
-        if now < self._recovering_until:
+        if self._in_recovery(now):
             self._inflight.add((src, msg.write_seq))
             self._recovery_queue.append((msg, src))
+            if self.obs.active:
+                self.obs.emit(
+                    RECOVERY_HOLD, now, self.name, src=src, write_seq=msg.write_seq
+                )
             return []
         try:
             datums = self._namespace_targets(msg)
@@ -532,6 +617,12 @@ class ServerEngine:
             deadline = max(deadline, pending.deadline)
             if pending.awaiting:
                 new_version = self.store.version_of(datum) + 1
+                if self.obs.active:
+                    self.obs.emit(
+                        APPROVAL_REQUEST, now, self.name,
+                        datum=str(datum), write_id=pending.write_id,
+                        awaiting=len(pending.awaiting),
+                    )
                 effects.append(
                     Broadcast(
                         tuple(sorted(pending.awaiting)),
@@ -579,6 +670,12 @@ class ServerEngine:
         for datum, pending in ctx.pendings.items():
             self._stats_of(datum).record_write(now, len(pending.awaiting) + 1)
             self.table.finish_write(datum, pending.write_id)
+            if self.obs.active:
+                self.obs.emit(
+                    WRITE_COMMIT, now, self.name,
+                    datum=str(datum), writer=ctx.src,
+                    version=self.store.version_of(datum),
+                )
         self._record_commit(ctx.src, ctx.write_seq, 0, error)
         self._ns_queue.popleft()
         for ns_id, known in list(self._ns_by_id.items()):
@@ -712,7 +809,7 @@ class ServerEngine:
             "deferred_requests": deferred,
             "tracked_datums": len(self.stats),
             "dedup_entries": sum(len(w) for w in self._write_dedup.values()),
-            "recovering": now < self._recovering_until,
+            "recovering": self._in_recovery(now),
             "files": self.store.file_count(),
         }
         if self.installed is not None:

@@ -11,6 +11,7 @@ future returned by the client API.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import random
 from typing import Any
 
@@ -18,6 +19,8 @@ from repro.clock.system import MonotonicClock
 from repro.errors import ReproError
 from repro.lease.installed import InstalledFileManager
 from repro.lease.policy import TermPolicy
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import NET_RECV, NET_SEND, TIMER_FIRE
 from repro.protocol.client import ClientConfig, ClientEngine
 from repro.protocol.effects import Broadcast, CancelTimer, Complete, Effect, Send, SetTimer
 from repro.protocol.messages import Message
@@ -30,9 +33,14 @@ from repro.types import DatumId, HostId
 class _EngineNode:
     """Shared plumbing: effect execution, timers, message dispatch."""
 
-    def __init__(self, transport: Transport, clock=None):
+    def __init__(self, transport: Transport, clock=None, obs=None):
         self.transport = transport
         self.clock = clock or MonotonicClock()
+        #: The node-local :class:`~repro.obs.bus.TraceBus`.  The node emits
+        #: the driver-level events (``net.send``/``net.recv``/``timer.fire``)
+        #: here with the same schemas the simulator uses, and hands the bus
+        #: to its engine, which emits the protocol-level events itself.
+        self.obs = obs or NULL_BUS
         self._timers: dict[str, asyncio.TimerHandle] = {}
         self._loop = asyncio.get_event_loop()
         transport.set_handler(self._on_message)
@@ -52,11 +60,19 @@ class _EngineNode:
     # -- plumbing -------------------------------------------------------------------
 
     def _on_message(self, message: Message, src: HostId) -> None:
-        self._run_effects(self._engine().handle_message(message, src, self.clock.now()))
+        now = self.clock.now()
+        if self.obs.active:
+            self.obs.emit(
+                NET_RECV, now, self.name, src=src, dst=self.name, kind=message.kind
+            )
+        self._run_effects(self._engine().handle_message(message, src, now))
 
     def _on_timer(self, key: str) -> None:
         self._timers.pop(key, None)
-        self._run_effects(self._engine().handle_timer(key, self.clock.now()))
+        now = self.clock.now()
+        if self.obs.active:
+            self.obs.emit(TIMER_FIRE, now, self.name, key=key)
+        self._run_effects(self._engine().handle_timer(key, now))
 
     def _run_effects(self, effects: list[Effect]) -> None:
         for effect in effects:
@@ -75,6 +91,11 @@ class _EngineNode:
                 raise ReproError(f"cannot execute effect {effect!r}")
 
     def _send_soon(self, dst: HostId, message: Message) -> None:
+        if self.obs.active:
+            self.obs.emit(
+                NET_SEND, self.clock.now(), self.name,
+                src=self.name, dst=dst, kind=message.kind,
+            )
         task = self._loop.create_task(self.transport.send(dst, message))
         task.add_done_callback(lambda t: t.exception())  # swallow transport loss
 
@@ -107,21 +128,62 @@ class LeaseServerNode(_EngineNode):
         config: ServerConfig | None = None,
         installed: InstalledFileManager | None = None,
         clock=None,
+        obs=None,
     ):
-        super().__init__(transport, clock)
+        super().__init__(transport, clock, obs=obs)
         self.store = store
+        self.policy = policy
+        self._config = config or ServerConfig()
+        #: Models the small persistent record of the largest term granted —
+        #: the §2 crash rule's one durable datum (mirrors SimServer).
+        self._persisted_max_term = 0.0
         self.engine = ServerEngine(
             transport.name,
             store,
             policy,
-            config=config,
+            config=self._config,
             installed=installed,
             now=self.clock.now(),
+            obs=self.obs,
         )
         self._run_effects(self.engine.startup_effects(self.clock.now()))
 
     def _engine(self) -> ServerEngine:
         return self.engine
+
+    def restart(self) -> None:
+        """Simulate a crash + reboot of the real-time server.
+
+        Volatile state (lease table, timers, pending writes) is dropped;
+        the one thing carried across — per the paper's §2 crash rule — is
+        the largest term ever granted, which ``LeaseTable.clear()`` hands
+        back and which becomes the new engine's ``recovery_delay``.  The
+        restarted engine therefore refuses to commit writes until every
+        lease granted by the previous incarnation has provably expired.
+        """
+        self._persisted_max_term = max(
+            self._persisted_max_term, self.engine.table.clear()
+        )
+        if self.engine.installed is not None:
+            self._persisted_max_term = max(
+                self._persisted_max_term, self.engine.installed.term
+            )
+        installed = self.engine.installed
+        for key in list(self._timers):
+            self._cancel_timer(key)
+        now = self.clock.now()
+        self.engine = ServerEngine(
+            self.transport.name,
+            self.store,
+            self.policy,
+            config=dataclasses.replace(
+                self._config, recovery_delay=self._persisted_max_term
+            ),
+            installed=installed,
+            now=now,
+            obs=self.obs,
+        )
+        self._run_effects(self.engine.startup_effects(now))
 
 
 class LeaseClientNode(_EngineNode):
@@ -134,14 +196,17 @@ class LeaseClientNode(_EngineNode):
         config: ClientConfig | None = None,
         clock=None,
         id_base: int | None = None,
+        obs=None,
     ):
-        super().__init__(transport, clock)
+        super().__init__(transport, clock, obs=obs)
         if id_base is None:
             # A fresh random epoch per process: two incarnations (or two
             # processes reusing one client name) must never collide in the
             # server's write-dedup space.
             id_base = random.getrandbits(44) << 16
-        self.engine = ClientEngine(transport.name, server, config=config, id_base=id_base)
+        self.engine = ClientEngine(
+            transport.name, server, config=config, id_base=id_base, obs=self.obs
+        )
         self._futures: dict[int, asyncio.Future] = {}
         self._run_effects(self.engine.startup_effects(self.clock.now()))
 

@@ -16,6 +16,7 @@ from typing import Callable
 
 from repro.lease.installed import InstalledFileManager
 from repro.lease.policy import FixedTermPolicy, TermPolicy
+from repro.obs.events import TIMER_FIRE
 from repro.protocol.client import ClientConfig, ClientEngine
 from repro.protocol.effects import Broadcast, CancelTimer, Complete, Effect, Send, SetTimer
 from repro.protocol.messages import Message
@@ -37,10 +38,11 @@ class _TimerBank:
     the local clock has advanced by the requested amount.
     """
 
-    def __init__(self, host: Host, on_fire: Callable[[str], None]):
+    def __init__(self, host: Host, on_fire: Callable[[str], None], obs=None):
         self._host = host
         self._on_fire = on_fire
         self._handles: dict[str, EventHandle] = {}
+        self._obs = obs
 
     def set(self, key: str, local_delay: float) -> None:
         self.cancel(key)
@@ -61,6 +63,9 @@ class _TimerBank:
     def _fire(self, key: str) -> None:
         self._handles.pop(key, None)
         if self._host.up:
+            obs = self._obs
+            if obs is not None and obs.active:
+                obs.emit(TIMER_FIRE, self._host.clock.now(), self._host.name, key=key)
             self._on_fire(key)
 
 
@@ -77,6 +82,7 @@ class SimServer:
         installed: InstalledFileManager | None = None,
         use_multicast: bool = True,
         engine_factory: Callable[..., ServerEngine] | None = None,
+        obs=None,
     ):
         self.host = host
         self.network = network
@@ -84,6 +90,7 @@ class SimServer:
         self.policy = policy
         self.config = config or ServerConfig()
         self.use_multicast = use_multicast
+        self.obs = obs
         #: Builds the protocol engine; baseline protocols (§6) substitute
         #: their own engines with the same duck interface.
         self._engine_factory = engine_factory or ServerEngine
@@ -92,7 +99,7 @@ class SimServer:
         #: which bounds the post-crash write delay (paper §2).
         self._persisted_max_term = 0.0
         self.engine: ServerEngine | None = None
-        self._timers = _TimerBank(host, self._on_timer)
+        self._timers = _TimerBank(host, self._on_timer, obs=obs)
         host.set_handler(self._on_message)
         host.on_crash(self._on_crash)
         host.on_restart(self._on_restart)
@@ -116,6 +123,7 @@ class SimServer:
             config=config,
             installed=installed,
             now=self.host.clock.now(),
+            obs=self.obs,
         )
         self._run_effects(self.engine.startup_effects(self.host.clock.now()))
 
@@ -140,8 +148,10 @@ class SimServer:
 
     def _on_crash(self) -> None:
         if self.engine is not None:
+            # clear() hands back the pre-crash bound — the §2 crash rule's
+            # one durable datum — so dropping the table cannot lose it.
             self._persisted_max_term = max(
-                self._persisted_max_term, self.engine.table.max_term_granted
+                self._persisted_max_term, self.engine.table.clear()
             )
             if self.engine.installed is not None:
                 self._persisted_max_term = max(
@@ -218,19 +228,21 @@ class SimClient:
         config: ClientConfig | None = None,
         oracle: ConsistencyOracle | None = None,
         engine_cls: type[ClientEngine] = ClientEngine,
+        obs=None,
     ):
         self.host = host
         self.network = network
         self.server = server
         self.config = config or ClientConfig()
         self.oracle = oracle
+        self.obs = obs
         self._engine_cls = engine_cls
         self.engine: ClientEngine | None = None
         self.results: dict[int, OpResult] = {}
         self._submit_times: dict[int, float] = {}
         self._op_datum: dict[int, DatumId] = {}
         self._callbacks: dict[int, Callable[[OpResult], None]] = {}
-        self._timers = _TimerBank(host, self._on_timer)
+        self._timers = _TimerBank(host, self._on_timer, obs=obs)
         self._incarnation = 0
         host.set_handler(self._on_message)
         host.on_crash(self._on_crash)
@@ -249,6 +261,7 @@ class SimClient:
             self.server,
             config=self.config,
             id_base=self._incarnation * 1_000_000,
+            obs=self.obs,
         )
         self._run_effects(self.engine.startup_effects(self.host.clock.now()))
 
@@ -376,6 +389,8 @@ class Cluster:
     clients: list[SimClient]
     store: FileStore
     oracle: ConsistencyOracle
+    #: The cluster-wide trace bus (None when tracing is off).
+    obs: object | None = None
     faults: FaultInjector = field(init=False)
 
     def __post_init__(self) -> None:
@@ -421,6 +436,7 @@ def build_cluster(
     client_clock_params: Callable[[int], tuple[float, float]] | None = None,
     server_clock_params: tuple[float, float] = (0.0, 0.0),
     server_engine_factory: Callable[..., ServerEngine] | None = None,
+    obs=None,
 ) -> Cluster:
     """Assemble a simulated cluster.
 
@@ -437,13 +453,16 @@ def build_cluster(
         setup_store: callback to populate the store before clients start.
         client_clock_params: maps client index to (offset, drift).
         server_clock_params: (offset, drift) of the server clock.
+        obs: optional :class:`~repro.obs.bus.TraceBus` threaded through
+            every layer (kernel, network, engines, timers, oracle) so one
+            stream observes the whole cluster.
     """
-    kernel = Kernel(seed=seed)
-    network = Network(kernel, network_params or NetworkParams())
+    kernel = Kernel(seed=seed, obs=obs)
+    network = Network(kernel, network_params or NetworkParams(), obs=obs)
     store = FileStore()
     if setup_store is not None:
         setup_store(store)
-    oracle = ConsistencyOracle(kernel, store, strict=strict_oracle)
+    oracle = ConsistencyOracle(kernel, store, strict=strict_oracle, obs=obs)
 
     offset, drift = server_clock_params
     server_host = Host("server", kernel, clock_offset=offset, clock_drift=drift)
@@ -457,6 +476,7 @@ def build_cluster(
         installed=installed,
         use_multicast=use_multicast,
         engine_factory=server_engine_factory,
+        obs=obs,
     )
 
     clients = []
@@ -467,9 +487,19 @@ def build_cluster(
         host = Host(f"c{i}", kernel, clock_offset=offset, clock_drift=drift)
         network.attach(host)
         clients.append(
-            SimClient(host, network, "server", config=client_config, oracle=oracle)
+            SimClient(
+                host, network, "server", config=client_config, oracle=oracle, obs=obs
+            )
         )
-    return Cluster(kernel=kernel, network=network, server=server, clients=clients, store=store, oracle=oracle)
+    return Cluster(
+        kernel=kernel,
+        network=network,
+        server=server,
+        clients=clients,
+        store=store,
+        oracle=oracle,
+        obs=obs,
+    )
 
 
 def install_tree(

@@ -5,6 +5,13 @@ where ``seq`` is a global tie-breaker that makes same-instant events fire in
 schedule order.  Determinism is a hard requirement — the benchmark figures
 must be reproducible — so all randomness flows through the kernel's seeded
 :class:`random.Random` and nothing reads the wall clock.
+
+Cancellation is lazy (a cancelled handle is skipped when popped), which
+keeps ``cancel`` O(1) — but cancelled entries must not be allowed to pile
+up: a renewal-heavy run arms and cancels one timer per lease extension, so
+the kernel compacts the heap whenever cancelled entries outnumber the live
+ones.  Live/cancelled counts are maintained incrementally, making
+:meth:`Kernel.pending` O(1).
 """
 
 from __future__ import annotations
@@ -14,16 +21,23 @@ import random
 from typing import Any, Callable
 
 from repro.errors import SimulationError
+from repro.obs.events import KERNEL_COMPACT
+
+#: Minimum number of cancelled heap entries before compaction is considered;
+#: below this the dead weight is cheaper than a rebuild.
+_COMPACT_MIN = 64
 
 
 class EventHandle:
     """A scheduled event; supports cancellation.
 
     Cancelled events stay in the heap but are skipped when popped (lazy
-    deletion), which keeps cancellation O(1).
+    deletion), which keeps cancellation O(1).  The owning kernel is
+    notified so it can keep live/cancelled counts and compact the heap
+    when dead entries pile up.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_kernel")
 
     def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -31,10 +45,17 @@ class EventHandle:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._kernel: "Kernel | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        kernel = self._kernel
+        if kernel is not None:  # still sitting in the heap
+            self._kernel = None
+            kernel._note_cancel()
 
     def __lt__(self, other: "EventHandle") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -50,13 +71,18 @@ class Kernel:
     Attributes:
         rng: seeded random source shared by all stochastic components
             (workload generators, loss models) for reproducible runs.
+        obs: optional :class:`~repro.obs.bus.TraceBus` receiving kernel
+            events (heap compactions).
     """
 
-    def __init__(self, seed: int = 0):
+    def __init__(self, seed: int = 0, obs=None):
         self._now = 0.0
         self._seq = 0
         self._heap: list[EventHandle] = []
+        self._live = 0  # non-cancelled entries in the heap
+        self._cancelled = 0  # cancelled entries still in the heap
         self.rng = random.Random(seed)
+        self.obs = obs
 
     @property
     def now(self) -> float:
@@ -76,8 +102,10 @@ class Kernel:
                 f"cannot schedule at t={time} before now={self._now}"
             )
         handle = EventHandle(time, self._seq, fn, args)
+        handle._kernel = self
         self._seq += 1
         heapq.heappush(self._heap, handle)
+        self._live += 1
         return handle
 
     def step(self) -> bool:
@@ -85,7 +113,10 @@ class Kernel:
         while self._heap:
             handle = heapq.heappop(self._heap)
             if handle.cancelled:
+                self._cancelled -= 1
                 continue
+            handle._kernel = None
+            self._live -= 1
             self._now = handle.time
             handle.fn(*handle.args)
             return True
@@ -103,18 +134,46 @@ class Kernel:
             head = self._heap[0]
             if head.cancelled:
                 heapq.heappop(self._heap)
+                self._cancelled -= 1
                 continue
             if until is not None and head.time > until:
                 break
             heapq.heappop(self._heap)
+            head._kernel = None
+            self._live -= 1
             self._now = head.time
             head.fn(*head.args)
         if until is not None and until > self._now:
             self._now = until
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for handle in self._heap if not handle.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    # -- internals -----------------------------------------------------------
+
+    def _note_cancel(self) -> None:
+        """A handle in the heap was cancelled; compact when dead weight wins.
+
+        The threshold (more cancelled than live, past a fixed floor) bounds
+        the heap at roughly twice the live count, so timer-churn workloads —
+        one set + cancel per lease renewal — run in O(live) memory instead
+        of growing without bound.
+        """
+        self._live -= 1
+        self._cancelled += 1
+        if self._cancelled > _COMPACT_MIN and self._cancelled > self._live:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap without cancelled entries."""
+        removed = self._cancelled
+        self._heap = [h for h in self._heap if not h.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(KERNEL_COMPACT, self._now, None, removed=removed, live=self._live)
 
     def __repr__(self) -> str:
         return f"Kernel(now={self._now:.6f}, pending={self.pending()})"

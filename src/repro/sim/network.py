@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.errors import SimulationError
+from repro.obs.events import NET_DROP, NET_DUP, NET_RECV, NET_SEND
 from repro.sim.host import Host
 from repro.sim.kernel import Kernel
 from repro.types import HostId
@@ -93,7 +94,7 @@ class MessageStats:
 class Network:
     """Message fabric connecting simulated hosts."""
 
-    def __init__(self, kernel: Kernel, params: NetworkParams | None = None):
+    def __init__(self, kernel: Kernel, params: NetworkParams | None = None, obs=None):
         self.kernel = kernel
         self.params = params or NetworkParams()
         self.hosts: dict[HostId, Host] = {}
@@ -102,6 +103,9 @@ class Network:
         self._link_filters: list[LinkFilter] = []
         self.dropped = 0
         self.duplicated = 0
+        #: Optional :class:`~repro.obs.bus.TraceBus` receiving per-leg
+        #: ``net.*`` events (sends, receives, drops, duplicates).
+        self.obs = obs
 
     # -- topology -------------------------------------------------------------
 
@@ -149,6 +153,9 @@ class Network:
         if not sender.up:
             return
         self.stats[src].sent[kind] += 1
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(NET_SEND, self.kernel.now, src, src=src, dst=dst, kind=kind)
         departure = sender.occupy_cpu(self.params.m_proc)
         self.kernel.schedule_at(
             departure + self.params.m_prop, self._arrive, src, dst, payload, kind
@@ -168,8 +175,11 @@ class Network:
             return 0
         members = [m for m in self.groups.get(group, ()) if m != src]
         self.stats[src].sent[kind] += 1
+        obs = self.obs
         departure = sender.occupy_cpu(self.params.m_proc)
         for dst in members:
+            if obs is not None and obs.active:
+                obs.emit(NET_SEND, self.kernel.now, src, src=src, dst=dst, kind=kind)
             self.kernel.schedule_at(
                 departure + self.params.m_prop, self._arrive, src, dst, payload, kind
             )
@@ -193,8 +203,11 @@ class Network:
         for dst in members:
             self._require_host(dst)
         self.stats[src].sent[kind] += 1
+        obs = self.obs
         departure = sender.occupy_cpu(self.params.m_proc)
         for dst in members:
+            if obs is not None and obs.active:
+                obs.emit(NET_SEND, self.kernel.now, src, src=src, dst=dst, kind=kind)
             self.kernel.schedule_at(
                 departure + self.params.m_prop, self._arrive, src, dst, payload, kind
             )
@@ -207,11 +220,23 @@ class Network:
     ) -> None:
         """Wire arrival at ``dst``: apply faults, then queue receive processing."""
         host = self.hosts[dst]
+        obs = self.obs
         if not host.up or not self.link_up(src, dst):
             self.dropped += 1
+            if obs is not None and obs.active:
+                reason = "host_down" if not host.up else "partition"
+                obs.emit(
+                    NET_DROP, self.kernel.now, dst,
+                    src=src, dst=dst, kind=kind, reason=reason,
+                )
             return
         if self.params.loss_rate and self.kernel.rng.random() < self.params.loss_rate:
             self.dropped += 1
+            if obs is not None and obs.active:
+                obs.emit(
+                    NET_DROP, self.kernel.now, dst,
+                    src=src, dst=dst, kind=kind, reason="loss",
+                )
             return
         if (
             not duplicate
@@ -219,6 +244,8 @@ class Network:
             and self.kernel.rng.random() < self.params.duplicate_rate
         ):
             self.duplicated += 1
+            if obs is not None and obs.active:
+                obs.emit(NET_DUP, self.kernel.now, dst, src=src, dst=dst, kind=kind)
             self.kernel.schedule(
                 self.params.m_prop, self._arrive, src, dst, payload, kind, True
             )
@@ -227,10 +254,18 @@ class Network:
 
     def _deliver(self, src: HostId, dst: HostId, payload: Any, kind: str) -> None:
         host = self.hosts[dst]
+        obs = self.obs
         if not host.up:
             self.dropped += 1
+            if obs is not None and obs.active:
+                obs.emit(
+                    NET_DROP, self.kernel.now, dst,
+                    src=src, dst=dst, kind=kind, reason="host_down",
+                )
             return
         self.stats[dst].received[kind] += 1
+        if obs is not None and obs.active:
+            obs.emit(NET_RECV, self.kernel.now, dst, src=src, dst=dst, kind=kind)
         host.deliver(payload, src)
 
     def _require_host(self, name: HostId) -> Host:

@@ -20,6 +20,7 @@ from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.errors import ConsistencyViolationError
+from repro.obs.events import ORACLE_VIOLATION
 from repro.sim.kernel import Kernel
 from repro.storage.store import FileStore
 from repro.types import DatumId, HostId, Version
@@ -48,9 +49,12 @@ class Violation:
 class ConsistencyOracle:
     """Checks single-copy equivalence of every read."""
 
-    def __init__(self, kernel: Kernel, store: FileStore, strict: bool = True):
+    def __init__(self, kernel: Kernel, store: FileStore, strict: bool = True, obs=None):
         self.kernel = kernel
         self.strict = strict
+        #: Optional :class:`~repro.obs.bus.TraceBus`; each violation is
+        #: emitted as an ``oracle.violation`` event so traces self-certify.
+        self.obs = obs
         self.violations: list[Violation] = []
         self.reads_checked = 0
         #: datum -> parallel lists of (commit kernel-times, versions).
@@ -122,6 +126,11 @@ class ConsistencyOracle:
             legal_versions=legal,
         )
         self.violations.append(violation)
+        if self.obs is not None and self.obs.active:
+            self.obs.emit(
+                ORACLE_VIOLATION, self.kernel.now, client,
+                datum=str(datum), client=client, version=returned_version,
+            )
         if self.strict:
             raise ConsistencyViolationError(str(violation))
 

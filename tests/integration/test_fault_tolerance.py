@@ -144,6 +144,33 @@ class TestServerCrash:
         assert result.completed_at >= crash_at + 1.0 + TERM - 0.01
         assert cluster.oracle.clean
 
+    @pytest.mark.parametrize("term", [2.0, 10.0, 25.0])
+    def test_write_delay_tracks_precrash_max_term(self, term):
+        """Property over terms: whatever the largest granted term was, the
+        restarted server holds writes for exactly that long — the bound
+        ``LeaseTable.clear()`` hands back at crash time."""
+        from repro.obs import TraceBus
+
+        bus = TraceBus(capacity=None)
+        cluster = make(policy=FixedTermPolicy(term), obs=bus)
+        datum = cluster.store.file_datum("/shared.txt")
+        a, b = cluster.clients
+        cluster.run_until_complete(a, a.read(datum))
+        crash_at = cluster.kernel.now + 0.5
+        restart_at = crash_at + 1.0
+        cluster.faults.crash_window("server", start=crash_at, duration=1.0)
+        cluster.run(until=restart_at + 0.1)
+        assert cluster.server._persisted_max_term == term
+        result = cluster.run_until_complete(b, b.write(datum, b"v2"), limit=200.0)
+        assert result.ok
+        assert result.completed_at >= restart_at + term - 0.01
+        assert cluster.oracle.clean
+        # the trace shows the whole recovery arc
+        (begin,) = bus.events("recovery.begin")[-1:]
+        assert begin["until"] == pytest.approx(restart_at + term, abs=0.1)
+        assert bus.events("recovery.hold")
+        assert bus.events("recovery.end")
+
     def test_committed_data_survives_crash(self):
         cluster = make()
         datum = cluster.store.file_datum("/shared.txt")

@@ -212,6 +212,17 @@ class TestMaintenance:
         assert not table.write_pending(F1)
         assert table.max_term_granted == 0.0
 
+    def test_clear_returns_precrash_write_delay_bound(self):
+        """Regression: a restarting server needs the pre-crash
+        ``max_term_granted`` as its recovery delay (§2), so ``clear()``
+        must hand it back rather than silently zero it."""
+        table = LeaseTable()
+        table.grant(F1, "c0", now=0.0, term=5.0)
+        table.grant(F2, "c1", now=0.0, term=30.0)
+        assert table.clear() == 30.0
+        assert table.max_term_granted == 0.0
+        assert table.clear() == 0.0  # second crash of an empty table
+
     def test_max_outstanding_expiry(self):
         table = LeaseTable()
         table.grant(F1, "c0", now=0.0, term=5.0)

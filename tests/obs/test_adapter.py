@@ -1,0 +1,120 @@
+"""Tests for the event-stream adapters (metrics folding, load, plotting)."""
+
+from repro.experiments.common import CONSISTENCY_KINDS
+from repro.experiments.plot import ascii_plot
+from repro.lease.policy import FixedTermPolicy
+from repro.obs import (
+    Registry,
+    TraceBus,
+    attach_registry,
+    bucket_series,
+    counts_by_type,
+    events_of_host,
+    server_message_load,
+)
+from repro.sim.driver import build_cluster
+from repro.storage.store import FileStore
+
+
+def traced_cluster(**kwargs):
+    bus = TraceBus(capacity=None)
+
+    def setup(store: FileStore) -> None:
+        store.create_file("/doc", b"v1")
+
+    kwargs.setdefault("policy", FixedTermPolicy(10.0))
+    kwargs.setdefault("setup_store", setup)
+    return build_cluster(n_clients=2, obs=bus, **kwargs), bus
+
+
+def run_scenario(cluster):
+    datum = cluster.store.file_datum("/doc")
+    a, b = cluster.clients
+    cluster.run_until_complete(a, a.read(datum))
+    cluster.run_until_complete(b, b.write(datum, b"v2"), limit=60.0)
+    cluster.run_until_complete(a, a.read(datum), limit=60.0)
+    return datum
+
+
+class TestAttachRegistry:
+    def test_counters_follow_the_stream(self):
+        bus = TraceBus()
+        registry = Registry()
+        handle = attach_registry(bus, registry)
+        bus.emit("lease.grant", 0.0, "server")
+        bus.emit("lease.grant", 1.0, "server")
+        bus.emit("net.send", 1.0, "c0")
+        assert registry.counter("events.lease.grant").value == 2
+        assert registry.counter("events.net.send").value == 1
+        bus.unsubscribe(handle)
+        bus.emit("lease.grant", 2.0, "server")
+        assert registry.counter("events.lease.grant").value == 2
+
+
+class TestStreamQueries:
+    def test_counts_by_type_matches_bus_counts(self):
+        cluster, bus = traced_cluster()
+        run_scenario(cluster)
+        assert counts_by_type(bus.events()) == bus.counts()
+        assert counts_by_type(bus.events())["lease.grant"] >= 1
+
+    def test_events_of_host(self):
+        cluster, bus = traced_cluster()
+        run_scenario(cluster)
+        server_events = events_of_host(bus.events(), "server")
+        assert server_events
+        assert all(e["host"] == "server" for e in server_events)
+
+
+class TestServerMessageLoad:
+    def test_agrees_with_network_consistency_counters(self):
+        """The trace-derived load equals the network's own accounting."""
+        cluster, bus = traced_cluster()
+        run_scenario(cluster)
+        expected = cluster.network.stats["server"].handled(CONSISTENCY_KINDS)
+        assert expected > 0
+        got = server_message_load(bus.events(), host="server", kinds=CONSISTENCY_KINDS)
+        assert got == expected
+
+    def test_kind_prefix_filter(self):
+        cluster, bus = traced_cluster()
+        run_scenario(cluster)
+        total = server_message_load(bus.events(), host="server")
+        lease_only = server_message_load(
+            bus.events(), host="server", kind_prefix="lease/"
+        )
+        assert 0 < lease_only <= total
+
+
+class TestBucketSeries:
+    def test_buckets_count_events(self):
+        events = [
+            {"type": "a", "ts": 0.1},
+            {"type": "a", "ts": 0.9},
+            {"type": "a", "ts": 1.5},
+            {"type": "b", "ts": 2.2},
+        ]
+        xs, series = bucket_series(events, bucket=1.0)
+        assert xs == [0.0, 1.0, 2.0]
+        assert series == {"a": [2.0, 1.0, 0.0], "b": [0.0, 0.0, 1.0]}
+
+    def test_types_filter_and_t_end_padding(self):
+        events = [{"type": "a", "ts": 0.0}]
+        xs, series = bucket_series(events, bucket=1.0, types=["a", "c"], t_end=3.0)
+        assert len(xs) == 4
+        assert series["c"] == [0.0] * 4
+
+    def test_rejects_nonpositive_bucket(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            bucket_series([], bucket=0.0)
+
+    def test_series_feed_ascii_plot(self):
+        cluster, bus = traced_cluster()
+        run_scenario(cluster)
+        xs, series = bucket_series(
+            bus.events(), bucket=1.0, types=["net.send", "net.recv"]
+        )
+        rendered = ascii_plot(xs, series, width=40, height=8)
+        assert "net.send" in rendered

@@ -1,0 +1,141 @@
+"""Unit tests for the TraceBus: emission, buffering, export, no-op cost."""
+
+import io
+import json
+
+from repro.obs import NULL_BUS, TraceBus, read_jsonl
+
+
+class TestEmission:
+    def test_emit_records_standard_and_payload_fields(self):
+        bus = TraceBus()
+        bus.emit("lease.grant", 1.5, "server", datum="file:1", holder="c0", term=10.0)
+        (event,) = bus.events()
+        assert event == {
+            "type": "lease.grant",
+            "ts": 1.5,
+            "host": "server",
+            "datum": "file:1",
+            "holder": "c0",
+            "term": 10.0,
+        }
+
+    def test_events_filter_by_type(self):
+        bus = TraceBus()
+        bus.emit("a", 0.0)
+        bus.emit("b", 1.0)
+        bus.emit("a", 2.0)
+        assert [e["ts"] for e in bus.events("a")] == [0.0, 2.0]
+        assert len(bus.events()) == 3
+
+    def test_counts(self):
+        bus = TraceBus()
+        for _ in range(3):
+            bus.emit("x", 0.0)
+        bus.emit("y", 0.0)
+        assert bus.counts() == {"x": 3, "y": 1}
+
+    def test_clear_drops_buffer(self):
+        bus = TraceBus()
+        bus.emit("x", 0.0)
+        bus.clear()
+        assert len(bus) == 0
+
+
+class TestDisabled:
+    def test_inactive_bus_records_nothing(self):
+        bus = TraceBus(active=False)
+        bus.emit("x", 0.0, payload="ignored")
+        assert len(bus) == 0
+
+    def test_null_bus_is_inert(self):
+        NULL_BUS.emit("x", 0.0)
+        assert len(NULL_BUS) == 0
+        assert not NULL_BUS.active
+
+    def test_toggle(self):
+        bus = TraceBus(active=False)
+        bus.emit("x", 0.0)
+        bus.enable()
+        bus.emit("y", 1.0)
+        bus.disable()
+        bus.emit("z", 2.0)
+        assert [e["type"] for e in bus.events()] == ["y"]
+
+    def test_empty_bus_is_still_truthy(self):
+        """Regression: ``__len__`` made an empty bus falsy, so wiring sites
+        using ``obs or NULL_BUS`` silently dropped a fresh bus."""
+        bus = TraceBus()
+        assert bus
+        assert len(bus) == 0
+        assert (bus or NULL_BUS) is bus
+
+    def test_inactive_bus_skips_subscribers(self):
+        bus = TraceBus(active=False)
+        seen = []
+        bus.subscribe(seen.append)
+        bus.emit("x", 0.0)
+        assert seen == []
+
+
+class TestBounding:
+    def test_capacity_evicts_oldest_and_counts_drops(self):
+        bus = TraceBus(capacity=3)
+        for i in range(5):
+            bus.emit("x", float(i))
+        assert bus.dropped == 2
+        assert [e["ts"] for e in bus.events()] == [2.0, 3.0, 4.0]
+
+    def test_unbounded_capacity(self):
+        bus = TraceBus(capacity=None)
+        for i in range(100):
+            bus.emit("x", float(i))
+        assert len(bus) == 100
+        assert bus.dropped == 0
+
+    def test_subscribers_see_events_evicted_from_buffer(self):
+        bus = TraceBus(capacity=1)
+        seen = []
+        bus.subscribe(seen.append)
+        for i in range(4):
+            bus.emit("x", float(i))
+        assert len(seen) == 4
+        assert len(bus) == 1
+
+
+class TestSubscribers:
+    def test_subscribe_and_unsubscribe(self):
+        bus = TraceBus()
+        seen = []
+        handle = bus.subscribe(seen.append)
+        bus.emit("x", 0.0)
+        bus.unsubscribe(handle)
+        bus.emit("y", 1.0)
+        assert [e["type"] for e in seen] == ["x"]
+
+    def test_unsubscribe_unknown_is_noop(self):
+        TraceBus().unsubscribe(lambda e: None)
+
+
+class TestJsonl:
+    def test_roundtrip_via_string(self):
+        bus = TraceBus()
+        bus.emit("lease.grant", 0.5, "server", datum="file:1", holder="c0", term=2.0)
+        bus.emit("net.send", 0.6, "c0", src="c0", dst="server", kind="lease/read")
+        assert read_jsonl(io.StringIO(bus.to_jsonl())) == bus.events()
+
+    def test_export_to_path(self, tmp_path):
+        bus = TraceBus()
+        bus.emit("x", 1.0, "h", n=1)
+        path = str(tmp_path / "trace.jsonl")
+        assert bus.export_jsonl(path) == 1
+        assert read_jsonl(path) == bus.events()
+
+    def test_lines_are_valid_json(self):
+        bus = TraceBus()
+        bus.emit("x", 0.0, "h", value=3)
+        line = bus.to_jsonl().strip()
+        assert json.loads(line)["value"] == 3
+
+    def test_read_jsonl_skips_blank_lines(self):
+        assert read_jsonl(["", '{"type": "x"}', "  \n"]) == [{"type": "x"}]

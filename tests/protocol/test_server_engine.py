@@ -301,6 +301,65 @@ class TestRecovery:
         # c1 got a lease during recovery, so the write now awaits it
         assert any(t.key.startswith("write:") for t in deadline_timers)
 
+    def test_recovering_clears_after_window(self):
+        """Regression: ``recovering`` used to stay True forever once
+        ``recovery_delay > 0`` — it compared the deadline against the
+        boot-time ``now`` instead of the current time."""
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        engine = ServerEngine(
+            "server",
+            store,
+            FixedTermPolicy(10.0),
+            config=ServerConfig(recovery_delay=5.0),
+            now=0.0,
+        )
+        engine.startup_effects(0.0)
+        assert engine.recovering
+        engine.handle_timer("recovery", now=5.0)
+        assert not engine.recovering
+
+    def test_recovering_clears_on_any_authoritative_check(self):
+        """Even before the recovery timer fires, handling a write past the
+        window must both commit it and flip ``recovering`` off."""
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        engine = ServerEngine(
+            "server",
+            store,
+            FixedTermPolicy(10.0),
+            config=ServerConfig(recovery_delay=5.0),
+            now=0.0,
+        )
+        datum = store.file_datum("/f")
+        effects = engine.handle_message(
+            WriteRequest(1, datum, b"v2", write_seq=1), "c0", now=6.0
+        )
+        assert sends(effects, WriteReply)  # committed, not queued
+        assert not engine.recovering
+
+    def test_recovery_emits_begin_hold_end_events(self):
+        from repro.obs import TraceBus
+
+        bus = TraceBus(capacity=None)
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        engine = ServerEngine(
+            "server",
+            store,
+            FixedTermPolicy(10.0),
+            config=ServerConfig(recovery_delay=5.0),
+            now=0.0,
+            obs=bus,
+        )
+        engine.startup_effects(0.0)
+        datum = store.file_datum("/f")
+        engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=1), "c0", 1.0)
+        engine.handle_timer("recovery", now=5.0)
+        assert bus.events("recovery.begin")[0]["until"] == 5.0
+        assert bus.events("recovery.hold")[0]["src"] == "c0"
+        assert bus.events("recovery.end")[0]["queued"] == 1
+
     def test_retransmission_during_recovery_not_duplicated(self):
         store = FileStore()
         store.create_file("/f", b"v1")

@@ -101,6 +101,66 @@ class TestCancellation:
         assert not keep.cancelled
 
 
+class TestCompaction:
+    """Regression tests: lazy cancellation must not leak heap entries.
+
+    Before compaction existed, every cancelled handle sat in the heap
+    until popped, so timer-churn workloads (arm + cancel per lease
+    renewal) grew the heap without bound and ``pending()`` was O(heap).
+    """
+
+    def test_timer_churn_keeps_heap_bounded(self):
+        kernel = Kernel()
+        keepers = [kernel.schedule(1000.0 + i, lambda: None) for i in range(10)]
+        for i in range(10_000):
+            kernel.schedule(1.0 + i * 1e-4, lambda: None).cancel()
+        # dead weight may never exceed the live count (plus the fixed floor)
+        assert len(kernel._heap) <= 2 * kernel.pending() + 64
+        assert kernel.pending() == len(keepers)
+        kernel.run()
+        assert kernel._heap == []
+
+    def test_pending_is_maintained_incrementally(self):
+        kernel = Kernel()
+        handles = [kernel.schedule(float(i + 1), lambda: None) for i in range(100)]
+        assert kernel.pending() == 100
+        for h in handles[:40]:
+            h.cancel()
+        assert kernel.pending() == 60
+        kernel.run()
+        assert kernel.pending() == 0
+
+    def test_compaction_preserves_firing_order(self):
+        kernel = Kernel()
+        fired = []
+        for i in range(50):
+            kernel.schedule(100.0 + i, fired.append, i)
+        for _ in range(200):  # force at least one compaction
+            kernel.schedule(1.0, lambda: None).cancel()
+        kernel.run()
+        assert fired == list(range(50))
+
+    def test_cancel_after_fire_does_not_corrupt_counts(self):
+        kernel = Kernel()
+        handle = kernel.schedule(1.0, lambda: None)
+        kernel.run()
+        handle.cancel()  # too late: already popped and executed
+        assert kernel.pending() == 0
+        assert kernel._cancelled == 0
+
+    def test_compaction_emits_kernel_event(self):
+        from repro.obs import TraceBus
+
+        bus = TraceBus(capacity=None)
+        kernel = Kernel(obs=bus)
+        kernel.schedule(1000.0, lambda: None)
+        for _ in range(200):
+            kernel.schedule(1.0, lambda: None).cancel()
+        compactions = bus.events("kernel.compact")
+        assert compactions
+        assert all(e["removed"] > 0 for e in compactions)
+
+
 class TestRunUntil:
     def test_run_until_stops_before_later_events(self):
         kernel = Kernel()
