@@ -1,0 +1,134 @@
+"""Command-line entry point: ``python -m repro.check``.
+
+Smoke sweep (the CI gate)::
+
+    python -m repro.check --seeds 50 --out failures/
+
+Long exploration with clock faults::
+
+    python -m repro.check --seeds 500 --mode long --out failures/
+
+Replaying a repro file emitted for a failure::
+
+    python -m repro.check --replay failures/gen-0-17.json
+
+Exit status is 0 when no scenario failed an invariant (expected-class
+clock violations do not fail the sweep; a replayed scenario exits 0 when
+it reproduces its recorded class: failure kinds if any, else violation).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.check.explorer import Explorer
+from repro.check.generator import GeneratorConfig
+from repro.check.runner import run_scenario
+from repro.check.scenario import Scenario
+from repro.obs.registry import Registry
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.check",
+        description="Scenario exploration for the lease protocol: generate "
+        "seeded fault schedules, check consistency/liveness/convergence, "
+        "shrink failures to minimal repro files.",
+    )
+    parser.add_argument("--seeds", type=int, default=30, metavar="N",
+                        help="number of scenarios to explore (default 30)")
+    parser.add_argument("--base-seed", type=int, default=0,
+                        help="seed namespace; same namespace => same sweep")
+    parser.add_argument("--mode", choices=("smoke", "long"), default="smoke",
+                        help="grammar preset (smoke: CI budget, no clock "
+                        "faults; long: bigger, clock faults on)")
+    parser.add_argument("--clock-faults", action="store_true",
+                        help="include §5 clock faults in smoke mode")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="write repro files + traces of failures here")
+    parser.add_argument("--json", metavar="PATH", default=None,
+                        help="write the machine-readable report here")
+    parser.add_argument("--no-shrink", action="store_true",
+                        help="skip delta-debugging of failures")
+    parser.add_argument("--replay", metavar="FILE", default=None,
+                        help="replay one scenario file instead of exploring")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the per-scenario progress lines")
+    return parser
+
+
+def _replay(path: str, quiet: bool) -> int:
+    """Re-run a scenario file; report whether its failure reproduces."""
+    scenario = Scenario.load(path)
+    result = run_scenario(scenario)
+    if not quiet:
+        print(f"replay {scenario.name}: verdict={result.verdict} "
+              f"events={scenario.event_count} reads={result.reads_checked} "
+              f"fingerprint={result.fingerprint[:16]}")
+        for line in result.violations:
+            print(f"  violation: {line}")
+        for line in result.liveness_failures + result.convergence_failures:
+            print(f"  invariant: {line}")
+    # A repro file "reproduces" when the replay is not a clean pass.
+    return 0 if result.verdict != "pass" else 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Run the CLI; returns the process exit status."""
+    args = _build_parser().parse_args(argv)
+    if args.replay is not None:
+        return _replay(args.replay, args.quiet)
+
+    if args.mode == "long":
+        config = GeneratorConfig.long()
+    else:
+        config = GeneratorConfig.smoke(clock_faults=args.clock_faults)
+
+    registry = Registry()
+    explorer = Explorer(
+        base_seed=args.base_seed,
+        config=config,
+        out_dir=args.out,
+        shrink=not args.no_shrink,
+        registry=registry,
+    )
+
+    def progress(outcome) -> None:
+        if args.quiet:
+            return
+        result = outcome.result
+        line = (f"[{outcome.index:4d}] {outcome.scenario.name:<16} "
+                f"{result.verdict:<9} ops={result.ops_submitted:<4} "
+                f"faults={len(outcome.scenario.faults):<2} "
+                f"reads={result.reads_checked}")
+        if result.failure_kinds:
+            line += f"  FAILED: {', '.join(result.failure_kinds)}"
+            if outcome.shrunk is not None:
+                line += (f" (shrunk {outcome.shrunk.original_events} -> "
+                         f"{outcome.shrunk.events} events)")
+        print(line)
+
+    report = explorer.explore(args.seeds, progress=progress)
+
+    counters = registry.snapshot()["counters"]
+    print(f"explored {report.scenarios} scenarios (base seed "
+          f"{report.base_seed}): {report.passed} passed, "
+          f"{report.violations} expected-class violations, "
+          f"{report.failed} failed  "
+          f"[shrink runs: {counters.get('check.shrink_runs', 0)}]")
+    for outcome in report.failures:
+        print(f"  failure {outcome.scenario.name}: "
+              f"{', '.join(outcome.result.failure_kinds)}"
+              + (f" -> {outcome.repro_path}" if outcome.repro_path else ""))
+
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Budgeted scenario exploration with automatic failure minimization.
+
+The :class:`Explorer` is the harness's driver loop: generate scenario
+``i``, run it, classify the verdict, and — on an invariant failure —
+shrink it to a minimal reproduction, write the repro scenario file, and
+capture a full observability trace of the failing run.  Exploration is
+deterministic in ``(base_seed, n)``: the same sweep always produces the
+same verdicts, which is what lets CI treat "0 failures out of N" as a
+regression gate rather than a coin flip.
+
+Observability: when given a trace bus the explorer emits one
+``check.run`` event per scenario and a ``check.shrink`` event per
+minimization; when given a metrics registry it maintains
+``check.scenarios`` / ``check.passed`` / ``check.violations`` /
+``check.failed`` / ``check.shrink_runs`` counters.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+from repro.check.generator import GeneratorConfig, ScenarioGenerator
+from repro.check.runner import RunResult, run_scenario
+from repro.check.scenario import Scenario
+from repro.check.shrink import ShrinkResult, shrink_scenario, strip_unused
+from repro.obs.bus import TraceBus
+from repro.obs.events import CHECK_RUN, CHECK_SHRINK
+
+
+@dataclass
+class ScenarioOutcome:
+    """Everything the explorer learned about one scenario.
+
+    Attributes:
+        index: the scenario's index in the sweep.
+        scenario: the generated scenario.
+        result: the run result (verdict, evidence).
+        shrunk: the minimization outcome, when the run failed and
+            shrinking was enabled.
+        repro_path: where the minimal scenario file was written.
+        trace_path: where the failing run's obs trace was written.
+    """
+
+    index: int
+    scenario: Scenario
+    result: RunResult
+    shrunk: ShrinkResult | None = None
+    repro_path: str | None = None
+    trace_path: str | None = None
+
+
+@dataclass
+class ExplorationReport:
+    """Aggregate verdict of one exploration sweep.
+
+    Attributes:
+        base_seed: the sweep's seed namespace.
+        scenarios: scenarios executed.
+        passed: runs with no violations and no invariant failures.
+        violations: runs whose only finding was an expected-class clock
+            violation (scenario tagged ``may_violate``).
+        failed: runs that failed an invariant — these are protocol or
+            harness bugs and fail CI.
+        failures: the failing outcomes, with shrink artifacts.
+        verdicts: per-scenario verdict strings, in index order.
+    """
+
+    base_seed: int
+    scenarios: int = 0
+    passed: int = 0
+    violations: int = 0
+    failed: int = 0
+    failures: list[ScenarioOutcome] = field(default_factory=list)
+    verdicts: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when no scenario failed an invariant."""
+        return self.failed == 0
+
+    def to_json(self) -> dict:
+        """Plain-data summary (for the CLI's ``--json`` report)."""
+        return {
+            "base_seed": self.base_seed,
+            "scenarios": self.scenarios,
+            "passed": self.passed,
+            "violations": self.violations,
+            "failed": self.failed,
+            "verdicts": list(self.verdicts),
+            "failures": [
+                {
+                    "index": o.index,
+                    "name": o.scenario.name,
+                    "failure_kinds": list(o.result.failure_kinds),
+                    "events_before": o.scenario.event_count,
+                    "events_after": o.shrunk.events if o.shrunk else None,
+                    "repro": o.repro_path,
+                    "trace": o.trace_path,
+                }
+                for o in self.failures
+            ],
+        }
+
+
+class Explorer:
+    """Runs N generated scenarios and minimizes whatever fails.
+
+    Args:
+        base_seed: seed namespace handed to the generator.
+        config: grammar preset (default: smoke without clock faults, so
+            every violation is a true failure).
+        out_dir: directory for repro files and traces of failures;
+            created on first failure.  None disables artifacts.
+        shrink: minimize failures with delta debugging.
+        shrink_budget: simulation-run cap per minimization.
+        obs: optional trace bus for ``check.*`` events.
+        registry: optional metrics registry for exploration counters.
+    """
+
+    def __init__(
+        self,
+        base_seed: int = 0,
+        config: GeneratorConfig | None = None,
+        out_dir: str | None = None,
+        shrink: bool = True,
+        shrink_budget: int = 200,
+        obs: TraceBus | None = None,
+        registry=None,
+    ):
+        self.generator = ScenarioGenerator(base_seed, config)
+        self.out_dir = out_dir
+        self.shrink = shrink
+        self.shrink_budget = shrink_budget
+        self.obs = obs
+        self.registry = registry
+
+    # -- single scenario -------------------------------------------------------
+
+    def run_index(self, index: int) -> ScenarioOutcome:
+        """Generate, run, and (on failure) shrink scenario ``index``."""
+        scenario = self.generator.generate(index)
+        result = run_scenario(scenario)
+        outcome = ScenarioOutcome(index=index, scenario=scenario, result=result)
+        self._observe_run(index, scenario, result)
+        if result.failure_kinds:
+            self._handle_failure(outcome)
+        return outcome
+
+    def _handle_failure(self, outcome: ScenarioOutcome) -> None:
+        """Shrink a failing scenario and write its artifacts."""
+        scenario, result = outcome.scenario, outcome.result
+        minimal = scenario
+        if self.shrink:
+            original_kinds = set(result.failure_kinds)
+
+            def reproduces(candidate: RunResult) -> bool:
+                return bool(original_kinds & set(candidate.failure_kinds))
+
+            shrunk = shrink_scenario(scenario, reproduces, budget=self.shrink_budget)
+            # Dropping unused trailing clients changes kernel event order,
+            # so the stripped form is only kept if it still reproduces.
+            stripped = strip_unused(shrunk.scenario)
+            if stripped != shrunk.scenario and reproduces(run_scenario(stripped)):
+                shrunk = ShrinkResult(
+                    scenario=stripped,
+                    result=run_scenario(stripped),
+                    runs=shrunk.runs + 2,
+                    original_events=shrunk.original_events,
+                )
+            outcome.shrunk = shrunk
+            minimal = shrunk.scenario
+            if self.obs is not None and self.obs.active:
+                self.obs.emit(
+                    CHECK_SHRINK, float(outcome.index), None,
+                    scenario=scenario.name,
+                    before=shrunk.original_events,
+                    after=shrunk.events,
+                )
+            if self.registry is not None:
+                self.registry.inc("check.shrink_runs", shrunk.runs)
+        if self.out_dir is not None:
+            os.makedirs(self.out_dir, exist_ok=True)
+            repro_path = os.path.join(self.out_dir, f"{scenario.name}.json")
+            minimal.save(repro_path)
+            outcome.repro_path = repro_path
+            outcome.trace_path = self._capture_trace(minimal, scenario.name)
+
+    def _capture_trace(self, scenario: Scenario, name: str) -> str:
+        """Re-run a failing scenario with full tracing; export the stream."""
+        bus = TraceBus(capacity=None)
+        run_scenario(scenario, obs=bus)
+        trace_path = os.path.join(self.out_dir, f"{name}.trace.jsonl")
+        bus.export_jsonl(trace_path)
+        return trace_path
+
+    def _observe_run(self, index: int, scenario: Scenario, result: RunResult) -> None:
+        """Emit the per-scenario event and bump the counters."""
+        if self.obs is not None and self.obs.active:
+            self.obs.emit(
+                CHECK_RUN, float(index), None,
+                scenario=scenario.name, seed=scenario.seed, verdict=result.verdict,
+            )
+        if self.registry is not None:
+            counter = {
+                "pass": "check.passed",
+                "violation": "check.violations",
+                "fail": "check.failed",
+            }[result.verdict]
+            self.registry.inc("check.scenarios")
+            self.registry.inc(counter)
+
+    # -- sweep -----------------------------------------------------------------
+
+    def explore(self, n: int, progress=None) -> ExplorationReport:
+        """Run scenarios ``0 .. n-1``; returns the aggregate report.
+
+        Args:
+            n: number of scenarios to explore.
+            progress: optional callback invoked with each
+                :class:`ScenarioOutcome` as it completes (the CLI's
+                per-seed line printer).
+        """
+        report = ExplorationReport(base_seed=self.generator.base_seed)
+        for index in range(n):
+            outcome = self.run_index(index)
+            report.scenarios += 1
+            verdict = outcome.result.verdict
+            report.verdicts.append(verdict)
+            if verdict == "pass":
+                report.passed += 1
+            elif verdict == "violation":
+                report.violations += 1
+            else:
+                report.failed += 1
+                report.failures.append(outcome)
+            if progress is not None:
+                progress(outcome)
+        return report

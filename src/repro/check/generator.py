@@ -1,0 +1,286 @@
+"""Seeded scenario generation from a weighted fault/workload grammar.
+
+:class:`ScenarioGenerator` samples :class:`~repro.check.scenario.Scenario`
+instances from a grammar covering everything §5 allows a non-Byzantine
+system to do — crash/restart windows, two-sided partitions, message-loss
+windows, duplicates — plus the paper's clock-fault taxonomy, split into
+the directions that *must* stay safe (fast client, slow server) and the
+directions *expected* to be able to violate consistency (slow client,
+fast server).  Dangerous scenarios are tagged ``may_violate`` so the
+explorer classifies their violations as expected-class findings.
+
+Generation is pure: scenario ``i`` of base seed ``s`` is a deterministic
+function of ``(s, i)``, independent of which other scenarios were
+generated.  Replaying an exploration therefore never requires storing
+more than ``(s, i)`` — though failures are also written out as full
+scenario files.
+
+:func:`stress_scenario` reproduces the *exact* schedule of the legacy
+hand-rolled stress test (`tests/integration/test_random_stress.py`) for a
+given seed, consuming the same RNG stream in the same order, so the old
+and new paths are provably equivalent run-for-run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass
+
+from repro.check.scenario import Fault, Op, Scenario
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Weights and ranges of the scenario grammar.
+
+    The defaults are the *smoke* preset: short durations and small
+    clusters so a 50-scenario sweep stays inside a CI budget.
+    :meth:`long` widens everything for overnight exploration.
+    """
+
+    n_clients: tuple[int, int] = (2, 4)
+    n_files: tuple[int, int] = (2, 4)
+    duration: tuple[float, float] = (15.0, 35.0)
+    drain: float = 60.0
+    terms: tuple[float, ...] = (2.0, 5.0, 10.0)
+    op_rate: tuple[float, float] = (0.5, 2.0)
+    p_write: float = 0.25
+    loss_rates: tuple[float, ...] = (0.0, 0.0, 0.0, 0.05, 0.15)
+    duplicate_rates: tuple[float, ...] = (0.0, 0.0, 0.0, 0.02)
+    max_client_crashes: int = 2
+    max_partitions: int = 2
+    p_server_crash: float = 0.3
+    p_loss_window: float = 0.25
+    p_clock_fault: float = 0.0
+    p_dangerous: float = 0.5
+
+    @classmethod
+    def smoke(cls, clock_faults: bool = False) -> "GeneratorConfig":
+        """The CI-budget preset (optionally including clock faults)."""
+        return cls(p_clock_fault=0.35 if clock_faults else 0.0)
+
+    @classmethod
+    def long(cls, clock_faults: bool = True) -> "GeneratorConfig":
+        """The overnight preset: bigger clusters, longer runs, more faults."""
+        return cls(
+            n_clients=(2, 6),
+            n_files=(2, 6),
+            duration=(30.0, 90.0),
+            op_rate=(1.0, 3.0),
+            max_client_crashes=4,
+            max_partitions=3,
+            p_server_crash=0.5,
+            p_loss_window=0.4,
+            p_clock_fault=0.5 if clock_faults else 0.0,
+        )
+
+
+class ScenarioGenerator:
+    """Deterministically samples scenarios from the grammar.
+
+    Attributes:
+        base_seed: namespace for the whole exploration; scenario ``i`` is
+            a pure function of ``(base_seed, i)``.
+        config: grammar weights and ranges.
+    """
+
+    def __init__(self, base_seed: int = 0, config: GeneratorConfig | None = None):
+        self.base_seed = base_seed
+        self.config = config or GeneratorConfig()
+
+    def generate(self, index: int) -> Scenario:
+        """Sample scenario ``index`` of this generator's seed space."""
+        cfg = self.config
+        rng = random.Random(f"repro.check/{self.base_seed}/{index}")
+        n_clients = rng.randint(*cfg.n_clients)
+        n_files = rng.randint(*cfg.n_files)
+        duration = rng.uniform(*cfg.duration)
+        term = rng.choice(cfg.terms)
+        op_rate = rng.uniform(*cfg.op_rate)
+
+        ops = self._sample_ops(rng, n_clients, n_files, duration, op_rate, cfg.p_write)
+        faults = self._sample_faults(rng, n_clients, duration)
+
+        scenario = Scenario(
+            name=f"gen-{self.base_seed}-{index}",
+            seed=rng.getrandbits(32),
+            n_clients=n_clients,
+            n_files=n_files,
+            duration=duration,
+            drain=cfg.drain,
+            term=term,
+            loss_rate=rng.choice(cfg.loss_rates),
+            duplicate_rate=rng.choice(cfg.duplicate_rates),
+            ops=tuple(ops),
+            faults=tuple(faults),
+        )
+        if scenario.has_dangerous_clock_fault:
+            scenario = dataclasses.replace(scenario, may_violate=True)
+        scenario.validate()
+        return scenario
+
+    # -- grammar productions ---------------------------------------------------
+
+    def _sample_ops(self, rng, n_clients, n_files, duration, op_rate, p_write):
+        """A Poisson-ish per-client stream of reads and writes."""
+        ops = []
+        for client in range(n_clients):
+            t = 0.0
+            while t < duration:
+                t += rng.expovariate(op_rate)
+                kind = "write" if rng.random() < p_write else "read"
+                ops.append(Op(at=t, client=client, kind=kind, file=rng.randrange(n_files)))
+        return ops
+
+    def _sample_faults(self, rng, n_clients, duration):
+        """Crash windows, partitions, loss windows and §5 clock faults.
+
+        Every *window* fault heals strictly before ``duration`` so the
+        drain period starts with a whole network — the precondition of the
+        liveness and convergence invariants.  Clock faults persist (a bad
+        crystal stays bad), but their magnitudes are bounded so retries
+        and the drain still cover them.
+        """
+        cfg = self.config
+        faults = []
+        for _ in range(rng.randint(0, cfg.max_client_crashes)):
+            victim = rng.randrange(n_clients)
+            window = rng.uniform(1.0, 6.0)
+            start = rng.uniform(1.0, max(1.5, duration - window - 1.0))
+            faults.append(
+                Fault("crash", at=start, host=f"c{victim}", duration=window)
+            )
+        for _ in range(rng.randint(0, cfg.max_partitions)):
+            victim = rng.randrange(n_clients)
+            window = rng.uniform(1.0, 6.0)
+            start = rng.uniform(1.0, max(1.5, duration - window - 1.0))
+            faults.append(
+                Fault("partition", at=start, hosts=(f"c{victim}",), duration=window)
+            )
+        if rng.random() < cfg.p_server_crash:
+            window = rng.uniform(1.0, 3.0)
+            start = rng.uniform(5.0, max(5.5, duration - window - 1.0))
+            faults.append(Fault("crash", at=start, host="server", duration=window))
+        if rng.random() < cfg.p_loss_window:
+            window = rng.uniform(2.0, 6.0)
+            start = rng.uniform(1.0, max(1.5, duration - window - 1.0))
+            faults.append(
+                Fault("loss", at=start, rate=rng.uniform(0.3, 0.9), duration=window)
+            )
+        if rng.random() < cfg.p_clock_fault:
+            faults.append(self._sample_clock_fault(rng, n_clients, duration))
+        return faults
+
+    def _sample_clock_fault(self, rng, n_clients, duration):
+        """One clock fault, dangerous or safe per the configured weight.
+
+        Dangerous directions (paper §5): a client clock that advances too
+        slowly (negative step or drift) or a server clock that advances
+        too quickly (positive step or drift).  Safe directions are the
+        mirror images — they must only cost traffic, never consistency.
+        """
+        dangerous = rng.random() < self.config.p_dangerous
+        on_server = rng.random() < 0.4
+        host = "server" if on_server else f"c{rng.randrange(n_clients)}"
+        at = rng.uniform(1.0, duration * 0.6)
+        if rng.random() < 0.5:  # step fault
+            magnitude = rng.uniform(2.0, 8.0) if host != "server" else rng.uniform(2.0, 5.0)
+            sign = 1.0 if (dangerous == (host == "server")) else -1.0
+            return Fault("clock_step", at=at, host=host, delta=sign * magnitude)
+        magnitude = rng.uniform(0.2, 0.6)
+        sign = 1.0 if (dangerous == (host == "server")) else -1.0
+        return Fault("clock_drift", at=at, host=host, drift=sign * magnitude)
+
+
+def stress_scenario(
+    seed: int,
+    n_clients: int = 4,
+    n_files: int = 4,
+    duration: float = 120.0,
+    op_rate: float = 2.0,
+    loss_rate: float = 0.0,
+    faults: bool = False,
+    term: float = 5.0,
+) -> Scenario:
+    """The legacy random-stress schedule for ``seed``, as a Scenario.
+
+    Consumes ``random.Random(seed)`` in exactly the order the hand-rolled
+    generator in ``tests/integration/test_random_stress.py`` did — per-
+    client Poisson op streams first, then crash windows, partitions and
+    the server crash — so driving the result through
+    :func:`~repro.check.runner.run_scenario` replays the identical
+    simulation (same kernel event order, same network statistics).
+    """
+    rng = random.Random(seed)
+    ops = []
+    for client in range(n_clients):
+        t = 0.0
+        while t < duration:
+            t += rng.expovariate(op_rate)
+            file_index = rng.choice(range(n_files))
+            kind = "write" if rng.random() < 0.2 else "read"
+            ops.append(Op(at=t, client=client, kind=kind, file=file_index))
+    fault_events = []
+    if faults:
+        for _ in range(3):
+            victim = rng.randrange(n_clients)
+            start = rng.uniform(5.0, duration - 20.0)
+            fault_events.append(
+                Fault("crash", at=start, host=f"c{victim}", duration=rng.uniform(2.0, 10.0))
+            )
+        for _ in range(2):
+            victim = rng.randrange(n_clients)
+            start = rng.uniform(5.0, duration - 20.0)
+            fault_events.append(
+                Fault(
+                    "partition",
+                    at=start,
+                    hosts=(f"c{victim}",),
+                    duration=rng.uniform(2.0, 8.0),
+                )
+            )
+        fault_events.append(
+            Fault("crash", at=rng.uniform(20.0, 60.0), host="server", duration=2.0)
+        )
+    return Scenario(
+        name=f"stress-{seed}",
+        seed=seed,
+        n_clients=n_clients,
+        n_files=n_files,
+        duration=duration,
+        drain=60.0,
+        term=term,
+        loss_rate=loss_rate,
+        ops=tuple(ops),
+        faults=tuple(fault_events),
+    )
+
+
+def demo_clock_fault_scenario() -> Scenario:
+    """The §5 textbook violation, as a five-event scenario.
+
+    Client 0 caches ``/file0`` under a 5 s lease; its clock then steps
+    6 s *backward* (the "advancing too slowly" direction), stretching its
+    trust window past the server-side expiry; client 1 writes after the
+    server has expired the lease (so no approval is requested); client
+    0's next read is served stale from cache.  The shrinker acceptance
+    test starts from a noisy superset of this scenario and must recover
+    (a subset of) it.
+    """
+    return Scenario(
+        name="demo-clock-step",
+        seed=1,
+        n_clients=2,
+        n_files=1,
+        duration=12.0,
+        drain=20.0,
+        term=5.0,
+        may_violate=True,
+        ops=(
+            Op(at=0.5, client=0, kind="read", file=0),
+            Op(at=7.0, client=1, kind="write", file=0),
+            Op(at=9.0, client=0, kind="read", file=0),
+        ),
+        faults=(Fault("clock_step", at=2.0, host="c0", delta=-6.0),),
+    )

@@ -1,0 +1,186 @@
+"""Delta-debugging failure minimization.
+
+When the explorer finds a failing scenario it usually contains hundreds
+of irrelevant operations.  :func:`shrink_scenario` applies the classic
+ddmin algorithm (Zeller & Hildebrandt) over the scenario's combined
+event list — operations and faults are equally removable — re-running
+the simulation after each candidate removal and keeping the removal
+whenever the original failure class still reproduces.  A final greedy
+single-event pass and a duration trim squeeze out the stragglers, so a
+§5 clock-fault violation typically minimizes to its essential shape:
+one caching read, the clock fault, one conflicting write, one stale
+read.
+
+Determinism note: a candidate scenario keeps the original kernel seed,
+so candidate runs are themselves reproducible; the emitted minimal
+scenario replays its violation from the file alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.check.runner import RunResult, run_scenario
+from repro.check.scenario import Scenario
+
+#: Default cap on simulation runs one shrink may spend.
+DEFAULT_BUDGET = 400
+
+
+def ddmin(
+    items: Sequence,
+    test: Callable[[list], bool],
+    minimize_singles: bool = True,
+) -> list:
+    """Minimize ``items`` to a subset for which ``test`` still holds.
+
+    ``test(items)`` is assumed True on entry.  Complements of ever-finer
+    chunk partitions are tried first (removing large chunks early), then
+    an optional greedy one-by-one pass removes single stragglers.  The
+    result is 1-minimal up to the test's determinism.
+    """
+    items = list(items)
+    granularity = 2
+    while len(items) >= 2:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate = items[:start] + items[start + chunk:]
+            if candidate and test(candidate):
+                items = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(items), granularity * 2)
+    if minimize_singles:
+        index = 0
+        while index < len(items) and len(items) > 1:
+            candidate = items[:index] + items[index + 1:]
+            if candidate and test(candidate):
+                items = candidate
+            else:
+                index += 1
+    return items
+
+
+@dataclass
+class ShrinkResult:
+    """The outcome of one minimization.
+
+    Attributes:
+        scenario: the minimal scenario that still reproduces the failure.
+        result: the run result of that minimal scenario.
+        runs: simulations spent during shrinking.
+        original_events: event count before shrinking.
+    """
+
+    scenario: Scenario
+    result: RunResult
+    runs: int
+    original_events: int
+
+    @property
+    def events(self) -> int:
+        """Event count of the minimal scenario."""
+        return self.scenario.event_count
+
+
+def shrink_scenario(
+    scenario: Scenario,
+    reproduces: Callable[[RunResult], bool],
+    budget: int = DEFAULT_BUDGET,
+) -> ShrinkResult:
+    """Minimize ``scenario`` while ``reproduces(run_scenario(s))`` holds.
+
+    Args:
+        scenario: the failing scenario (``reproduces`` must hold on it —
+            a ValueError is raised otherwise, since shrinking a
+            non-failure would "minimize" to garbage).
+        reproduces: failure predicate over a run result, e.g.
+            ``lambda r: "consistency" in r.failure_kinds`` or
+            ``lambda r: r.violated``.
+        budget: maximum simulation runs to spend; when exhausted the best
+            scenario found so far is returned.
+    """
+    runs = 0
+    cache: dict[tuple, bool] = {}
+
+    events: list[tuple[str, object]] = [("op", op) for op in scenario.ops]
+    events += [("fault", f) for f in scenario.faults]
+
+    def rebuild(evts: list) -> Scenario:
+        ops = tuple(e for kind, e in evts if kind == "op")
+        faults = tuple(e for kind, e in evts if kind == "fault")
+        return scenario.with_events(ops, faults)
+
+    def test(evts: list) -> bool:
+        nonlocal runs
+        key = tuple(id(e) for _, e in evts)
+        if key in cache:
+            return cache[key]
+        if runs >= budget:
+            return False
+        runs += 1
+        verdict = reproduces(run_scenario(rebuild(evts)))
+        cache[key] = verdict
+        return verdict
+
+    if not test(events):
+        raise ValueError("scenario does not reproduce the failure; nothing to shrink")
+
+    minimal_events = ddmin(events, test)
+    minimal = rebuild(minimal_events)
+
+    # Trim the tail: end the run just after the last event (plus a lease
+    # term and the probe drain) when that still reproduces.
+    last_at = max(
+        [op.at for op in minimal.ops]
+        + [f.at + f.duration for f in minimal.faults]
+    )
+    trimmed = Scenario.from_json(
+        {**minimal.to_json(), "duration": round(last_at + minimal.term + 1.0, 3)}
+    )
+    if trimmed.duration < minimal.duration:
+        runs += 1
+        if runs <= budget and reproduces(run_scenario(trimmed)):
+            minimal = trimmed
+
+    final = run_scenario(minimal)
+    return ShrinkResult(
+        scenario=minimal,
+        result=final,
+        runs=runs,
+        original_events=scenario.event_count,
+    )
+
+
+def strip_unused(scenario: Scenario) -> Scenario:
+    """Drop trailing clients and files no remaining event references.
+
+    A cosmetic post-pass for repro files: after event removal the
+    scenario may still declare four clients although only ``c0``/``c1``
+    appear.  Host indices are *not* remapped (that would change kernel
+    event ordering), only unused trailing ranges are removed.
+    """
+    max_client = 0
+    max_file = 0
+    for op in scenario.ops:
+        max_client = max(max_client, op.client)
+        max_file = max(max_file, op.file)
+    for fault in scenario.faults:
+        for host in (fault.host, *fault.hosts):
+            if host.startswith("c") and host[1:].isdigit():
+                max_client = max(max_client, int(host[1:]))
+    return Scenario.from_json(
+        {
+            **scenario.to_json(),
+            "n_clients": max(1, max_client + 1),
+            "n_files": max(1, max_file + 1),
+        }
+    )

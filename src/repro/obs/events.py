@@ -54,6 +54,10 @@ KERNEL_COMPACT = "kernel.compact"
 # -- consistency oracle ----------------------------------------------------------
 ORACLE_VIOLATION = "oracle.violation"
 
+# -- scenario exploration (repro.check) --------------------------------------------
+CHECK_RUN = "check.run"
+CHECK_SHRINK = "check.shrink"
+
 #: Payload fields (beyond ``type``/``ts``/``host``) of each event type.
 #: The parity and schema tests enforce that every emission site matches.
 SCHEMA: dict[str, tuple[str, ...]] = {
@@ -78,6 +82,8 @@ SCHEMA: dict[str, tuple[str, ...]] = {
     NET_DUP: ("src", "dst", "kind"),
     KERNEL_COMPACT: ("removed", "live"),
     ORACLE_VIOLATION: ("datum", "client", "version"),
+    CHECK_RUN: ("scenario", "seed", "verdict"),
+    CHECK_SHRINK: ("scenario", "before", "after"),
 }
 
 #: Every known event type, in taxonomy order.

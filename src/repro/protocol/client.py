@@ -175,7 +175,7 @@ class ClientEngine:
         """Read a datum; completes locally when lease and copy are valid."""
         op = self._new_op("read", datum, now)
         self.metrics.reads += 1
-        if self.leases.valid(datum, now):
+        if self.leases.valid(datum, now) and not self._own_write_pending(datum):
             entry = self.cache.get(datum)
             if entry is not None:
                 self.metrics.local_hits += 1
@@ -389,10 +389,10 @@ class ClientEngine:
                 req.sent_local, grant.term, self.config.epsilon, self.config.drift_bound
             )
             self.leases.add(grant.datum, expires, cover=grant.cover)
+            op_ids = req.waiters.get(grant.datum, [])
             if grant.changed and grant.payload is not None:
                 self.cache.put(grant.datum, grant.version, grant.payload)
             entry = self.cache.peek(grant.datum)
-            op_ids = req.waiters.get(grant.datum, [])
             if entry is not None and entry.valid:
                 for op_id in op_ids:
                     effects.append(
@@ -422,8 +422,17 @@ class ClientEngine:
         if msg.error is not None:
             effects.extend(self._fail_ops(op_ids, msg.error))
             return effects
-        # Writes and write-back flushes both carry the committed bytes.
-        self.cache.put(msg.datum, msg.version, req.message.content)
+        if self._newer_write_in_flight(msg.datum, req.message.write_seq):
+            # A later write of ours on this datum is still outstanding, so
+            # these bytes are already superseded at the server (writes
+            # serialize per datum).  Caching them would let a valid lease
+            # serve the old version as a local hit once the newer write
+            # commits — raise the floor instead; the newer reply (or a
+            # refetch) will repopulate the cache.
+            self.cache.invalidate(msg.datum, min_version=msg.version + 1)
+        else:
+            # Writes and write-back flushes both carry the committed bytes.
+            self.cache.put(msg.datum, msg.version, req.message.content)
         for op_id in op_ids:
             op = self._ops.pop(op_id, None)
             if op is not None:
@@ -507,6 +516,38 @@ class ClientEngine:
         return effects
 
     # -- helpers ----------------------------------------------------------------------------
+
+    def _own_write_pending(self, datum: DatumId) -> bool:
+        """True while any write of ours on ``datum`` awaits its reply.
+
+        The server exempts the *writer* from approval-based invalidation,
+        trusting the WriteReply to update its cache — so if that reply is
+        lost, our valid-lease copy may silently predate our own committed
+        write.  Until the write resolves, local hits on the datum are
+        unsafe; :meth:`read` falls through to a server fetch instead.
+        """
+        return self._newer_write_in_flight(datum, -1)
+
+    def _newer_write_in_flight(self, datum: DatumId, write_seq: int) -> bool:
+        """True when a write of ours on ``datum`` newer than ``write_seq``
+        is still outstanding.
+
+        Writes serialize per datum at the server, so a reply to the older
+        write carries bytes the newer one has provably superseded (or is
+        about to).  Note the asymmetry with read/extend replies: those may
+        carry a version *newer* than an outstanding write's commit, so
+        they must stay cacheable — ``FileCache.put`` refusing downgrades
+        handles their ordering.
+        """
+        for req in self._requests.values():
+            message = req.message
+            if (
+                hasattr(message, "content")
+                and getattr(message, "datum", None) == datum
+                and message.write_seq > write_seq
+            ):
+                return True
+        return False
 
     def _refetch(self, datum: DatumId, op_ids: list[int], now: float) -> list[Effect]:
         effects = self._send_read(datum, None, now)

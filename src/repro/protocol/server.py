@@ -246,7 +246,12 @@ class ServerEngine:
         if key == "announce":
             return self._announce(now)
         if key == "recovery":
-            self._in_recovery(now)  # flip the cached state, emit recovery.end
+            if self._in_recovery(now):
+                # The clock stepped backward while the timer was armed, so
+                # it fired with the window still open locally.  Re-arm for
+                # the remainder — replaying now would re-queue every write
+                # with no timer left to ever release them.
+                return [SetTimer("recovery", self._recovering_until - now)]
             queued, self._recovery_queue = self._recovery_queue, []
             effects: list[Effect] = []
             for msg, src in queued:
@@ -448,8 +453,18 @@ class ServerEngine:
         ctx = self._write_ctx.get(write_id)
         if ctx is None:
             return []  # already committed via approvals
-        if self.table.head_write(ctx.datum) is ctx.pending and ctx.pending.ready(now):
+        if self.table.head_write(ctx.datum) is not ctx.pending:
+            return []  # stale timer; activation re-arms when it's our turn
+        if ctx.pending.ready(now):
             return self._commit_file_write(ctx, now)
+        if ctx.pending.deadline != float("inf"):
+            # Fired before the local deadline: the clock stepped backward
+            # (or its drift changed) while the timer was armed.  Re-arm
+            # for the remainder — dropping the wait would wedge every
+            # write and deferred read on this datum forever.
+            return [
+                SetTimer(f"write:{write_id}", max(0.0, ctx.pending.deadline - now))
+            ]
         return []
 
     def _handle_approval(self, msg: ApprovalReply, src: HostId, now: float) -> list[Effect]:
@@ -641,6 +656,11 @@ class ServerEngine:
             return []
         if ctx.ready(now):
             return self._commit_namespace(ctx, now)
+        deadline = max(p.deadline for p in ctx.pendings.values())
+        if deadline != float("inf"):
+            # Early firing (backward clock step while armed): re-arm, as
+            # in _on_write_deadline.
+            return [SetTimer(f"nswrite:{ns_id}", max(0.0, deadline - now))]
         return []
 
     def _commit_namespace(self, ctx: _NsWriteCtx, now: float) -> list[Effect]:

@@ -400,6 +400,29 @@ class Cluster:
         """The index-th client (``c<index>``)."""
         return self.clients[index]
 
+    def live_clients(self) -> list[SimClient]:
+        """Clients whose hosts are currently up."""
+        return [c for c in self.clients if c.host.up]
+
+    def schedule_op(
+        self, at: float, client_index: int, submit: Callable[[SimClient], object]
+    ) -> None:
+        """Schedule ``submit(client)`` at virtual time ``at``.
+
+        The submission is silently skipped if the client's host is down at
+        fire time — a user at a crashed workstation submits nothing.  This
+        is the scenario-driven workload idiom extracted from the random
+        stress test; :mod:`repro.check.runner` schedules every scenario op
+        through it.
+        """
+        client = self.clients[client_index]
+
+        def fire() -> None:
+            if client.host.up:
+                submit(client)
+
+        self.kernel.schedule_at(at, fire)
+
     def run(self, until: float | None = None) -> None:
         """Advance the simulation."""
         self.kernel.run(until=until)

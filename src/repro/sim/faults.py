@@ -9,6 +9,7 @@ can script fault windows declaratively.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Iterable
 
 from repro.sim.kernel import Kernel
@@ -106,6 +107,29 @@ class FaultInjector:
         others = [h for h in self.network.hosts if h != host]
         return self.partition([host], others)
 
+    def loss_window(self, rate: float, start: float, duration: float) -> None:
+        """Raise the network-wide loss probability to ``rate`` over a window.
+
+        The previous :class:`~repro.sim.network.NetworkParams` (captured at
+        the window's start, so earlier schedule entries compose) are
+        restored ``duration`` seconds later.
+        """
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate out of range: {rate}")
+        saved: list = []
+
+        def _start() -> None:
+            saved.append(self.network.params)
+            self.network.params = dataclasses.replace(
+                self.network.params, loss_rate=rate
+            )
+
+        def _stop() -> None:
+            self.network.params = saved.pop()
+
+        self.kernel.schedule_at(start, _start)
+        self.kernel.schedule_at(start + duration, _stop)
+
     # -- clock faults (paper §5) ---------------------------------------------------------
 
     def step_clock_at(self, host: HostId, time: float, delta: float) -> None:
@@ -114,11 +138,16 @@ class FaultInjector:
         A negative delta ("advancing too slowly") on a client, or a
         positive one on a server, is one of the §5 failure modes that can
         break consistency; the opposite directions only cost traffic.
+
+        The clock is resolved *through the host at fire time* (as
+        :meth:`set_drift_at` does): a restart between scheduling and
+        firing swaps the host's clock object, and a step captured early
+        would silently mutate the dead clock.
         """
-        clock = self.network.hosts[host].clock
+        host_obj = self.network.hosts[host]
 
         def step() -> None:
-            clock.offset += delta
+            host_obj.clock.offset += delta
 
         self.kernel.schedule_at(time, step)
 

@@ -92,11 +92,21 @@ class Host:
             listener()
 
     def restart(self) -> None:
-        """Bring a crashed host back up (volatile state already lost)."""
+        """Bring a crashed host back up (volatile state already lost).
+
+        The clock *object* is re-created, as a reboot re-initializes the
+        time-of-day driver; the reading is continuous (the hardware clock
+        kept its offset and its crystal kept its drift), but anything that
+        captured the old object is now mutating a dead clock — fault
+        injectors must resolve ``host.clock`` at fire time.
+        """
         if self.up:
             return
         self.up = True
         self._cpu_free_at = self.kernel.now
+        self.clock = SimClock(
+            self.kernel, offset=self.clock.offset, drift=self.clock.drift
+        )
         for listener in self._restart_listeners:
             listener()
 

@@ -16,6 +16,8 @@ the paper's failure analysis.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -138,3 +140,31 @@ class ConsistencyOracle:
     def clean(self) -> bool:
         """True when no stale read has been observed."""
         return not self.violations
+
+    # -- invariant hooks (scenario exploration) ----------------------------------
+
+    def history(self, datum: DatumId) -> tuple[tuple[float, Version], ...]:
+        """The authoritative ``(commit_time, version)`` history of a datum."""
+        times = self._times.get(datum, [])
+        versions = self._versions.get(datum, [])
+        return tuple(zip(times, versions))
+
+    def history_fingerprint(self) -> str:
+        """A SHA-256 digest of the full oracle history.
+
+        Covers every datum's commit timeline, the number of reads checked
+        and every recorded violation.  Two runs of the same scenario are
+        "identical" for replay purposes exactly when their fingerprints
+        match — this is the equality the exploration harness uses to prove
+        serialize → load → replay faithfulness.
+        """
+        payload = {
+            "history": {
+                str(datum): list(self.history(datum))
+                for datum in sorted(self._times, key=str)
+            },
+            "reads_checked": self.reads_checked,
+            "violations": [str(v) for v in self.violations],
+        }
+        canonical = json.dumps(payload, sort_keys=True)
+        return hashlib.sha256(canonical.encode()).hexdigest()

@@ -1,0 +1,142 @@
+"""Scenario execution: determinism, verdicts, and invariant checks."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import Scenario, demo_clock_fault_scenario, run_scenario
+from repro.check.runner import RunResult, apply_fault, build_scenario_cluster
+from repro.check.scenario import Fault, Op
+
+
+def quiet_scenario(**overrides) -> Scenario:
+    """A small fault-free scenario that must pass every invariant."""
+    fields = dict(
+        name="quiet",
+        seed=3,
+        n_clients=2,
+        n_files=2,
+        duration=10.0,
+        drain=30.0,
+        term=2.0,
+        ops=(
+            Op(at=0.5, client=0, kind="read", file=0),
+            Op(at=1.0, client=1, kind="write", file=0),
+            Op(at=2.5, client=0, kind="read", file=0),
+            Op(at=3.0, client=1, kind="read", file=1),
+            Op(at=4.0, client=0, kind="write", file=1),
+        ),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestVerdicts:
+    def test_quiet_scenario_passes(self):
+        result = run_scenario(quiet_scenario())
+        assert result.verdict == "pass"
+        assert result.ok and not result.violated
+        assert result.ops_submitted == 5
+        assert result.ops_completed == 5
+
+    def test_expected_class_violation_is_not_a_failure(self):
+        result = run_scenario(demo_clock_fault_scenario())
+        assert result.violated
+        assert result.verdict == "violation"
+        assert result.failure_kinds == ()
+
+    def test_same_violation_without_waiver_is_a_failure(self):
+        scenario = dataclasses.replace(demo_clock_fault_scenario(), may_violate=False)
+        result = run_scenario(scenario)
+        assert result.verdict == "fail"
+        assert "consistency" in result.failure_kinds
+
+    def test_synthetic_failure_kinds(self):
+        scenario = quiet_scenario()
+        result = RunResult(
+            scenario=scenario,
+            liveness_failures=("op stuck",),
+            convergence_failures=("probe stale",),
+        )
+        assert result.failure_kinds == ("liveness", "convergence")
+        assert result.verdict == "fail" and not result.ok
+
+
+class TestDeterminism:
+    def test_same_scenario_same_fingerprint(self):
+        scenario = quiet_scenario()
+        a, b = run_scenario(scenario), run_scenario(scenario)
+        assert a.fingerprint == b.fingerprint
+        assert a.stats == b.stats
+
+    def test_different_seed_different_interleaving_same_verdict(self):
+        base = quiet_scenario(loss_rate=0.2, may_violate=False)
+        reseeded = dataclasses.replace(base, seed=base.seed + 1)
+        assert run_scenario(base).ok and run_scenario(reseeded).ok
+
+
+class TestScheduling:
+    def test_op_on_crashed_host_not_submitted(self):
+        scenario = quiet_scenario(
+            ops=(
+                Op(at=0.5, client=0, kind="read", file=0),
+                Op(at=5.0, client=1, kind="write", file=0),
+            ),
+            faults=(Fault("crash", at=4.0, host="c1", duration=3.0),),
+        )
+        result = run_scenario(scenario)
+        assert result.ops_submitted == 1
+        assert result.ok
+
+    def test_op_lost_to_later_crash_is_exempt_from_liveness(self):
+        """A write in flight when its host crashes is legitimately gone."""
+        scenario = quiet_scenario(
+            ops=(Op(at=1.0, client=1, kind="write", file=0),),
+            faults=(Fault("crash", at=1.05, host="c1", duration=2.0),),
+        )
+        result = run_scenario(scenario)
+        assert result.liveness_failures == ()
+        assert result.ok
+
+    def test_probes_can_be_disabled(self):
+        scenario = quiet_scenario()
+        probed = run_scenario(scenario)
+        bare = run_scenario(scenario, probe=False)
+        assert bare.reads_checked < probed.reads_checked
+        assert bare.convergence_failures == ()
+        assert bare.stats == probed.stats  # stats snapshot precedes probes
+
+    def test_unknown_fault_kind_raises(self):
+        scenario = quiet_scenario()
+        cluster = build_scenario_cluster(scenario)
+        bogus = Fault("crash", at=1.0, host="c0", duration=1.0)
+        bogus = dataclasses.replace(bogus, kind="meteor")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            apply_fault(cluster, scenario, bogus)
+
+    def test_invalid_scenario_rejected_before_running(self):
+        scenario = quiet_scenario(ops=(Op(at=1.0, client=9, kind="read", file=0),))
+        with pytest.raises(ValueError, match="unknown client"):
+            run_scenario(scenario)
+
+
+class TestFaultTolerance:
+    """Faults that heal must not break liveness or convergence."""
+
+    def test_partition_window_heals(self):
+        scenario = quiet_scenario(
+            faults=(Fault("partition", at=1.5, hosts=("c0",), duration=3.0),),
+        )
+        assert run_scenario(scenario).ok
+
+    def test_loss_window_heals(self):
+        scenario = quiet_scenario(
+            faults=(Fault("loss", at=0.0, rate=0.5, duration=6.0),),
+        )
+        assert run_scenario(scenario).ok
+
+    def test_server_crash_recovers(self):
+        scenario = quiet_scenario(
+            faults=(Fault("crash", at=1.2, host="server", duration=2.0),),
+        )
+        assert run_scenario(scenario).ok

@@ -1,0 +1,166 @@
+"""Scenario model: validation, JSON round-trips, replay identity."""
+
+import io
+import json
+
+import pytest
+
+from repro.check import Scenario, demo_clock_fault_scenario, run_scenario
+from repro.check.scenario import FORMAT_VERSION, Fault, Op
+
+
+def small_scenario() -> Scenario:
+    return Scenario(
+        name="unit",
+        seed=11,
+        n_clients=2,
+        n_files=2,
+        duration=10.0,
+        drain=30.0,
+        term=2.0,
+        ops=(
+            Op(at=0.5, client=0, kind="read", file=0),
+            Op(at=1.0, client=1, kind="write", file=0),
+            Op(at=2.0, client=0, kind="read", file=1),
+        ),
+        faults=(
+            Fault("crash", at=3.0, host="c1", duration=2.0),
+            Fault("partition", at=6.0, hosts=("c0",), duration=1.0),
+        ),
+    )
+
+
+class TestSerialization:
+    def test_json_round_trip_is_identity(self):
+        scenario = small_scenario()
+        assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_string_round_trip_is_identity(self):
+        scenario = small_scenario()
+        assert Scenario.loads(scenario.dumps()) == scenario
+
+    def test_save_load_round_trip(self, tmp_path):
+        scenario = small_scenario()
+        path = str(tmp_path / "scenario.json")
+        scenario.save(path)
+        assert Scenario.load(path) == scenario
+
+    def test_save_to_file_object(self):
+        scenario = small_scenario()
+        buffer = io.StringIO()
+        scenario.save(buffer)
+        assert Scenario.load(io.StringIO(buffer.getvalue())) == scenario
+
+    def test_dumps_is_canonical(self):
+        """Sorted keys: equal scenarios produce byte-equal files."""
+        a, b = small_scenario(), small_scenario()
+        assert a.dumps() == b.dumps()
+        assert a.digest() == b.digest()
+
+    def test_format_version_embedded(self):
+        data = small_scenario().to_json()
+        assert data["format"] == FORMAT_VERSION
+
+    def test_newer_format_rejected(self):
+        data = small_scenario().to_json()
+        data["format"] = FORMAT_VERSION + 1
+        with pytest.raises(ValueError, match="newer"):
+            Scenario.from_json(data)
+
+    def test_fault_defaults_pruned_from_json(self):
+        fault = Fault("crash", at=1.0, host="c0", duration=2.0)
+        data = fault.to_json()
+        assert "delta" not in data and "drift" not in data and "rate" not in data
+        assert Fault.from_json(json.loads(json.dumps(data))) == fault
+
+    def test_replay_from_file_reproduces_oracle_history(self, tmp_path):
+        """The acceptance property: serialize -> load -> replay is identical."""
+        scenario = demo_clock_fault_scenario()
+        path = str(tmp_path / "demo.json")
+        scenario.save(path)
+        original = run_scenario(scenario)
+        replayed = run_scenario(Scenario.load(path))
+        assert replayed.fingerprint == original.fingerprint
+        assert replayed.violations == original.violations
+
+
+class TestValidation:
+    def test_unknown_op_kind_rejected(self):
+        scenario = small_scenario().with_events(
+            [Op(at=1.0, client=0, kind="append", file=0)], []
+        )
+        with pytest.raises(ValueError, match="op kind"):
+            scenario.validate()
+
+    def test_op_client_out_of_range_rejected(self):
+        scenario = small_scenario().with_events(
+            [Op(at=1.0, client=9, kind="read", file=0)], []
+        )
+        with pytest.raises(ValueError, match="unknown client"):
+            scenario.validate()
+
+    def test_op_file_out_of_range_rejected(self):
+        scenario = small_scenario().with_events(
+            [Op(at=1.0, client=0, kind="read", file=9)], []
+        )
+        with pytest.raises(ValueError, match="unknown file"):
+            scenario.validate()
+
+    def test_unknown_fault_kind_rejected(self):
+        scenario = small_scenario().with_events([], [Fault("meteor", at=1.0)])
+        with pytest.raises(ValueError, match="fault kind"):
+            scenario.validate()
+
+    def test_partition_with_unknown_host_rejected(self):
+        scenario = small_scenario().with_events(
+            [], [Fault("partition", at=1.0, hosts=("c7",), duration=1.0)]
+        )
+        with pytest.raises(ValueError, match="unknown hosts"):
+            scenario.validate()
+
+    def test_crash_without_host_rejected(self):
+        scenario = small_scenario().with_events([], [Fault("crash", at=1.0, duration=1.0)])
+        with pytest.raises(ValueError, match="needs a host"):
+            scenario.validate()
+
+    def test_loss_rate_out_of_range_rejected(self):
+        scenario = small_scenario().with_events(
+            [], [Fault("loss", at=1.0, rate=1.5, duration=1.0)]
+        )
+        with pytest.raises(ValueError, match="out of range"):
+            scenario.validate()
+
+
+class TestDangerDirections:
+    """The §5 taxonomy is encoded on the Fault itself."""
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            Fault("clock_step", at=1.0, host="c0", delta=-3.0),
+            Fault("clock_drift", at=1.0, host="c1", drift=-0.3),
+            Fault("clock_step", at=1.0, host="server", delta=3.0),
+            Fault("clock_drift", at=1.0, host="server", drift=0.3),
+        ],
+    )
+    def test_dangerous_directions(self, fault):
+        assert fault.dangerous
+
+    @pytest.mark.parametrize(
+        "fault",
+        [
+            Fault("clock_step", at=1.0, host="c0", delta=3.0),
+            Fault("clock_drift", at=1.0, host="c1", drift=0.3),
+            Fault("clock_step", at=1.0, host="server", delta=-3.0),
+            Fault("clock_drift", at=1.0, host="server", drift=-0.3),
+            Fault("crash", at=1.0, host="c0", duration=1.0),
+        ],
+    )
+    def test_safe_directions(self, fault):
+        assert not fault.dangerous
+
+    def test_scenario_surfaces_dangerous_fault(self):
+        scenario = small_scenario().with_events(
+            [], [Fault("clock_step", at=1.0, host="c0", delta=-3.0)]
+        )
+        assert scenario.has_dangerous_clock_fault

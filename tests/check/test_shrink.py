@@ -1,0 +1,126 @@
+"""Delta-debugging minimization: ddmin, shrink_scenario, strip_unused."""
+
+import dataclasses
+
+import pytest
+
+from repro.check import (
+    Scenario,
+    ddmin,
+    demo_clock_fault_scenario,
+    run_scenario,
+    shrink_scenario,
+)
+from repro.check.scenario import Fault, Op
+from repro.check.shrink import strip_unused
+
+
+def noisy_demo() -> Scenario:
+    """The demo violation buried under read-only noise.
+
+    Noise must be read-only: a noise *write* by the victim client would
+    refresh its cache and legitimately cure the staleness the demo
+    exhibits, masking the violation.
+    """
+    demo = demo_clock_fault_scenario()
+    noise = tuple(
+        Op(at=round(10.0 + 0.37 * i, 3), client=i % demo.n_clients, kind="read", file=0)
+        for i in range(60)
+    )
+    return demo.with_events(demo.ops + noise, demo.faults)
+
+
+class TestDdmin:
+    def test_single_culprit_found(self):
+        items = list(range(40))
+        result = ddmin(items, lambda xs: 17 in xs)
+        assert result == [17]
+
+    def test_pair_of_culprits_found(self):
+        items = list(range(40))
+        result = ddmin(items, lambda xs: 3 in xs and 31 in xs)
+        assert sorted(result) == [3, 31]
+
+    def test_order_preserved(self):
+        items = ["d", "a", "c", "b"]
+        result = ddmin(items, lambda xs: "a" in xs and "b" in xs)
+        assert result == ["a", "b"]
+
+    def test_everything_needed_keeps_everything(self):
+        items = [1, 2, 3]
+        assert ddmin(items, lambda xs: len(xs) == 3) == items
+
+    def test_singles_pass_optional(self):
+        items = list(range(9))
+        with_singles = ddmin(items, lambda xs: sum(xs) >= 8)
+        assert len(with_singles) == 1
+
+
+class TestShrinkScenario:
+    def test_demo_shrinks_to_minimal_repro(self, tmp_path):
+        """The acceptance demo: 64 events collapse to <= 5, and the
+        emitted repro file reproduces the violation on replay."""
+        scenario = noisy_demo()
+        assert scenario.event_count == 64
+        shrunk = shrink_scenario(scenario, lambda r: r.violated)
+
+        assert shrunk.original_events == 64
+        assert shrunk.events <= 5
+        assert shrunk.result.violated
+        assert any(f.kind == "clock_step" for f in shrunk.scenario.faults)
+
+        path = str(tmp_path / "repro.json")
+        shrunk.scenario.save(path)
+        replayed = run_scenario(Scenario.load(path))
+        assert replayed.violated
+        assert replayed.fingerprint == shrunk.result.fingerprint
+
+    def test_duration_trimmed(self):
+        padded = dataclasses.replace(noisy_demo(), duration=40.0)
+        shrunk = shrink_scenario(padded, lambda r: r.violated)
+        assert shrunk.scenario.duration < padded.duration
+
+    def test_non_reproducing_scenario_rejected(self):
+        scenario = demo_clock_fault_scenario()
+        with pytest.raises(ValueError, match="does not reproduce"):
+            shrink_scenario(scenario, lambda r: "liveness" in r.failure_kinds)
+
+    def test_budget_caps_simulation_runs(self):
+        shrunk = shrink_scenario(noisy_demo(), lambda r: r.violated, budget=10)
+        assert shrunk.runs <= 10 + 1  # +1: the final verification run
+        assert shrunk.result.violated  # still a valid (if larger) repro
+
+    def test_shrink_is_deterministic(self):
+        a = shrink_scenario(noisy_demo(), lambda r: r.violated)
+        b = shrink_scenario(noisy_demo(), lambda r: r.violated)
+        assert a.scenario == b.scenario
+        assert a.runs == b.runs
+
+
+class TestStripUnused:
+    def test_trailing_clients_and_files_dropped(self):
+        scenario = Scenario(
+            name="wide",
+            seed=1,
+            n_clients=4,
+            n_files=4,
+            duration=5.0,
+            ops=(Op(at=1.0, client=1, kind="read", file=0),),
+            faults=(),
+        )
+        stripped = strip_unused(scenario)
+        assert stripped.n_clients == 2  # c1 referenced => keep c0..c1
+        assert stripped.n_files == 1
+        stripped.validate()
+
+    def test_fault_hosts_keep_clients_alive(self):
+        scenario = Scenario(
+            name="wide",
+            seed=1,
+            n_clients=4,
+            n_files=2,
+            duration=5.0,
+            ops=(Op(at=1.0, client=0, kind="read", file=0),),
+            faults=(Fault("crash", at=2.0, host="c2", duration=1.0),),
+        )
+        assert strip_unused(scenario).n_clients == 3

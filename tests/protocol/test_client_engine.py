@@ -350,3 +350,54 @@ class TestTempFiles:
         fetch(client)
         client.relinquish(F1)
         assert not client.leases.valid(F1, 0.1)
+
+
+class TestOwnWriteRaces:
+    """Regressions found by ``repro.check`` sweeps: races between a
+    client's own in-flight writes and its cache under message loss."""
+
+    def test_stale_write_reply_does_not_revalidate_superseded_bytes(self):
+        """A retransmitted older write can be answered (via server dedup)
+        *after* a newer own write committed; caching its bytes would let
+        a valid lease serve them as stale local hits."""
+        client = make_client()
+        fetch(client)
+        _, e1 = client.write(F1, b"A", now=1.0)
+        _, e2 = client.write(F1, b"B", now=1.1)
+        req_a = only(e1, Send).message
+        req_b = only(e2, Send).message
+
+        # The dedup answer for A lands while B is still outstanding.
+        client.handle_message(WriteReply(req_a.req_id, F1, version=2), "server", 2.0)
+        entry = client.cache.peek(F1)
+        assert entry is None or not entry.valid
+
+        # B's reply carries the bytes that are actually current.
+        client.handle_message(WriteReply(req_b.req_id, F1, version=3), "server", 2.1)
+        entry = client.cache.peek(F1)
+        assert entry.valid and entry.version == 3 and entry.payload == b"B"
+
+    def test_local_hits_suspended_while_own_write_unresolved(self):
+        """The server exempts the writer from approval callbacks, trusting
+        the WriteReply to update its cache — so while that reply may be
+        lost, a valid-lease copy of the datum cannot be served locally."""
+        client = make_client()
+        _, effects = client.write(F1, b"mine", now=0.0)
+        write_req = only(effects, Send).message
+
+        # A concurrent read refetches the pre-write data mid-write...
+        fetch(client, version=1, payload=b"v1", now=1.0)
+        assert client.cache.peek(F1).valid
+
+        # ...but further reads must go to the server, not hit locally:
+        # our write may already have committed with the reply in flight.
+        _, effects = client.read(F1, now=2.0)
+        assert not [e for e in effects if isinstance(e, Complete)]
+        only(effects, Send)
+        assert client.metrics.local_hits == 0
+
+        # Once the write resolves, local hits resume with its bytes.
+        client.handle_message(WriteReply(write_req.req_id, F1, version=2), "server", 3.0)
+        _, effects = client.read(F1, now=3.5)
+        assert only(effects, Complete).value == (2, b"mine")
+        assert client.metrics.local_hits == 1

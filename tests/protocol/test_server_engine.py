@@ -535,3 +535,79 @@ class TestInstalled:
         new_cover = sends(new_reply, ReadReply)[0].message.cover
         assert new_cover != old_cover
         assert new_cover in broadcast.message.covers
+
+
+class TestEarlyTimerFirings:
+    """Deadline timers convert local delays through the drift at arm time,
+    so a clock step (or drift change) while armed can fire them *before*
+    their local deadline.  Dropping such a firing would wedge the write
+    forever (regression found by ``repro.check``): the handler must
+    re-arm for the remaining local time instead."""
+
+    def test_write_deadline_rearms_when_fired_early(self):
+        engine, store = make_engine(term=10.0)
+        datum = store.file_datum("/f")
+        engine.handle_message(ReadRequest(1, datum), "c0", now=0.0)
+        effects = engine.handle_message(
+            WriteRequest(2, datum, b"v2", write_seq=1), "c1", now=1.0
+        )
+        (timer,) = [e for e in effects if isinstance(e, SetTimer)]
+
+        # Fires 4 seconds before the lease-expiry deadline: no commit.
+        effects = engine.handle_timer(timer.key, now=6.0)
+        assert not sends(effects, WriteReply)
+        (rearmed,) = [e for e in effects if isinstance(e, SetTimer)]
+        assert rearmed.key == timer.key
+        assert rearmed.delay == pytest.approx(4.0)
+
+        effects = engine.handle_timer(timer.key, now=10.0)
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2
+
+    def test_ns_deadline_rearms_when_fired_early(self):
+        engine, store = make_engine(term=10.0)
+        root = store.dir_datum("/")
+        engine.handle_message(ReadRequest(1, root), "c0", now=0.0)
+        effects = engine.handle_message(
+            NamespaceRequest(2, "rename", ("/f", "/g"), write_seq=1), "c1", now=1.0
+        )
+        (timer,) = [
+            e for e in effects
+            if isinstance(e, SetTimer) and e.key.startswith("nswrite:")
+        ]
+
+        effects = engine.handle_timer(timer.key, now=5.0)
+        assert not sends(effects, NamespaceReply)
+        (rearmed,) = [e for e in effects if isinstance(e, SetTimer)]
+        assert rearmed.key == timer.key
+        assert rearmed.delay == pytest.approx(5.0)
+
+        effects = engine.handle_timer(timer.key, now=10.0)
+        (send,) = sends(effects, NamespaceReply)
+        assert send.message.error is None
+        assert store.file_at("/g").content == b"v1"
+
+    def test_recovery_timer_rearms_when_fired_early(self):
+        store = FileStore()
+        store.create_file("/f", b"v1")
+        engine = ServerEngine(
+            "server",
+            store,
+            FixedTermPolicy(10.0),
+            config=ServerConfig(recovery_delay=10.0),
+            now=0.0,
+        )
+        engine.startup_effects(0.0)
+        datum = store.file_datum("/f")
+        engine.handle_message(WriteRequest(1, datum, b"v2", write_seq=1), "c0", 1.0)
+
+        effects = engine.handle_timer("recovery", now=4.0)
+        assert engine.recovering
+        (rearmed,) = [e for e in effects if isinstance(e, SetTimer)]
+        assert rearmed.key == "recovery"
+        assert rearmed.delay == pytest.approx(6.0)
+
+        effects = engine.handle_timer("recovery", now=10.0)
+        assert not engine.recovering
+        (send,) = sends(effects, WriteReply)
+        assert send.message.version == 2

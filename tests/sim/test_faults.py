@@ -115,6 +115,18 @@ class TestClockFaults:
         kernel.run(until=6.0)
         assert hosts["c0"].clock.now() == pytest.approx(4.0)  # 6 - 2
 
+    def test_step_survives_restart_between_schedule_and_fire(self):
+        """Regression: the step used to capture ``host.clock`` at schedule
+        time; a restart before the fire swaps the clock object, so the
+        step mutated the dead clock and the live one never jumped."""
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        inj.step_clock_at("c0", time=5.0, delta=-2.0)
+        kernel.schedule_at(1.0, hosts["c0"].crash)
+        kernel.schedule_at(2.0, hosts["c0"].restart)
+        kernel.run(until=6.0)
+        assert hosts["c0"].clock.now() == pytest.approx(4.0)  # 6 - 2
+
     def test_set_drift_is_continuous(self):
         """The reading must not jump when the rate changes."""
         kernel, net, hosts = make_world()

@@ -1,0 +1,178 @@
+"""Property tests for fault injection: partitions and injector windows.
+
+These pin the *filter semantics* of :class:`~repro.sim.faults.Partition`
+and the end-to-end delivery guarantees of
+:class:`~repro.sim.faults.FaultInjector` windows under arbitrary
+schedules, complementing the example-based tests in ``test_faults.py``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.faults import FaultInjector, Partition
+from repro.sim.host import Host
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, NetworkParams
+
+HOSTS = ("server", "c0", "c1", "c2")
+
+host_names = st.sampled_from(HOSTS)
+times = st.floats(min_value=0.0, max_value=50.0, allow_nan=False, allow_infinity=False)
+durations = st.floats(min_value=0.1, max_value=20.0, allow_nan=False, allow_infinity=False)
+
+
+def make_world():
+    kernel = Kernel()
+    net = Network(kernel, NetworkParams(m_prop=0.001, m_proc=0.0005))
+    hosts = {}
+    for n in HOSTS:
+        h = Host(n, kernel)
+        net.attach(h)
+        hosts[n] = h
+    return kernel, net, hosts
+
+
+@st.composite
+def partitions(draw):
+    """Two disjoint, non-empty host sides."""
+    side_a = draw(st.sets(host_names, min_size=1, max_size=len(HOSTS) - 1))
+    rest = [h for h in HOSTS if h not in side_a]
+    side_b = draw(st.sets(st.sampled_from(rest), min_size=1))
+    return Partition(side_a, side_b)
+
+
+class TestPartitionFilter:
+    @settings(max_examples=100, deadline=None)
+    @given(part=partitions(), src=host_names, dst=host_names)
+    def test_active_filter_blocks_exactly_the_crossings(self, part, src, dst):
+        part.active = True
+        crosses = (src in part.side_a and dst in part.side_b) or (
+            src in part.side_b and dst in part.side_a
+        )
+        assert part(src, dst) == (not crosses)
+
+    @settings(max_examples=50, deadline=None)
+    @given(part=partitions(), src=host_names, dst=host_names)
+    def test_filter_is_symmetric(self, part, src, dst):
+        part.active = True
+        assert part(src, dst) == part(dst, src)
+
+    @settings(max_examples=50, deadline=None)
+    @given(part=partitions(), src=host_names, dst=host_names)
+    def test_inactive_filter_blocks_nothing(self, part, src, dst):
+        assert part(src, dst)
+
+
+class TestInjectorWindows:
+    @settings(max_examples=50, deadline=None)
+    @given(
+        layout=st.lists(st.tuples(durations, durations), min_size=1, max_size=4),
+        inside=st.booleans(),
+        pick=st.integers(min_value=0, max_value=3),
+    )
+    def test_disjoint_loss_windows_drop_inside_and_restore(self, layout, inside, pick):
+        """A message is delivered iff it travels outside every total-loss
+        window, and after all windows end the baseline parameters are
+        restored.  (Windows are laid out disjointly — the injector's
+        restore-on-stop semantics composes for nested or sequential
+        windows, which is all the scenario grammar produces.)"""
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        baseline = net.params
+        windows = []
+        t = 1.0
+        for gap, duration in layout:
+            start = t + gap
+            windows.append((start, duration))
+            inj.loss_window(1.0, start=start, duration=duration)
+            t = start + duration
+
+        start, duration = windows[pick % len(windows)]
+        if inside:
+            send_at = start + duration / 2.0
+        else:
+            # Just before the window, with room for the delivery leg
+            # (propagation + processing) to land before it opens.
+            send_at = start - 0.05
+        seen = []
+        hosts["server"].set_handler(lambda p, s: seen.append(p))
+        kernel.schedule_at(send_at, net.unicast, "c0", "server", "msg")
+        kernel.run()
+
+        assert net.params == baseline
+        assert (seen == []) == inside
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        start=times,
+        duration=durations,
+        send_offsets=st.lists(
+            st.floats(min_value=0.0, max_value=5.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    def test_no_cross_partition_delivery_while_active(self, start, duration, send_offsets):
+        """Zero messages cross an active partition, in either direction,
+        regardless of when they are sent inside the window."""
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        inj.partition_window(["c0"], ["server", "c1", "c2"], start=start, duration=duration)
+        seen = []
+        for name in HOSTS:
+            hosts[name].set_handler(lambda p, s, n=name: seen.append((n, p)))
+        for i, off in enumerate(send_offsets):
+            # Inside the window, with room for the delivery leg to land
+            # before it closes.
+            t = start + min(off, max(0.0, duration - 0.05))
+            kernel.schedule_at(t, net.unicast, "c0", "server", f"out{i}")
+            kernel.schedule_at(t, net.unicast, "server", "c0", f"in{i}")
+            kernel.schedule_at(t, net.unicast, "c1", "c2", f"free{i}")
+        kernel.run()
+        payloads = {p for _, p in seen}
+        assert not any(p.startswith(("out", "in")) for p in payloads)
+        assert sum(1 for p in payloads if p.startswith("free")) == len(send_offsets)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        crash_at=times,
+        crash_dur=durations,
+        part_start=times,
+        part_dur=durations,
+    )
+    def test_crash_inside_partition_window_still_heals(self, crash_at, crash_dur, part_start, part_dur):
+        """A crash window overlapping a partition window must not leave
+        residue: after both end, every link delivers again and the host
+        is back up."""
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        inj.partition_window(["c0"], ["server", "c1", "c2"], start=part_start, duration=part_dur)
+        inj.crash_window("c0", start=crash_at, duration=crash_dur)
+        after = max(part_start + part_dur, crash_at + crash_dur) + 1.0
+        seen = []
+        hosts["server"].set_handler(lambda p, s: seen.append(p))
+        hosts["c0"].set_handler(lambda p, s: seen.append(p))
+        kernel.schedule_at(after, net.unicast, "c0", "server", "up")
+        kernel.schedule_at(after, net.unicast, "server", "c0", "down")
+        kernel.run()
+        assert hosts["c0"].up
+        assert sorted(seen) == ["down", "up"]
+
+    @settings(max_examples=30, deadline=None)
+    @given(victim=host_names, send_at=times)
+    def test_isolate_then_heal_restores_every_link(self, victim, send_at):
+        kernel, net, hosts = make_world()
+        inj = FaultInjector(net)
+        part = inj.isolate_host(victim)
+        seen = []
+        for name in HOSTS:
+            hosts[name].set_handler(lambda p, s: seen.append(p))
+        others = [h for h in HOSTS if h != victim]
+        net.unicast(victim, others[0], "cut")
+        kernel.run()
+        assert seen == []
+        inj.heal(part)
+        kernel.schedule_at(kernel.now + send_at, net.unicast, victim, others[0], "back")
+        kernel.schedule_at(kernel.now + send_at, net.unicast, others[1], victim, "forth")
+        kernel.run()
+        assert sorted(seen) == ["back", "forth"]

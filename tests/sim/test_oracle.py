@@ -109,3 +109,73 @@ class TestChecking:
         kernel, store, oracle, datum = make()
         with pytest.raises(ConsistencyViolationError):
             oracle.check_read("c0", datum, 7, 0.0, 0.0)
+
+
+class TestLegalVersionEdgeCases:
+    """Boundary semantics of the legality window ``[start, end]``."""
+
+    def test_read_entirely_before_first_commit_has_no_legal_versions(self):
+        kernel, store, oracle, _ = make()
+        advance(kernel, 1.0)
+        record = store.create_file("/late", b"x")
+        datum = DatumId.file(record.file_id)
+        assert oracle.legal_versions(datum, 0.0, 0.5) == ()
+        with pytest.raises(ConsistencyViolationError):
+            oracle.check_read("c0", datum, 1, invoked_at=0.0, completed_at=0.5)
+
+    def test_read_ending_exactly_at_creation_sees_it(self):
+        """The window is closed at ``end``: a commit at exactly that
+        instant is legal."""
+        kernel, store, oracle, _ = make()
+        advance(kernel, 1.0)
+        record = store.create_file("/late", b"x")
+        datum = DatumId.file(record.file_id)
+        assert oracle.legal_versions(datum, 0.0, 1.0) == (1,)
+
+    def test_zero_length_interval_between_commits(self):
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        assert oracle.legal_versions(datum, 2.0, 2.0) == (1,)
+        oracle.check_read("c0", datum, 1, invoked_at=2.0, completed_at=2.0)
+
+    def test_zero_length_interval_at_commit_instant_sees_only_new(self):
+        """At the commit instant itself the old version is already
+        superseded: a local hit exactly then must return the new one."""
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        assert oracle.legal_versions(datum, 5.0, 5.0) == (2,)
+        with pytest.raises(ConsistencyViolationError):
+            oracle.check_read("c0", datum, 1, invoked_at=5.0, completed_at=5.0)
+
+    def test_snapshot_only_version_is_legal_forever(self):
+        """A datum never written after attach keeps its snapshot version
+        legal at every instant, including a zero-length one at t=0."""
+        kernel, store, oracle, datum = make()
+        assert oracle.legal_versions(datum, 0.0, 0.0) == (1,)
+        advance(kernel, 100.0)
+        assert oracle.legal_versions(datum, 99.0, 100.0) == (1,)
+        oracle.check_read("c0", datum, 1, invoked_at=0.0, completed_at=100.0)
+        assert oracle.clean
+
+    def test_commit_boundary_is_closed_at_end_open_at_start(self):
+        """A read *ending* exactly at a commit may return either version;
+        a read *starting* exactly there may only return the new one."""
+        kernel, store, oracle, datum = make()
+        advance(kernel, 5.0)
+        store.commit_file_write(datum, b"v2", now=5.0)
+        assert oracle.legal_versions(datum, 4.0, 5.0) == (1, 2)
+        oracle.check_read("c0", datum, 1, invoked_at=4.0, completed_at=5.0)
+        oracle.check_read("c0", datum, 2, invoked_at=4.0, completed_at=5.0)
+        assert oracle.legal_versions(datum, 5.0, 6.0) == (2,)
+        with pytest.raises(ConsistencyViolationError):
+            oracle.check_read("c0", datum, 1, invoked_at=5.0, completed_at=6.0)
+
+    def test_interval_spanning_many_commits_allows_all(self):
+        kernel, store, oracle, datum = make()
+        for i, t in enumerate((2.0, 4.0, 6.0), start=2):
+            advance(kernel, t)
+            store.commit_file_write(datum, f"v{i}".encode(), now=t)
+        assert oracle.legal_versions(datum, 1.0, 7.0) == (1, 2, 3, 4)
+        assert oracle.legal_versions(datum, 3.0, 4.5) == (2, 3)
