@@ -1,0 +1,22 @@
+"""Sweep-executor benchmark; emits/gates ``BENCH_sweep.json``.
+
+Thin entry point over :mod:`repro.parallel.baseline`: runs the pinned
+scenario mix serially and through the parallel ``SweepPool``, reports
+wall-clock, events/sec and speedup, and (with ``--check``) enforces the
+committed baseline at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep.py                 # measure
+    PYTHONPATH=src python benchmarks/bench_sweep.py --check         # CI gate
+    PYTHONPATH=src python benchmarks/bench_sweep.py --pin           # re-pin
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.parallel.baseline import main
+
+if __name__ == "__main__":
+    sys.exit(main())

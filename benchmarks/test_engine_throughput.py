@@ -7,7 +7,6 @@ codec speed, and end-to-end simulated operations per second.
 
 import json
 
-from repro.analytic import v_params
 from repro.lease.policy import FixedTermPolicy
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.messages import ReadReply

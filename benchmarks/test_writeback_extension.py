@@ -1,6 +1,5 @@
 """EXT: write-back economics (the §2/§6 non-write-through extension)."""
 
-import pytest
 
 from repro.ext import build_writeback_cluster
 from repro.ext.writeback import WriteBackClientConfig

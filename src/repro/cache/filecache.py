@@ -140,6 +140,18 @@ class FileCache:
         self._floors[datum] = floor
         self.stats.invalidations += 1
 
+    def lower_floor(self, datum: DatumId, version: Version) -> None:
+        """Lower (never raise) ``datum``'s admission floor to ``version``.
+
+        For when the write that raised the floor is proven to have aborted
+        at the server: its version will never commit, so keeping the floor
+        would refuse every live reply forever (a refetch livelock).  The
+        proof obligation — a post-approval reply that grants a lease yet
+        still carries a lower version — rests with the protocol engine.
+        """
+        if version < self._floors.get(datum, 0):
+            self._floors[datum] = version
+
     def drop(self, datum: DatumId) -> None:
         """Remove an entry and its floor entirely (unlink semantics)."""
         self._entries.pop(datum, None)

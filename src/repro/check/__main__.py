@@ -12,9 +12,18 @@ Replaying a repro file emitted for a failure::
 
     python -m repro.check --replay failures/gen-0-17.json
 
-Exit status is 0 when no scenario failed an invariant (expected-class
+Parallel sweeps fan scenarios across worker processes with output —
+report, progress lines, failure artifacts — byte-identical to a serial
+run::
+
+    python -m repro.check --seeds 100 --workers auto
+
+Exit status: 0 when no scenario failed an invariant (expected-class
 clock violations do not fail the sweep; a replayed scenario exits 0 when
-it reproduces its recorded class: failure kinds if any, else violation).
+it reproduces its recorded class: failure kinds if any, else violation);
+1 when a scenario failed; 2 when the sweep *itself* errored (generator
+bug, worker crashes past the retry budget, harness exception); 130 on
+interrupt — the worker pool is torn down before exiting either way.
 """
 
 from __future__ import annotations
@@ -22,12 +31,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import traceback
 
 from repro.check.explorer import Explorer
 from repro.check.generator import GeneratorConfig
 from repro.check.runner import run_scenario
 from repro.check.scenario import Scenario
 from repro.obs.registry import Registry
+from repro.parallel import resolve_workers
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,6 +67,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="replay one scenario file instead of exploring")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress the per-scenario progress lines")
+    parser.add_argument("--workers", default="1", metavar="N|auto",
+                        help="worker processes for the sweep (auto = one "
+                        "per CPU; default 1 = serial); output is "
+                        "byte-identical either way")
     return parser
 
 
@@ -110,7 +125,27 @@ def main(argv: list[str] | None = None) -> int:
                          f"{outcome.shrunk.events} events)")
         print(line)
 
-    report = explorer.explore(args.seeds, progress=progress)
+    try:
+        workers = resolve_workers(args.workers)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    try:
+        report = explorer.explore(args.seeds, progress=progress, workers=workers)
+    except KeyboardInterrupt:
+        # The pool's context manager already force-terminated and joined
+        # every worker before the interrupt propagated here.
+        print("interrupted: sweep aborted, worker pool torn down",
+              file=sys.stderr)
+        return 130
+    except Exception:
+        # A sweep *error* (generator bug, worker crash budget exhausted,
+        # harness exception) is not a scenario failure: report loudly and
+        # exit non-zero so CI cannot mistake a broken sweep for a clean one.
+        print("sweep error:", file=sys.stderr)
+        traceback.print_exc()
+        return 2
 
     counters = registry.snapshot()["counters"]
     print(f"explored {report.scenarios} scenarios (base seed "

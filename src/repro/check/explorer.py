@@ -17,8 +17,10 @@ minimization; when given a metrics registry it maintains
 
 from __future__ import annotations
 
+import functools
 import os
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.check.generator import GeneratorConfig, ScenarioGenerator
 from repro.check.runner import RunResult, run_scenario
@@ -26,6 +28,7 @@ from repro.check.scenario import Scenario
 from repro.check.shrink import ShrinkResult, shrink_scenario, strip_unused
 from repro.obs.bus import TraceBus
 from repro.obs.events import CHECK_RUN, CHECK_SHRINK
+from repro.parallel import SweepPool, resolve_workers
 
 
 @dataclass
@@ -103,6 +106,83 @@ class ExplorationReport:
         }
 
 
+def _compute_outcome(
+    generator: ScenarioGenerator,
+    index: int,
+    shrink: bool,
+    shrink_budget: int,
+    capture: bool,
+) -> tuple[ScenarioOutcome, str | None]:
+    """The pure per-scenario work: generate, run, shrink, render trace.
+
+    This is the unit both execution paths share — the serial loop calls
+    it inline, the parallel path ships it to worker processes — which is
+    what makes ``workers=N`` output byte-identical to ``workers=1`` by
+    construction.  No filesystem writes and no observability emissions
+    happen here; the explorer finalizes outcomes in index order.
+
+    Returns:
+        ``(outcome, trace_text)`` where ``trace_text`` is the failing
+        run's full JSONL trace (None for healthy runs or when artifact
+        capture is off).
+    """
+    scenario = generator.generate(index)
+    result = run_scenario(scenario)
+    outcome = ScenarioOutcome(index=index, scenario=scenario, result=result)
+    trace_text = None
+    if result.failure_kinds:
+        minimal = scenario
+        if shrink:
+            original_kinds = set(result.failure_kinds)
+
+            def reproduces(candidate: RunResult) -> bool:
+                return bool(original_kinds & set(candidate.failure_kinds))
+
+            shrunk = shrink_scenario(scenario, reproduces, budget=shrink_budget)
+            # Dropping unused trailing clients changes kernel event order,
+            # so the stripped form is only kept if it still reproduces.
+            stripped = strip_unused(shrunk.scenario)
+            if stripped != shrunk.scenario and reproduces(run_scenario(stripped)):
+                shrunk = ShrinkResult(
+                    scenario=stripped,
+                    result=run_scenario(stripped),
+                    runs=shrunk.runs + 2,
+                    original_events=shrunk.original_events,
+                )
+            outcome.shrunk = shrunk
+            minimal = shrunk.scenario
+        if capture:
+            bus = TraceBus(capacity=None)
+            run_scenario(minimal, obs=bus)
+            trace_text = bus.to_jsonl()
+    return outcome, trace_text
+
+
+@dataclass(frozen=True)
+class _SweepSpec:
+    """Everything a worker process needs to recompute scenario ``i``.
+
+    Picklable by construction: the generator is carried as *class +
+    constructor arguments* and rebuilt inside the worker, because
+    generation is a pure function of ``(base_seed, config, index)``.
+    """
+
+    generator_cls: type
+    base_seed: int
+    config: GeneratorConfig | None
+    shrink: bool
+    shrink_budget: int
+    capture: bool
+
+
+def _sweep_job(spec: _SweepSpec, index: int) -> tuple[ScenarioOutcome, str | None]:
+    """Worker-side job: rebuild the generator, compute one outcome."""
+    generator = spec.generator_cls(spec.base_seed, spec.config)
+    return _compute_outcome(
+        generator, index, spec.shrink, spec.shrink_budget, spec.capture
+    )
+
+
 class Explorer:
     """Runs N generated scenarios and minimizes whatever fails.
 
@@ -116,6 +196,11 @@ class Explorer:
         shrink_budget: simulation-run cap per minimization.
         obs: optional trace bus for ``check.*`` events.
         registry: optional metrics registry for exploration counters.
+        generator_cls: the :class:`ScenarioGenerator` (sub)class to
+            instantiate — parallel sweeps rebuild it inside each worker
+            from ``(generator_cls, base_seed, config)``, so ad-hoc
+            instance patches on :attr:`generator` are only honored by
+            serial runs.
     """
 
     def __init__(
@@ -127,8 +212,9 @@ class Explorer:
         shrink_budget: int = 200,
         obs: TraceBus | None = None,
         registry=None,
+        generator_cls: type[ScenarioGenerator] = ScenarioGenerator,
     ):
-        self.generator = ScenarioGenerator(base_seed, config)
+        self.generator = generator_cls(base_seed, config)
         self.out_dir = out_dir
         self.shrink = shrink
         self.shrink_budget = shrink_budget
@@ -139,37 +225,27 @@ class Explorer:
 
     def run_index(self, index: int) -> ScenarioOutcome:
         """Generate, run, and (on failure) shrink scenario ``index``."""
-        scenario = self.generator.generate(index)
-        result = run_scenario(scenario)
-        outcome = ScenarioOutcome(index=index, scenario=scenario, result=result)
-        self._observe_run(index, scenario, result)
-        if result.failure_kinds:
-            self._handle_failure(outcome)
+        outcome, trace_text = _compute_outcome(
+            self.generator, index, self.shrink, self.shrink_budget,
+            capture=self.out_dir is not None,
+        )
+        self._finalize(outcome, trace_text)
         return outcome
 
-    def _handle_failure(self, outcome: ScenarioOutcome) -> None:
-        """Shrink a failing scenario and write its artifacts."""
+    def _finalize(self, outcome: ScenarioOutcome, trace_text: str | None) -> None:
+        """Index-order side effects: obs events, counters, artifacts.
+
+        Runs only in the driving process and strictly in scenario-index
+        order — in parallel sweeps the pool's deterministic merge feeds
+        outcomes here one by one, so emitted events, counter totals and
+        artifact bytes match a serial run exactly.
+        """
         scenario, result = outcome.scenario, outcome.result
-        minimal = scenario
-        if self.shrink:
-            original_kinds = set(result.failure_kinds)
-
-            def reproduces(candidate: RunResult) -> bool:
-                return bool(original_kinds & set(candidate.failure_kinds))
-
-            shrunk = shrink_scenario(scenario, reproduces, budget=self.shrink_budget)
-            # Dropping unused trailing clients changes kernel event order,
-            # so the stripped form is only kept if it still reproduces.
-            stripped = strip_unused(shrunk.scenario)
-            if stripped != shrunk.scenario and reproduces(run_scenario(stripped)):
-                shrunk = ShrinkResult(
-                    scenario=stripped,
-                    result=run_scenario(stripped),
-                    runs=shrunk.runs + 2,
-                    original_events=shrunk.original_events,
-                )
-            outcome.shrunk = shrunk
-            minimal = shrunk.scenario
+        self._observe_run(outcome.index, scenario, result)
+        if not result.failure_kinds:
+            return
+        if outcome.shrunk is not None:
+            shrunk = outcome.shrunk
             if self.obs is not None and self.obs.active:
                 self.obs.emit(
                     CHECK_SHRINK, float(outcome.index), None,
@@ -180,19 +256,15 @@ class Explorer:
             if self.registry is not None:
                 self.registry.inc("check.shrink_runs", shrunk.runs)
         if self.out_dir is not None:
+            minimal = outcome.shrunk.scenario if outcome.shrunk else scenario
             os.makedirs(self.out_dir, exist_ok=True)
             repro_path = os.path.join(self.out_dir, f"{scenario.name}.json")
             minimal.save(repro_path)
             outcome.repro_path = repro_path
-            outcome.trace_path = self._capture_trace(minimal, scenario.name)
-
-    def _capture_trace(self, scenario: Scenario, name: str) -> str:
-        """Re-run a failing scenario with full tracing; export the stream."""
-        bus = TraceBus(capacity=None)
-        run_scenario(scenario, obs=bus)
-        trace_path = os.path.join(self.out_dir, f"{name}.trace.jsonl")
-        bus.export_jsonl(trace_path)
-        return trace_path
+            trace_path = os.path.join(self.out_dir, f"{scenario.name}.trace.jsonl")
+            with open(trace_path, "w", encoding="utf-8") as fh:
+                fh.write(trace_text or "")
+            outcome.trace_path = trace_path
 
     def _observe_run(self, index: int, scenario: Scenario, result: RunResult) -> None:
         """Emit the per-scenario event and bump the counters."""
@@ -212,18 +284,57 @@ class Explorer:
 
     # -- sweep -----------------------------------------------------------------
 
-    def explore(self, n: int, progress=None) -> ExplorationReport:
+    def _outcomes(
+        self, n: int, workers: int
+    ) -> Iterator[tuple[ScenarioOutcome, str | None]]:
+        """Yield ``(outcome, trace_text)`` for scenarios 0..n-1 in order.
+
+        ``workers <= 1`` computes inline (honoring any instance patches
+        on :attr:`generator`); otherwise a :class:`SweepPool` fans the
+        computation across processes, each rebuilding the generator from
+        ``(type(generator), base_seed, config)``, and streams results
+        back in index order.
+        """
+        capture = self.out_dir is not None
+        if workers <= 1 or n <= 1:
+            for index in range(n):
+                yield _compute_outcome(
+                    self.generator, index, self.shrink, self.shrink_budget, capture
+                )
+            return
+        spec = _SweepSpec(
+            generator_cls=type(self.generator),
+            base_seed=self.generator.base_seed,
+            config=self.generator.config,
+            shrink=self.shrink,
+            shrink_budget=self.shrink_budget,
+            capture=capture,
+        )
+        job = functools.partial(_sweep_job, spec)
+        with SweepPool(job, workers=workers, obs=self.obs) as pool:
+            yield from pool.imap(range(n))
+
+    def explore(
+        self, n: int, progress=None, workers: int | str | None = 1
+    ) -> ExplorationReport:
         """Run scenarios ``0 .. n-1``; returns the aggregate report.
+
+        The report — and any failure artifacts — are byte-identical for
+        every ``workers`` value: parallel results are merged in index
+        order before any side effect happens.
 
         Args:
             n: number of scenarios to explore.
             progress: optional callback invoked with each
                 :class:`ScenarioOutcome` as it completes (the CLI's
                 per-seed line printer).
+            workers: worker processes (``"auto"``/``None`` = one per
+                CPU; ``1`` = serial in-process).
         """
+        workers = resolve_workers(workers)
         report = ExplorationReport(base_seed=self.generator.base_seed)
-        for index in range(n):
-            outcome = self.run_index(index)
+        for outcome, trace_text in self._outcomes(n, workers):
+            self._finalize(outcome, trace_text)
             report.scenarios += 1
             verdict = outcome.result.verdict
             report.verdicts.append(verdict)

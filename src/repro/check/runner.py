@@ -55,6 +55,10 @@ class RunResult:
         stats: per-host network send/receive counters snapshotted after
             the drain but *before* convergence probes, so it is directly
             comparable with externally driven runs of the same schedule.
+        events_executed: simulation-kernel events fired over the whole
+            run *including* convergence probes — the work metric the
+            sweep benchmark (``repro.parallel.baseline``) normalizes
+            wall-clock time by.
     """
 
     scenario: Scenario
@@ -66,6 +70,7 @@ class RunResult:
     ops_completed: int = 0
     fingerprint: str = ""
     stats: dict = field(default_factory=dict)
+    events_executed: int = 0
 
     @property
     def violated(self) -> bool:
@@ -261,4 +266,5 @@ def run_scenario(
         ops_completed=completed,
         fingerprint=cluster.oracle.history_fingerprint(),
         stats=stats,
+        events_executed=cluster.kernel.executed,
     )

@@ -1,10 +1,11 @@
 """Run every experiment and print the paper's tables and figures.
 
-Usage: ``python -m repro.experiments [--quick]``
+Usage: ``python -m repro.experiments [--quick] [--workers N|auto]``
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 
 from repro.experiments import (
@@ -20,16 +21,29 @@ from repro.experiments import (
 
 
 def main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Reproduce the paper's tables and figures.",
+    )
     # --quick skips the discrete-event-heavy stages (ablations, E-SIM);
     # the analytic/trace stages are fast at full duration regardless.
-    quick = "--quick" in argv
+    parser.add_argument("--quick", action="store_true",
+                        help="skip the discrete-event-heavy stages")
+    parser.add_argument("--workers", default="1", metavar="N|auto",
+                        help="worker processes for grid sweeps (auto = one "
+                        "per CPU); results are identical for any value")
+    args = parser.parse_args(argv)
     duration = 3600.0
 
     print(table2.render(table2.run(trace_duration=duration)))
     print()
-    print(figure1.render(figure1.run(trace_duration=duration)))
+    print(figure1.render(
+        figure1.run(trace_duration=duration, workers=args.workers)
+    ))
     print()
-    print(figure2.render(figure2.run(trace_duration=duration)))
+    print(figure2.render(
+        figure2.run(trace_duration=duration, workers=args.workers)
+    ))
     print()
     print(figure3.render())
     print()
@@ -37,12 +51,15 @@ def main(argv: list[str]) -> int:
     print()
     print(scaling.render())
     print()
-    if not quick:
+    if not args.quick:
         print(unix_variant.render(unix_variant.run(duration=duration)))
         print()
         print(ablations.render())
         print()
-        fast, full = figure1.validate_with_full_simulator()
+        sweep = figure1.validate_sweep(
+            terms=(0.0, 10.0), workers=args.workers
+        )
+        fast, full = sweep[10.0]
         print(
             "E-SIM validation (relative load at 10 s): "
             f"fast replay = {fast:.4f}, full protocol stack = {full:.4f}"

@@ -16,13 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.analytic import alpha, alpha_unicast, break_even_term, v_params
-from repro.experiments.common import (
-    CONSISTENCY_KINDS,
-    cluster_for_trace,
-    consistency_messages,
-    render_table,
-    replay_trace_on_cluster,
-)
+from repro.experiments.common import consistency_messages, render_table
 from repro.lease.installed import InstalledFileManager
 from repro.lease.policy import AdaptiveTermPolicy, FixedTermPolicy
 from repro.protocol.client import ClientConfig

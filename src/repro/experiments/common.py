@@ -2,8 +2,11 @@
 
 from __future__ import annotations
 
+import functools
 import math
+from typing import Any, Callable, Iterable
 
+from repro.parallel import SweepPool, resolve_workers
 from repro.sim.driver import Cluster, build_cluster
 from repro.storage.store import FileStore
 from repro.types import DatumId
@@ -44,6 +47,48 @@ def render_table(headers: list[str], rows: list[list[object]]) -> str:
     for row in cells:
         lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(lines)
+
+
+def grid_map(
+    job: Callable[[Any], Any],
+    points: Iterable[Any],
+    workers: int | str | None = 1,
+) -> list[Any]:
+    """Evaluate ``job`` over a parameter grid, optionally in parallel.
+
+    The workhorse of every experiment sweep: each grid point is an
+    independent deterministic simulation, so with ``workers > 1`` the
+    points fan out over a :class:`~repro.parallel.pool.SweepPool` and
+    are merged back **in point order** — the result list is identical to
+    the serial list comprehension for any worker count.
+
+    Args:
+        job: picklable callable applied to one grid point (module-level
+            function or :func:`functools.partial` of one).
+        points: the parameter points, in output order.
+        workers: worker-count spec (see
+            :func:`~repro.parallel.pool.resolve_workers`); ``1`` runs
+            inline with no subprocesses.
+    """
+    points = list(points)
+    if resolve_workers(workers) <= 1 or len(points) <= 1:
+        return [job(point) for point in points]
+    with SweepPool(job, workers=workers) as pool:
+        return pool.map(points)
+
+
+@functools.lru_cache(maxsize=4)
+def cached_v_trace(duration: float, seed: int) -> list[TraceRecord]:
+    """Generate (once per process) the synthetic V trace for a config.
+
+    Grid jobs regenerate their trace inside each worker; with warm
+    worker reuse this cache makes that a one-time cost per worker
+    instead of a per-point cost.  Callers must not mutate the returned
+    list.
+    """
+    from repro.workload.vtrace import VTraceConfig, generate_v_trace
+
+    return generate_v_trace(VTraceConfig(duration=duration, seed=seed))
 
 
 def consistency_messages(cluster: Cluster) -> int:

@@ -8,21 +8,29 @@ the trace curve against the full discrete-event protocol stack (E-SIM).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.analytic import relative_consistency_load, v_params
 from repro.experiments.common import (
     CONSISTENCY_KINDS,
     FIGURE_TERMS,
+    cached_v_trace,
     cluster_for_trace,
+    grid_map,
     render_table,
     replay_trace_on_cluster,
 )
 from repro.lease.policy import FixedTermPolicy
 from repro.workload.tracesim import simulate_trace
-from repro.workload.vtrace import VTraceConfig, generate_v_trace
 
 SHARING_LEVELS = (1, 10, 20, 40)
+
+
+def _trace_relative_load(term: float, trace_duration: float, seed: int) -> float:
+    """Grid job: the Trace curve's relative load at one lease term."""
+    trace = cached_v_trace(trace_duration, seed)
+    return simulate_trace(trace, term, v_params(1)).relative_load
 
 
 @dataclass(frozen=True)
@@ -42,8 +50,18 @@ def run(
     terms: list[float] | None = None,
     trace_duration: float = 3600.0,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Figure1Result:
-    """Compute every Figure 1 series."""
+    """Compute every Figure 1 series.
+
+    Args:
+        terms: lease-term grid (defaults to the paper's).
+        trace_duration: synthetic V-trace length in seconds.
+        seed: trace-generation seed.
+        workers: fan the per-term trace simulations across processes
+            (``"auto"`` = one per CPU); the curves are identical for any
+            value.
+    """
     terms = list(terms or FIGURE_TERMS)
     curves: dict[str, list[float]] = {}
     for sharing in SHARING_LEVELS:
@@ -51,11 +69,11 @@ def run(
         curves[f"S={sharing}"] = [
             relative_consistency_load(params, t) for t in terms
         ]
-    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
-    params = v_params(1)
-    curves["Trace"] = [
-        simulate_trace(trace, t, params).relative_load for t in terms
-    ]
+    trace = cached_v_trace(trace_duration, seed)
+    job = functools.partial(
+        _trace_relative_load, trace_duration=trace_duration, seed=seed
+    )
+    curves["Trace"] = grid_map(job, terms, workers=workers)
     return Figure1Result(terms=terms, curves=curves, trace_records=len(trace))
 
 
@@ -70,7 +88,7 @@ def validate_with_full_simulator(
     over the simulated network; its consistency-message count normalized
     by the zero-term cost must track the fast replay.
     """
-    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
+    trace = cached_v_trace(trace_duration, seed)
     params = v_params(1)
     fast = simulate_trace(trace, term, params).relative_load
 
@@ -93,16 +111,19 @@ def validate_sweep(
     terms: tuple[float, ...] = (0.0, 2.0, 10.0, 30.0),
     trace_duration: float = 1200.0,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> dict[float, tuple[float, float]]:
     """E-SIM over several terms: term -> (fast replay, full stack).
 
     The whole Trace *curve* is validated against the real protocol stack,
-    not just one point.
+    not just one point.  Each term's full-DES replay is an independent
+    simulation, so ``workers="auto"`` runs the grid points in parallel
+    with identical results.
     """
-    return {
-        term: validate_with_full_simulator(term, trace_duration, seed)
-        for term in terms
-    }
+    job = functools.partial(
+        validate_with_full_simulator, trace_duration=trace_duration, seed=seed
+    )
+    return dict(zip(terms, grid_map(job, terms, workers=workers)))
 
 
 def render(result: Figure1Result | None = None) -> str:

@@ -7,14 +7,25 @@ plus the measured delay of the trace-driven replay.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 
 from repro.analytic import added_delay, v_params
-from repro.experiments.common import FIGURE_TERMS, render_table
+from repro.experiments.common import (
+    FIGURE_TERMS,
+    cached_v_trace,
+    grid_map,
+    render_table,
+)
 from repro.workload.tracesim import simulate_trace
-from repro.workload.vtrace import VTraceConfig, generate_v_trace
 
 SHARING_LEVELS = (1, 10, 20, 40)
+
+
+def _trace_added_delay_ms(term: float, trace_duration: float, seed: int) -> float:
+    """Grid job: the Trace curve's mean added delay (ms) at one term."""
+    trace = cached_v_trace(trace_duration, seed)
+    return 1e3 * simulate_trace(trace, term, v_params(1)).mean_added_delay
 
 
 @dataclass(frozen=True)
@@ -29,18 +40,27 @@ def run(
     terms: list[float] | None = None,
     trace_duration: float = 3600.0,
     seed: int = 0,
+    workers: int | str | None = 1,
 ) -> Figure2Result:
-    """Compute every Figure 2 series (delays in milliseconds)."""
+    """Compute every Figure 2 series (delays in milliseconds).
+
+    Args:
+        terms: lease-term grid (defaults to the paper's).
+        trace_duration: synthetic V-trace length in seconds.
+        seed: trace-generation seed.
+        workers: fan the per-term trace simulations across processes
+            (``"auto"`` = one per CPU); the curves are identical for any
+            value.
+    """
     terms = list(terms or FIGURE_TERMS)
     curves: dict[str, list[float]] = {}
     for sharing in SHARING_LEVELS:
         params = v_params(sharing)
         curves[f"S={sharing}"] = [1e3 * added_delay(params, t) for t in terms]
-    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
-    params = v_params(1)
-    curves["Trace"] = [
-        1e3 * simulate_trace(trace, t, params).mean_added_delay for t in terms
-    ]
+    job = functools.partial(
+        _trace_added_delay_ms, trace_duration=trace_duration, seed=seed
+    )
+    curves["Trace"] = grid_map(job, terms, workers=workers)
     return Figure2Result(terms=terms, curves=curves)
 
 
@@ -57,7 +77,7 @@ def validate_delay_with_full_simulator(
     from repro.experiments.common import cluster_for_trace, replay_trace_on_cluster
     from repro.lease.policy import FixedTermPolicy
 
-    trace = generate_v_trace(VTraceConfig(duration=trace_duration, seed=seed))
+    trace = cached_v_trace(trace_duration, seed)
     params = v_params(1)
     sim = simulate_trace(trace, term, params)
     fast = sim.total_read_delay / sim.n_reads

@@ -40,7 +40,6 @@ from repro.protocol.effects import (
     SetTimer,
 )
 from repro.protocol.messages import (
-    ApprovalReply,
     ApprovalRequest,
     ExtendRequest,
     FlushRequest,

@@ -1,0 +1,408 @@
+"""Multiprocessing sweep executor with a deterministic merge.
+
+Every heavy workload in this repository — ``Explorer.explore`` seed
+sweeps, the figure-1/2 experiment grids, the ablation benchmarks — is a
+bag of *independent, pure* jobs: job ``i`` is a deterministic function
+of its input alone.  :class:`SweepPool` fans such a bag out across CPU
+cores while preserving the one property everything downstream depends
+on: **the merged result sequence is exactly what a serial loop would
+have produced**, regardless of worker count, chunking, crashes, or
+completion order.
+
+Execution model:
+
+* **chunked scheduling** — items are grouped into chunks that workers
+  pull from a shared queue, so fast workers take more chunks (dynamic
+  load balancing) without per-item queue overhead;
+* **warm worker reuse** — worker processes are spawned once and stay
+  resident across chunks (and across repeated ``map`` calls on the same
+  pool), so per-job cost is one queue hop, not one ``fork``/import;
+* **crash isolation** — a worker that dies (segfault, OOM-kill) takes
+  only its in-flight chunk with it: the chunk is requeued (bounded by
+  ``max_retries``), a replacement worker is spawned, and the sweep
+  continues.  Only when a chunk exceeds its retry budget does the sweep
+  fail, with :class:`WorkerCrashError`;
+* **deterministic merge** — results are collected keyed by item index
+  and released strictly in index order (:meth:`SweepPool.imap` streams
+  the contiguous prefix as it completes), so output is byte-identical
+  to a serial run.  A job that *raises* is re-raised in the parent as
+  :class:`SweepJobError` at its deterministic index position.
+
+Worker lifecycle is observable through ``parallel.*`` typed events on an
+optional :class:`~repro.obs.bus.TraceBus` (timestamps are seconds since
+pool creation — the pool has no virtual clock).
+
+Jobs and their results must be picklable; on platforms with ``fork``
+(Linux) the job callable itself is inherited rather than pickled.
+Workers ignore ``SIGINT`` so that a ``KeyboardInterrupt`` in the parent
+tears the pool down from one place (see :meth:`SweepPool.shutdown`)
+without orphaning children.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import time
+import traceback
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.obs.bus import TraceBus
+from repro.obs.events import (
+    CHUNK_DONE,
+    POOL_DONE,
+    POOL_START,
+    WORKER_CRASH,
+    WORKER_EXIT,
+    WORKER_SPAWN,
+)
+
+#: Hard cap on the default chunk size — beyond this, load balancing
+#: suffers more than queue overhead is saved.
+MAX_CHUNK = 32
+
+#: Seconds of total silence (no completions, every worker idle) after
+#: which the pool assumes a result was lost in flight — e.g. a killed
+#: worker's queue feeder died before flushing a finished chunk — and
+#: requeues everything still pending.  Duplicate completions are
+#: deduplicated, so a spurious requeue costs only wasted work.
+STALL_GRACE = 2.0
+
+#: Shared-slot value meaning "worker is idle" (blocked on the task queue).
+IDLE = -1
+
+_START_METHOD = "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+class SweepError(RuntimeError):
+    """Base class for sweep-execution failures (the sweep itself broke)."""
+
+
+class SweepJobError(SweepError):
+    """A job raised inside a worker.
+
+    Attributes:
+        index: the failing item's index in the sweep.
+        worker_traceback: the formatted traceback from the worker process.
+    """
+
+    def __init__(self, index: int, worker_traceback: str):
+        super().__init__(
+            f"sweep job {index} raised in worker:\n{worker_traceback}"
+        )
+        self.index = index
+        self.worker_traceback = worker_traceback
+
+
+class WorkerCrashError(SweepError):
+    """A chunk exhausted its retry budget because workers kept dying."""
+
+
+def resolve_workers(spec: int | str | None) -> int:
+    """Turn a ``--workers`` style spec into a concrete worker count.
+
+    Args:
+        spec: a positive int, a numeric string, ``"auto"``/``None``/``0``
+            (all meaning: one worker per available CPU), or an int-like.
+
+    Raises:
+        ValueError: on a non-numeric, non-``auto`` string or a negative
+            count.
+    """
+    if spec is None:
+        return os.cpu_count() or 1
+    if isinstance(spec, str):
+        if spec.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            spec = int(spec)
+        except ValueError:
+            raise ValueError(f"--workers must be a positive integer or 'auto', got {spec!r}")
+    if spec == 0:
+        return os.cpu_count() or 1
+    if spec < 0:
+        raise ValueError(f"worker count must be positive, got {spec}")
+    return int(spec)
+
+
+def _worker_main(worker_id, job, task_q, result_tx, wlock, current) -> None:
+    """Worker loop: pull chunks, run jobs, report results.
+
+    Runs in the child process.  Per-job exceptions are captured and
+    shipped back as data so one bad seed cannot kill the worker; SIGINT
+    is ignored so teardown is driven solely by the parent.
+
+    Two crash-accounting properties make recovery deterministic:
+
+    * ``current`` is a shared int slot the worker stamps with its chunk
+      id before touching the first job and resets to :data:`IDLE` after
+      shipping the results.  The parent reads the slot, not a message,
+      to learn what a dead worker was holding — a SIGKILL cannot lose a
+      shared-memory store the way it can lose an unflushed message.
+    * results travel over a raw pipe (``result_tx``, serialized by
+      ``wlock``), not a feeder-thread queue: once ``send`` returns, the
+      bytes sit in the OS pipe buffer and survive the worker's death,
+      so a finished chunk is never re-run just because its worker died
+      a moment later.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        message = task_q.get()
+        if message is None:
+            return
+        chunk_id, pairs = message
+        current.value = chunk_id
+        out = []
+        for index, item in pairs:
+            try:
+                out.append((index, True, job(item)))
+            except BaseException:
+                out.append((index, False, traceback.format_exc()))
+        with wlock:
+            result_tx.send((worker_id, chunk_id, out))
+        current.value = IDLE
+
+
+class SweepPool:
+    """A pool of warm worker processes executing independent jobs.
+
+    Args:
+        job: a picklable callable applied to each item.  Must be pure:
+            a crashed chunk is re-executed from scratch on another
+            worker, and duplicate execution must be harmless.
+        workers: worker-count spec (see :func:`resolve_workers`).
+        chunk_size: items per scheduling chunk; default balances queue
+            overhead against load balancing (``n / (workers * 4)``,
+            capped at ``MAX_CHUNK``).
+        max_retries: times one chunk may be requeued after worker
+            crashes before the sweep fails.
+        obs: optional trace bus receiving ``parallel.*`` events.
+
+    Use as a context manager — ``__exit__`` always tears the workers
+    down (gracefully on success, by force on error), so an interrupted
+    sweep never orphans processes.
+    """
+
+    def __init__(
+        self,
+        job: Callable[[Any], Any],
+        workers: int | str | None = None,
+        chunk_size: int | None = None,
+        max_retries: int = 2,
+        obs: TraceBus | None = None,
+    ):
+        self.job = job
+        self.workers = resolve_workers(workers)
+        self.chunk_size = chunk_size
+        self.max_retries = max_retries
+        self.obs = obs
+        self.crashes = 0
+        self.requeues = 0
+        self._ctx = multiprocessing.get_context(_START_METHOD)
+        self._task_q = self._ctx.Queue()
+        self._result_rx, self._result_tx = self._ctx.Pipe(duplex=False)
+        self._wlock = self._ctx.Lock()
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._slots: dict[int, Any] = {}
+        self._next_worker_id = 0
+        self._next_chunk_id = 0
+        self._born = time.monotonic()
+        self._closed = False
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def __enter__(self) -> "SweepPool":
+        """Enter a ``with`` block; workers are spawned lazily on first use."""
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        """Tear down on block exit: graceful normally, forced on error."""
+        self.shutdown(force=exc_type is not None)
+
+    def _emit(self, etype: str, **fields) -> None:
+        obs = self.obs
+        if obs is not None and obs.active:
+            obs.emit(etype, time.monotonic() - self._born, None, **fields)
+
+    def _spawn_worker(self) -> None:
+        worker_id = self._next_worker_id
+        self._next_worker_id += 1
+        slot = self._ctx.Value("q", IDLE, lock=False)
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(worker_id, self.job, self._task_q, self._result_tx,
+                  self._wlock, slot),
+            daemon=True,
+            name=f"sweep-worker-{worker_id}",
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+        self._slots[worker_id] = slot
+        self._emit(WORKER_SPAWN, worker=worker_id)
+
+    def _ensure_workers(self) -> None:
+        if self._closed:
+            raise SweepError("pool is shut down")
+        while len(self._procs) < self.workers:
+            self._spawn_worker()
+
+    def shutdown(self, force: bool = False) -> None:
+        """Stop every worker and release the queues.  Idempotent.
+
+        Args:
+            force: terminate immediately (error/interrupt path) instead
+                of letting workers drain their stop sentinels.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if force:
+            for proc in self._procs.values():
+                if proc.is_alive():
+                    proc.terminate()
+        else:
+            for _ in self._procs:
+                self._task_q.put(None)
+        deadline = time.monotonic() + 5.0
+        for worker_id, proc in self._procs.items():
+            proc.join(timeout=max(0.1, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=1.0)
+            if proc.is_alive():  # pragma: no cover - last resort
+                proc.kill()
+                proc.join(timeout=1.0)
+            self._emit(WORKER_EXIT, worker=worker_id)
+        self._procs.clear()
+        self._slots.clear()
+        self._task_q.close()
+        self._task_q.cancel_join_thread()
+        self._result_rx.close()
+        self._result_tx.close()
+
+    # -- execution -------------------------------------------------------------
+
+    def _chunk_size_for(self, n: int) -> int:
+        if self.chunk_size is not None:
+            return max(1, self.chunk_size)
+        return max(1, min(MAX_CHUNK, -(-n // (self.workers * 4))))
+
+    def map(self, items: Iterable[Any]) -> list[Any]:
+        """Apply the job to every item; results in item order."""
+        return list(self.imap(items))
+
+    def imap(self, items: Iterable[Any]) -> Iterator[Any]:
+        """Stream results in item order as they become available.
+
+        Results are buffered until contiguous: item ``i`` is yielded
+        only after items ``0..i-1``, which is what makes downstream
+        consumers (report building, artifact writing, progress lines)
+        byte-identical to a serial loop.
+
+        Raises:
+            SweepJobError: a job raised in a worker (re-raised at the
+                failing item's in-order position).
+            WorkerCrashError: a chunk exceeded ``max_retries`` worker
+                crashes.
+        """
+        items = list(items)
+        if not items:
+            return
+        self._ensure_workers()
+        size = self._chunk_size_for(len(items))
+        chunks: dict[int, list[tuple[int, Any]]] = {}
+        indexed = list(enumerate(items))
+        for lo in range(0, len(indexed), size):
+            chunk_id = self._next_chunk_id
+            self._next_chunk_id += 1
+            chunks[chunk_id] = indexed[lo:lo + size]
+        pending = set(chunks)
+        retries: dict[int, int] = {cid: 0 for cid in chunks}
+        results: dict[int, tuple[bool, Any]] = {}
+        next_emit = 0
+        self._emit(POOL_START, workers=self.workers, jobs=len(items), chunks=len(chunks))
+        for chunk_id in chunks:
+            self._task_q.put((chunk_id, chunks[chunk_id]))
+        last_progress = time.monotonic()
+
+        def handle(message) -> None:
+            nonlocal last_progress
+            worker_id, chunk_id, payload = message
+            last_progress = time.monotonic()
+            if chunk_id not in pending:
+                return  # duplicate completion after a stall requeue
+            pending.discard(chunk_id)
+            for index, ok, value in payload:
+                results[index] = (ok, value)
+            self._emit(CHUNK_DONE, chunk=chunk_id, worker=worker_id,
+                       jobs=len(payload))
+
+        def requeue(chunk_id: int) -> None:
+            retries[chunk_id] += 1
+            self.requeues += 1
+            if retries[chunk_id] > self.max_retries:
+                raise WorkerCrashError(
+                    f"chunk {chunk_id} (items "
+                    f"{[i for i, _ in chunks[chunk_id]]}) lost "
+                    f"{retries[chunk_id]} times; giving up"
+                )
+            self._task_q.put((chunk_id, chunks[chunk_id]))
+
+        def reap_dead_workers() -> None:
+            dead = [wid for wid, p in self._procs.items() if not p.is_alive()]
+            if not dead:
+                return
+            # Drain completions already in the pipe buffer first, so a
+            # chunk the dead worker finished is never pointlessly re-run.
+            while self._result_rx.poll():
+                handle(self._result_rx.recv())
+            for worker_id in dead:
+                self._procs.pop(worker_id).join()
+                slot = self._slots.pop(worker_id).value
+                chunk_id = slot if slot != IDLE else None
+                self.crashes += 1
+                lost = chunk_id is not None and chunk_id in pending
+                self._emit(WORKER_CRASH, worker=worker_id, chunk=chunk_id,
+                           requeued=lost)
+                if lost:
+                    requeue(chunk_id)
+            if pending:
+                self._ensure_workers()
+
+        try:
+            while pending:
+                if self._result_rx.poll(0.05):
+                    handle(self._result_rx.recv())
+                else:
+                    reap_dead_workers()
+                    # Lost-chunk backstop: a worker died in the instant
+                    # between dequeueing a chunk and stamping its claim
+                    # slot, so the chunk is on nobody's books.  Everyone
+                    # idle + nothing arriving => requeue what is still
+                    # pending (duplicates are deduplicated by handle()).
+                    if (
+                        pending
+                        and time.monotonic() - last_progress > STALL_GRACE
+                        and all(s.value == IDLE for s in self._slots.values())
+                    ):
+                        for chunk_id in sorted(pending):
+                            requeue(chunk_id)
+                        last_progress = time.monotonic()
+                while next_emit in results:
+                    ok, value = results.pop(next_emit)
+                    if not ok:
+                        raise SweepJobError(next_emit, value)
+                    next_emit += 1
+                    yield value
+            while next_emit in results:
+                ok, value = results.pop(next_emit)
+                if not ok:
+                    raise SweepJobError(next_emit, value)
+                next_emit += 1
+                yield value
+            self._emit(POOL_DONE, jobs=len(items), crashes=self.crashes,
+                       requeues=self.requeues)
+        except BaseException:
+            self.shutdown(force=True)
+            raise

@@ -157,6 +157,9 @@ class ClientEngine:
         self._requests: dict[int, _ReqCtx] = {}
         #: datum -> req_id of the in-flight read/extend covering it.
         self._datum_req: dict[DatumId, int] = {}
+        #: datum -> local time we last raised its cache floor by approving
+        #: another client's write (see _floor_write_aborted).
+        self._floor_raised_at: dict[DatumId, float] = {}
         self._next_op = id_base + 1
         self._next_req = id_base + 1
         self._next_write_seq = id_base + 1
@@ -364,6 +367,9 @@ class ClientEngine:
             self.leases.add(msg.datum, expires, cover=msg.cover)
         if msg.payload is not None:
             admitted = self.cache.put(msg.datum, msg.version, msg.payload)
+            if not admitted and self._floor_write_aborted(msg, req):
+                self.cache.lower_floor(msg.datum, msg.version)
+                admitted = self.cache.put(msg.datum, msg.version, msg.payload)
             if not admitted:
                 # A stale in-flight reply raced an approval we granted;
                 # refetch rather than hand the application old data.
@@ -378,6 +384,37 @@ class ClientEngine:
         for op_id in op_ids:
             effects.append(self._complete_read(op_id, entry.version, entry.payload))
         return effects
+
+    def _floor_write_aborted(self, msg: ReadReply, req: _ReqCtx) -> bool:
+        """Did the write that raised ``msg.datum``'s cache floor abort?
+
+        Approving a write raises the cache floor to the write's future
+        version so that stale in-flight replies cannot re-admit older
+        bytes.  But if the server then aborts that write (writer crashed,
+        partitioned, or hit its deadline), the floored version never
+        commits and every future reply is refused as "stale" — the client
+        refetches forever and its reads livelock.
+
+        Three facts together prove the floored write is dead, making it
+        safe to lower the floor to the reply's version:
+
+        * the request left *after* we raised the floor, so the reply
+          reflects the server's post-approval state;
+        * the reply grants a lease — the server defers reads while a
+          write is pending, so no write is pending on the datum;
+        * the version is still below the floor, so the approved write
+          did not commit (server versions are monotonic).
+
+        Genuinely stale replies (sent before the approval round) fail the
+        first test and keep the floor's protection.
+        """
+        raised_at = self._floor_raised_at.get(msg.datum)
+        return (
+            raised_at is not None
+            and req.sent_local > raised_at
+            and msg.term > 0
+            and msg.version < self.cache.floor_of(msg.datum)
+        )
 
     def _on_extend_reply(self, msg: ExtendReply, now: float) -> list[Effect]:
         req = self._close_request(msg.req_id)
@@ -458,6 +495,7 @@ class ClientEngine:
         """Grant approval for another client's write (§2): invalidate the
         local copy, keep the lease, reply immediately."""
         self.cache.invalidate(msg.datum, min_version=msg.new_version)
+        self._floor_raised_at[msg.datum] = now
         self.metrics.approvals_granted += 1
         return [Send(self.server, ApprovalReply(msg.datum, msg.write_id))]
 

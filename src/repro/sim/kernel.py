@@ -73,6 +73,9 @@ class Kernel:
             (workload generators, loss models) for reproducible runs.
         obs: optional :class:`~repro.obs.bus.TraceBus` receiving kernel
             events (heap compactions).
+        executed: total events fired so far — the denominator of the
+            harness's throughput metric (simulated events per wall
+            second, see ``repro.parallel.baseline``).
     """
 
     def __init__(self, seed: int = 0, obs=None):
@@ -81,6 +84,7 @@ class Kernel:
         self._heap: list[EventHandle] = []
         self._live = 0  # non-cancelled entries in the heap
         self._cancelled = 0  # cancelled entries still in the heap
+        self.executed = 0
         self.rng = random.Random(seed)
         self.obs = obs
 
@@ -118,6 +122,7 @@ class Kernel:
             handle._kernel = None
             self._live -= 1
             self._now = handle.time
+            self.executed += 1
             handle.fn(*handle.args)
             return True
         return False
@@ -142,6 +147,7 @@ class Kernel:
             head._kernel = None
             self._live -= 1
             self._now = head.time
+            self.executed += 1
             head.fn(*head.args)
         if until is not None and until > self._now:
             self._now = until

@@ -13,7 +13,7 @@ from repro.analytic.model import (
     multi_file_load,
     server_consistency_load,
 )
-from repro.analytic.params import SystemParams, v_params
+from repro.analytic.params import v_params
 
 
 def files(n, read_rate=0.2, write_rate=0.01, sharing=1):

@@ -1,6 +1,5 @@
 """Tests for the DFS breakable-locks baseline."""
 
-import pytest
 
 from repro.baselines import make_dfs_lock_cluster
 from repro.storage.store import FileStore

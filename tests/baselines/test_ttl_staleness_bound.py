@@ -9,7 +9,6 @@ the bound ZERO.
 
 import random
 
-import pytest
 
 from repro.baselines import make_ttl_cluster
 from repro.lease.policy import FixedTermPolicy

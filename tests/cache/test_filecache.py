@@ -116,6 +116,23 @@ class TestInvalidation:
         cache.invalidate(F1, min_version=3)  # must not lower the floor
         assert not cache.put(F1, 4, b"v4")
 
+    def test_lower_floor_releases_a_dead_floor(self):
+        """When the floored write is proven aborted, the floor comes down
+        so live replies are admissible again (anti-livelock)."""
+        cache = FileCache()
+        cache.invalidate(F1, min_version=5)
+        cache.lower_floor(F1, 2)
+        assert not cache.put(F1, 1, b"v1")  # still below the lowered floor
+        assert cache.put(F1, 2, b"v2")
+
+    def test_lower_floor_never_raises(self):
+        cache = FileCache()
+        cache.invalidate(F1, min_version=2)
+        cache.lower_floor(F1, 7)  # a no-op: lower only
+        assert cache.put(F1, 2, b"v2")
+        cache.lower_floor(F2, 7)  # no floor at all: also a no-op
+        assert cache.put(F2, 1, b"v1")
+
 
 class TestLru:
     def test_eviction_removes_least_recent(self):

@@ -6,7 +6,6 @@ import os
 
 from repro.check import Explorer, Scenario, demo_clock_fault_scenario, run_scenario
 from repro.check.__main__ import main
-from repro.check.generator import GeneratorConfig
 from repro.obs.bus import TraceBus
 from repro.obs.registry import Registry
 

@@ -5,6 +5,7 @@ import dataclasses
 import pytest
 
 from repro.check import Scenario, demo_clock_fault_scenario, run_scenario
+from repro.check.generator import ScenarioGenerator
 from repro.check.runner import RunResult, apply_fault, build_scenario_cluster
 from repro.check.scenario import Fault, Op
 
@@ -140,3 +141,15 @@ class TestFaultTolerance:
             faults=(Fault("crash", at=1.2, host="server", duration=2.0),),
         )
         assert run_scenario(scenario).ok
+
+
+class TestRegressions:
+    def test_gen_0_67_aborted_write_floor_livelock(self):
+        """Seed 67 of the default sweep: a client approves a write, the
+        writer's partition makes the server abort it, and the approver's
+        cache floor — pointing at a version that will never commit —
+        used to refuse every fresh reply, livelocking its probe read
+        until the convergence check timed out."""
+        scenario = ScenarioGenerator(base_seed=0).generate(67)
+        result = run_scenario(scenario)
+        assert result.ok, result.violations

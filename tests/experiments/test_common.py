@@ -1,6 +1,5 @@
 """Tests for the experiment-harness helpers."""
 
-import pytest
 
 from repro.experiments.common import (
     CONSISTENCY_KINDS,

@@ -1,0 +1,55 @@
+"""Parallel experiment grids produce the same curves as serial runs."""
+
+from repro.experiments import figure1, figure2
+from repro.experiments.common import cached_v_trace, grid_map
+
+TERMS = [0.0, 5.0, 30.0]
+QUICK = dict(terms=TERMS, trace_duration=120.0, seed=3)
+
+
+def triple(x):
+    """Module-level (picklable) toy grid job."""
+    return 3 * x
+
+
+class TestGridMap:
+    def test_serial_and_parallel_agree(self):
+        points = list(range(9))
+        expected = [triple(p) for p in points]
+        assert grid_map(triple, points, workers=1) == expected
+        assert grid_map(triple, points, workers=3) == expected
+
+    def test_auto_spec_accepted(self):
+        assert grid_map(triple, [1, 2], workers="auto") == [3, 6]
+
+    def test_single_point_stays_serial(self):
+        assert grid_map(triple, [7], workers=4) == [21]
+
+
+class TestCachedTrace:
+    def test_same_arguments_hit_the_cache(self):
+        assert cached_v_trace(60.0, 1) is cached_v_trace(60.0, 1)
+
+    def test_different_seeds_differ(self):
+        a = cached_v_trace(60.0, 1)
+        b = cached_v_trace(60.0, 2)
+        assert [r.time for r in a] != [r.time for r in b]
+
+
+class TestFigureGrids:
+    def test_figure1_curves_identical_across_workers(self):
+        serial = figure1.run(workers=1, **QUICK)
+        parallel = figure1.run(workers=2, **QUICK)
+        assert parallel.curves == serial.curves
+        assert parallel.terms == serial.terms
+
+    def test_figure2_curves_identical_across_workers(self):
+        serial = figure2.run(workers=1, **QUICK)
+        parallel = figure2.run(workers=2, **QUICK)
+        assert parallel.curves == serial.curves
+
+    def test_validate_sweep_identical_across_workers(self):
+        kwargs = dict(terms=(0.0, 10.0), trace_duration=90.0, seed=3)
+        serial = figure1.validate_sweep(workers=1, **kwargs)
+        parallel = figure1.validate_sweep(workers=2, **kwargs)
+        assert parallel == serial

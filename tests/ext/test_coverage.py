@@ -1,6 +1,5 @@
 """Tests for §7 adaptive coverage: promotion, demotion, and their safety."""
 
-import pytest
 
 from repro.ext.coverage import AdaptiveCoverageServerEngine, CoveragePolicy
 from repro.lease.policy import FixedTermPolicy

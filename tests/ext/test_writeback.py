@@ -1,6 +1,5 @@
 """Tests for the write-back extension (exclusive write leases + recall)."""
 
-import pytest
 
 from repro.ext import build_writeback_cluster
 from repro.ext.writeback import WriteBackClientConfig

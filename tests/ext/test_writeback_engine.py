@@ -1,6 +1,5 @@
 """Sans-io unit tests for the write-back engines (no network)."""
 
-import pytest
 
 from repro.ext.writeback import (
     WriteBackClientConfig,
@@ -8,7 +7,7 @@ from repro.ext.writeback import (
     WriteBackServerEngine,
 )
 from repro.lease.policy import FixedTermPolicy
-from repro.protocol.effects import CancelTimer, Complete, Send, SetTimer
+from repro.protocol.effects import Complete, Send, SetTimer
 from repro.protocol.messages import (
     FlushRequest,
     ReadRequest,

@@ -2,7 +2,6 @@
 by access characteristics — zero terms for write-shared files, ordinary
 terms for the rest — in one cluster."""
 
-import pytest
 
 from repro.lease.policy import FixedTermPolicy, PerClassPolicy, ZeroTermPolicy
 from repro.sim.driver import build_cluster

@@ -1,6 +1,5 @@
 """End-to-end tests for voluntary lease relinquishment (§4)."""
 
-import pytest
 
 from repro.lease.policy import FixedTermPolicy
 from repro.sim.driver import build_cluster

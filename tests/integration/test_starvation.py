@@ -7,7 +7,6 @@ and a writer would never commit.  These tests subject a writer to a
 continuous, gapless read load and assert the bound.
 """
 
-import pytest
 
 from repro.lease.policy import FixedTermPolicy
 from repro.sim.driver import build_cluster

@@ -1,0 +1,131 @@
+"""Benchmark baseline: report schema, the perf gate, and its CLI."""
+
+import json
+
+from repro.parallel import baseline
+
+
+def make_report(serial_eps=1000.0, parallel_eps=1800.0, deterministic=True,
+                jobs=baseline.PINNED_JOBS):
+    """A synthetic BENCH_sweep.json-shaped report for gate tests."""
+    return {
+        "benchmark": "pinned_sweep",
+        "job_mix": {
+            "base_seed": baseline.PINNED_BASE_SEED,
+            "jobs": jobs,
+            "mode": "smoke",
+        },
+        "events": 100_000,
+        "deterministic": deterministic,
+        "serial": {"wall_s": 1.0, "events_per_sec": serial_eps},
+        "parallel": {
+            "workers": 2,
+            "wall_s": 0.5,
+            "events_per_sec": parallel_eps,
+            "speedup": 1.8,
+        },
+        "machine": {"cpus": 2, "python": "3.11.0", "platform": "test"},
+    }
+
+
+class TestCompare:
+    def test_identical_reports_pass(self):
+        verdict = baseline.compare(make_report(), make_report())
+        assert verdict.ok
+        assert verdict.ratios == {"serial": 1.0, "parallel": 1.0}
+
+    def test_drop_within_tolerance_passes(self):
+        current = make_report(serial_eps=800.0, parallel_eps=1500.0)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert verdict.ok
+
+    def test_improvement_passes(self):
+        current = make_report(serial_eps=2000.0, parallel_eps=4000.0)
+        assert baseline.compare(current, make_report()).ok
+
+    def test_serial_regression_fails(self):
+        current = make_report(serial_eps=500.0)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert not verdict.ok
+        assert any("serial" in r for r in verdict.regressions)
+
+    def test_parallel_regression_fails(self):
+        current = make_report(parallel_eps=900.0)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert not verdict.ok
+        assert any("parallel" in r for r in verdict.regressions)
+
+    def test_job_mix_change_demands_repin(self):
+        verdict = baseline.compare(make_report(jobs=8), make_report())
+        assert not verdict.ok
+        assert any("re-pin" in r for r in verdict.regressions)
+
+    def test_nondeterministic_run_fails(self):
+        verdict = baseline.compare(
+            make_report(deterministic=False), make_report()
+        )
+        assert not verdict.ok
+        assert any("deterministic" in r for r in verdict.regressions)
+
+
+class TestRunBenchmark:
+    def test_report_structure_and_consistency(self):
+        report = baseline.run_benchmark(workers=2, jobs=4)
+        assert report["benchmark"] == "pinned_sweep"
+        assert report["job_mix"]["jobs"] == 4
+        assert report["deterministic"] is True
+        assert report["events"] > 0
+        for leg in ("serial", "parallel"):
+            assert report[leg]["wall_s"] > 0
+            assert report[leg]["events_per_sec"] == (
+                report["events"] / report[leg]["wall_s"]
+            )
+        assert report["parallel"]["workers"] == 2
+        assert report["parallel"]["speedup"] == (
+            report["serial"]["wall_s"] / report["parallel"]["wall_s"]
+        )
+        # A fresh report always passes the gate against itself.
+        assert baseline.compare(report, report).ok
+
+
+class TestCli:
+    def test_pin_then_check_passes(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_sweep.json")
+        assert baseline.main(
+            ["--jobs", "3", "--workers", "2", "--pin", "--baseline", path]
+        ) == 0
+        pinned = baseline.load_report(path)
+        assert pinned["job_mix"]["jobs"] == 3
+        # A wide tolerance: this exercises the pin/check plumbing, and the
+        # two timed runs happen seconds apart on a possibly loaded box.
+        assert baseline.main(
+            ["--jobs", "3", "--workers", "2", "--check", "--baseline", path,
+             "--tolerance", "0.9"]
+        ) == 0
+        assert "perf gate ok" in capsys.readouterr().err
+
+    def test_check_without_baseline_exits_2(self, tmp_path, capsys):
+        path = str(tmp_path / "missing.json")
+        assert baseline.main(
+            ["--jobs", "2", "--workers", "2", "--check", "--baseline", path]
+        ) == 2
+        assert "--pin" in capsys.readouterr().err
+
+    def test_gate_failure_exits_1(self, tmp_path, capsys):
+        path = str(tmp_path / "BENCH_sweep.json")
+        impossible = make_report(serial_eps=1e12, parallel_eps=1e12, jobs=2)
+        baseline.save_report(impossible, path)
+        assert baseline.main(
+            ["--jobs", "2", "--workers", "2", "--check", "--baseline", path]
+        ) == 1
+        assert "PERF GATE FAIL" in capsys.readouterr().err
+
+    def test_out_writes_stable_json(self, tmp_path, capsys):
+        path = str(tmp_path / "fresh.json")
+        assert baseline.main(
+            ["--jobs", "2", "--workers", "2", "--out", path]
+        ) == 0
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        assert text.endswith("\n")
+        assert json.loads(text)["job_mix"]["jobs"] == 2

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.protocol.client import ClientConfig, ClientEngine
-from repro.protocol.effects import CancelTimer, Complete, Send, SetTimer
+from repro.protocol.effects import Complete, Send, SetTimer
 from repro.protocol.messages import (
     ApprovalReply,
     ApprovalRequest,
@@ -248,6 +248,41 @@ class TestApprovals:
         fresh = ReadReply(follow_up.message.req_id, F1, version=2, payload=b"new", term=10.0)
         effects = client.handle_message(fresh, "server", now=0.01)
         assert only(effects, Complete).value == (2, b"new")
+
+    def test_aborted_approved_write_releases_the_floor(self):
+        """Regression: an approval raises the cache floor to the write's
+        future version; if the server then aborts that write (writer
+        partitioned / deadline), the version never commits and every
+        fresh reply used to be refused as stale — an infinite refetch
+        loop (seed gen-0-67).  A post-approval reply that grants a lease
+        proves no write is pending, so the dead floor must come down."""
+        client = make_client()
+        fetch(client)  # v1 cached, lease held
+        client.handle_message(ApprovalRequest(F1, 7, 2), "server", now=1.0)
+        assert client.cache.floor_of(F1) == 2
+        # The write aborts server-side; a later read still finds v1.
+        op_id, effects = client.read(F1, now=2.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"v1", term=10.0)
+        effects = client.handle_message(reply, "server", now=2.003)
+        assert only(effects, Complete).value == (1, b"v1")
+        assert client.cache.floor_of(F1) == 1
+        assert client.cache.get(F1).payload == b"v1"
+
+    def test_leaseless_reply_does_not_release_the_floor(self):
+        """Without a lease grant the server proves nothing about pending
+        writes, so the floor stays and the client refetches."""
+        client = make_client()
+        fetch(client)
+        client.handle_message(ApprovalRequest(F1, 7, 2), "server", now=1.0)
+        op_id, effects = client.read(F1, now=2.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"v1", term=0.0)
+        effects = client.handle_message(reply, "server", now=2.003)
+        follow_up = only(effects, Send)
+        assert isinstance(follow_up.message, ReadRequest)
+        assert not [e for e in effects if isinstance(e, Complete)]
+        assert client.cache.floor_of(F1) == 2
 
 
 class TestAnnouncements:

@@ -5,7 +5,6 @@ decode into a well-formed message or raise :class:`ProtocolError` — never
 anything else, and never a message of an unregistered type.
 """
 
-import math
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

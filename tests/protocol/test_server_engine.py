@@ -3,7 +3,7 @@
 import pytest
 
 from repro.lease.installed import InstalledFileManager
-from repro.lease.policy import FixedTermPolicy, ZeroTermPolicy
+from repro.lease.policy import FixedTermPolicy
 from repro.protocol.effects import Broadcast, Send, SetTimer
 from repro.protocol.messages import (
     ApprovalReply,

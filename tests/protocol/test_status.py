@@ -1,6 +1,5 @@
 """Tests for the server's operational status snapshot."""
 
-import pytest
 
 from repro.lease.policy import FixedTermPolicy
 from repro.protocol.messages import ReadRequest, WriteRequest

@@ -2,7 +2,6 @@
 
 import asyncio
 
-import pytest
 
 from repro.lease.policy import FixedTermPolicy
 from repro.protocol.client import ClientConfig

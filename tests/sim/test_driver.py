@@ -4,7 +4,7 @@ import pytest
 
 from repro.analytic.params import V_PARAMS
 from repro.lease.installed import InstalledFileManager
-from repro.lease.policy import FixedTermPolicy, InfiniteTermPolicy, ZeroTermPolicy
+from repro.lease.policy import InfiniteTermPolicy, ZeroTermPolicy
 from repro.protocol.client import ClientConfig
 from repro.sim.driver import build_cluster, install_tree
 from repro.sim.network import NetworkParams

@@ -233,3 +233,28 @@ class TestDeterminism:
         kernel.run()
         assert times == sorted(times)
         assert len(times) == len(delays)
+
+
+class TestExecutedCounter:
+    def test_counts_fired_events(self):
+        kernel = Kernel()
+        for d in (1.0, 2.0, 3.0):
+            kernel.schedule(d, lambda: None)
+        kernel.run()
+        assert kernel.executed == 3
+
+    def test_cancelled_events_are_not_counted(self):
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None).cancel()
+        kernel.run()
+        assert kernel.executed == 1
+
+    def test_step_increments_by_one(self):
+        kernel = Kernel()
+        kernel.schedule(1.0, lambda: None)
+        kernel.schedule(2.0, lambda: None)
+        assert kernel.step()
+        assert kernel.executed == 1
+        assert kernel.step()
+        assert kernel.executed == 2

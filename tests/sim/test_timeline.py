@@ -1,6 +1,5 @@
 """Tests for the protocol timeline recorder."""
 
-import pytest
 
 from repro.lease.policy import FixedTermPolicy
 from repro.sim.driver import build_cluster

@@ -38,7 +38,8 @@ class TestExpansion:
 
     def test_temporaries_pass_through(self, traces):
         logical, block = traces
-        count = lambda t: sum(1 for r in t if r.file_class is FileClass.TEMPORARY)
+        def count(t):
+            return sum(1 for r in t if r.file_class is FileClass.TEMPORARY)
         assert count(block) == count(logical)
 
     def test_deterministic(self):
