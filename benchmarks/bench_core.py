@@ -1,0 +1,22 @@
+"""Single-run core benchmark; emits/gates ``BENCH_core.json``.
+
+Thin entry point over :mod:`repro.profile.core`: measures the kernel/
+network storm workload and the serial pinned scenario mix, reports
+events/sec for each, and (with ``--check``) enforces the committed
+baseline at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_core.py                 # measure
+    PYTHONPATH=src python benchmarks/bench_core.py --check         # CI gate
+    PYTHONPATH=src python benchmarks/bench_core.py --pin           # re-pin
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.profile.core import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -41,13 +41,15 @@ class RateEstimator:
         return self._weight / self.tau
 
     def _decay_to(self, now: float) -> None:
-        if self._last is None:
+        last = self._last
+        if last is None:
             self._last = now
             return
-        if now < self._last:
-            # A slightly out-of-order observation; clamp rather than grow.
+        if now <= last:
+            # Same-instant (exp(0) == 1) or a slightly out-of-order
+            # observation; clamp rather than grow.
             return
-        self._weight *= math.exp(-(now - self._last) / self.tau)
+        self._weight *= math.exp(-(now - last) / self.tau)
         self._last = now
 
 

@@ -79,6 +79,13 @@ class LeaseTable:
         self._by_datum: dict[DatumId, dict[HostId, Lease]] = {}
         self._by_holder: dict[HostId, set[DatumId]] = {}
         self._pending: dict[DatumId, deque[PendingWrite]] = {}
+        #: Earliest expiry among each datum's leases, maintained lazily so
+        #: :meth:`_prune` can skip its holder scan while nothing can have
+        #: expired.  May run *stale-low* (a renewal or release can raise
+        #: the true minimum without updating it), which only costs one
+        #: recomputing scan — never stale-high, which would skip a prune
+        #: that has work to do.
+        self._min_expiry: dict[DatumId, float] = {}
         self._next_write_id = 1
         #: Largest term ever granted; a recovering server must delay all
         #: writes for this long (paper §2's crash-recovery rule).
@@ -96,19 +103,36 @@ class LeaseTable:
                 starvation guard) — callers normally check
                 :meth:`write_pending` first and queue the request instead.
         """
-        if self.write_pending(datum):
+        if self._pending and self._pending.get(datum):
             raise LeaseDeniedError(f"write pending on {datum}; no new leases")
+        if term < 0:
+            raise ValueError(f"negative lease term: {term}")
         self._prune(datum, now)
-        holders = self._by_datum.setdefault(datum, {})
+        by_datum = self._by_datum
+        holders = by_datum.get(datum)
+        if holders is None:
+            holders = by_datum[datum] = {}
         lease = holders.get(holder)
-        renewal = lease is not None and lease.valid(now)
+        renewal = lease is not None and now < lease.expires_at
         if renewal:
-            lease.renew(now, term)
+            # Lease.renew, inlined (extension never shortens a lease).
+            lease.granted_at = now
+            lease.term = term
+            expires = now + term
+            if expires > lease.expires_at:
+                lease.expires_at = expires
         else:
             lease = Lease.granted(datum, holder, now, term)
             holders[holder] = lease
-        self._by_holder.setdefault(holder, set()).add(datum)
-        self.max_term_granted = max(self.max_term_granted, term)
+            min_expiry = self._min_expiry.get(datum)
+            if min_expiry is None or lease.expires_at < min_expiry:
+                self._min_expiry[datum] = lease.expires_at
+        held = self._by_holder.get(holder)
+        if held is None:
+            held = self._by_holder[holder] = set()
+        held.add(datum)
+        if term > self.max_term_granted:
+            self.max_term_granted = term
         if self.obs.active:
             self.obs.emit(
                 LEASE_RENEW if renewal else LEASE_GRANT, now, self.owner,
@@ -127,6 +151,7 @@ class LeaseTable:
             del holders[holder]
             if not holders:
                 del self._by_datum[datum]
+                self._min_expiry.pop(datum, None)
             if self.obs.active:
                 self.obs.emit(
                     LEASE_RELEASE, now, self.owner, datum=str(datum), holder=holder
@@ -154,7 +179,7 @@ class LeaseTable:
         return {
             holder
             for holder, lease in self._by_datum.get(datum, {}).items()
-            if lease.valid(now)
+            if now < lease.expires_at
         }
 
     def holdings(self, holder: HostId) -> set[DatumId]:
@@ -285,16 +310,20 @@ class LeaseTable:
         self._by_datum.clear()
         self._by_holder.clear()
         self._pending.clear()
+        self._min_expiry.clear()
         self.max_term_granted = 0.0
         return bound
 
     # -- internals ----------------------------------------------------------------
 
     def _prune(self, datum: DatumId, now: float) -> int:
+        min_expiry = self._min_expiry.get(datum)
+        if min_expiry is not None and now < min_expiry:
+            return 0  # no lease can have expired: pruning would be a no-op
         holders = self._by_datum.get(datum)
         if not holders:
             return 0
-        dead = [h for h, lease in holders.items() if not lease.valid(now)]
+        dead = [h for h, lease in holders.items() if now >= lease.expires_at]
         obs = self.obs
         for holder in dead:
             del holders[holder]
@@ -309,6 +338,11 @@ class LeaseTable:
                     del self._by_holder[holder]
         if not holders:
             del self._by_datum[datum]
+            self._min_expiry.pop(datum, None)
+        else:
+            self._min_expiry[datum] = min(
+                lease.expires_at for lease in holders.values()
+            )
         return len(dead)
 
     def _on_holder_gone(self, datum: DatumId, holder: HostId) -> None:

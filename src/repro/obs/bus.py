@@ -36,7 +36,7 @@ class TraceBus:
             eviction); subscribers still saw them.
     """
 
-    __slots__ = ("active", "dropped", "_buffer", "_subscribers")
+    __slots__ = ("active", "dropped", "_buffer", "_subscribers", "_counts")
 
     def __init__(self, capacity: int | None = 65536, active: bool = True):
         """Args:
@@ -47,6 +47,7 @@ class TraceBus:
         self.dropped = 0
         self._buffer: deque[dict] = deque(maxlen=capacity)
         self._subscribers: list[Subscriber] = []
+        self._counts: Counter = Counter()  # per-type tally of _buffer
 
     # -- control ---------------------------------------------------------------
 
@@ -82,9 +83,22 @@ class TraceBus:
         if fields:
             event.update(fields)
         buffer = self._buffer
-        if buffer.maxlen is not None and len(buffer) == buffer.maxlen:
+        maxlen = buffer.maxlen
+        counts = self._counts
+        if maxlen is not None and len(buffer) == maxlen:
             self.dropped += 1
-        buffer.append(event)
+            if maxlen:  # evict manually so the per-type tally stays exact
+                evicted = buffer.popleft()
+                t = evicted["type"]
+                counts[t] -= 1
+                if not counts[t]:
+                    del counts[t]
+                buffer.append(event)
+                counts[type] += 1
+            # maxlen == 0 (NULL_BUS): nothing is ever buffered or counted
+        else:
+            buffer.append(event)
+            counts[type] += 1
         for fn in self._subscribers:
             fn(event)
 
@@ -97,12 +111,17 @@ class TraceBus:
         return [e for e in self._buffer if e["type"] == type]
 
     def counts(self) -> Counter:
-        """Buffered event count per type."""
-        return Counter(e["type"] for e in self._buffer)
+        """Buffered event count per type.  O(#types), not O(#events).
+
+        The tally is maintained incrementally on emit and eviction; this
+        returns a copy so callers may mutate the result freely.
+        """
+        return Counter(self._counts)
 
     def clear(self) -> None:
         """Drop the buffered events (subscribers are unaffected)."""
         self._buffer.clear()
+        self._counts.clear()
         self.dropped = 0
 
     def __len__(self) -> int:

@@ -24,6 +24,7 @@ an end-to-end equivalence check on every push.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
 import os
 import platform
@@ -48,6 +49,36 @@ TOLERANCE = 0.25
 
 #: Default artifact path (committed at the repository root).
 BASELINE_PATH = "BENCH_sweep.json"
+
+
+def machine_block() -> dict:
+    """The informational ``machine`` metadata block shared by every
+    committed benchmark baseline (``BENCH_sweep.json``,
+    ``BENCH_core.json``).  Excluded from gate comparisons; it exists so a
+    human reading a regression can spot a runner change at a glance."""
+    return {
+        "cpus": os.cpu_count(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def pinned_mix_sha(
+    jobs: int = PINNED_JOBS,
+    base_seed: int = PINNED_BASE_SEED,
+    config: GeneratorConfig | None = None,
+) -> str:
+    """SHA-256 over the pinned mix's scenario digests.
+
+    Committed inside each baseline's ``job_mix`` block: a generator or
+    grammar change silently altering the workload shows up as a mix-hash
+    mismatch (stale baseline, re-pin) instead of a phantom perf swing.
+    """
+    generator = ScenarioGenerator(base_seed, config or GeneratorConfig.smoke())
+    acc = hashlib.sha256()
+    for index in range(jobs):
+        acc.update(generator.generate(index).digest().encode())
+    return acc.hexdigest()
 
 
 def bench_job(index: int) -> dict:
@@ -119,6 +150,7 @@ def run_benchmark(
             "base_seed": PINNED_BASE_SEED,
             "jobs": jobs,
             "mode": "smoke",
+            "mix_sha": pinned_mix_sha(jobs),
         },
         "events": events,
         "deterministic": deterministic,
@@ -132,11 +164,7 @@ def run_benchmark(
             "events_per_sec": events / parallel_s,
             "speedup": serial_s / parallel_s,
         },
-        "machine": {
-            "cpus": os.cpu_count(),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+        "machine": machine_block(),
     }
 
 

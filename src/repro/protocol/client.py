@@ -27,6 +27,7 @@ the request that produced the lease.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.cache.filecache import FileCache, TempFileStore
 from repro.clock.sync import safe_local_expiry
@@ -163,6 +164,17 @@ class ClientEngine:
         self._next_op = id_base + 1
         self._next_req = id_base + 1
         self._next_write_seq = id_base + 1
+        #: Exact-type message dispatch.  Bound at init so subclass handler
+        #: overrides win; message classes are final, so ``type(msg)`` lookup
+        #: matches the isinstance chain it replaces.
+        self._dispatch: dict[type, Callable] = {
+            ReadReply: self._on_read_reply,
+            ExtendReply: self._on_extend_reply,
+            WriteReply: self._on_write_reply,
+            NamespaceReply: self._on_ns_reply,
+            ApprovalRequest: self._on_approval_request,
+            InstalledAnnounce: self._on_announce,
+        }
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -255,19 +267,10 @@ class ClientEngine:
 
     def handle_message(self, msg: Message, src: HostId, now: float) -> list[Effect]:
         """Process one inbound message; returns the effects to execute."""
-        if isinstance(msg, ReadReply):
-            return self._on_read_reply(msg, now)
-        if isinstance(msg, ExtendReply):
-            return self._on_extend_reply(msg, now)
-        if isinstance(msg, WriteReply):
-            return self._on_write_reply(msg, now)
-        if isinstance(msg, NamespaceReply):
-            return self._on_ns_reply(msg, now)
-        if isinstance(msg, ApprovalRequest):
-            return self._on_approval_request(msg, now)
-        if isinstance(msg, InstalledAnnounce):
-            return self._on_announce(msg, now)
-        raise ReproError(f"client got unexpected message {type(msg).__name__}")
+        handler = self._dispatch.get(type(msg))
+        if handler is None:
+            raise ReproError(f"client got unexpected message {type(msg).__name__}")
+        return handler(msg, now)
 
     def handle_timer(self, key: str, now: float) -> list[Effect]:
         """Process a timer firing; returns the effects to execute."""

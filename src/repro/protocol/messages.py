@@ -12,22 +12,26 @@ measures) are derived from the class: ``lease/read``, ``lease/extend``,
 
 from __future__ import annotations
 
+import sys
 from dataclasses import dataclass
 
 from repro.types import DatumId, Version
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Message:
-    """Base class for all protocol messages."""
+    """Base class for all protocol messages.
 
-    @property
-    def kind(self) -> str:
-        """Traffic-accounting category for this message type."""
-        return KIND_BY_TYPE[type(self).__name__]
+    ``kind`` — the traffic-accounting category — is a per-class interned
+    string attribute (assigned from :data:`KIND_BY_TYPE` at the bottom of
+    this module), so reading it on the send path is one attribute lookup
+    with no per-message dict or property-call overhead.
+    """
+
+    kind = "msg"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadRequest(Message):
     """Fetch a datum (and a lease over it).
 
@@ -44,7 +48,7 @@ class ReadRequest(Message):
     cached_version: Version | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ReadReply(Message):
     """Reply to :class:`ReadRequest`.
 
@@ -67,7 +71,7 @@ class ReadReply(Message):
     error: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExtendRequest(Message):
     """Batched lease extension (§3.1: extend all held leases together).
 
@@ -79,7 +83,7 @@ class ExtendRequest(Message):
     items: tuple[tuple[DatumId, Version], ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExtendGrant:
     """One granted extension inside an :class:`ExtendReply`.
 
@@ -97,7 +101,7 @@ class ExtendGrant:
     cover: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExtendReply(Message):
     """Reply to :class:`ExtendRequest`.
 
@@ -113,7 +117,7 @@ class ExtendReply(Message):
     denied: tuple[DatumId, ...] = ()
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteRequest(Message):
     """Write-through of a file datum.
 
@@ -131,7 +135,7 @@ class WriteRequest(Message):
     write_seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteReply(Message):
     """Reply to :class:`WriteRequest` once the write has committed."""
 
@@ -141,7 +145,7 @@ class WriteReply(Message):
     error: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ApprovalRequest(Message):
     """Server-to-leaseholder callback: may this write proceed?"""
 
@@ -150,7 +154,7 @@ class ApprovalRequest(Message):
     new_version: Version
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ApprovalReply(Message):
     """Leaseholder's approval (it has invalidated its cached copy)."""
 
@@ -158,7 +162,7 @@ class ApprovalReply(Message):
     write_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NamespaceRequest(Message):
     """A namespace mutation: a *write* to directory datum(s).
 
@@ -173,7 +177,7 @@ class NamespaceRequest(Message):
     write_seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class NamespaceReply(Message):
     """Reply to :class:`NamespaceRequest`."""
 
@@ -183,7 +187,7 @@ class NamespaceReply(Message):
     result: object = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class InstalledAnnounce(Message):
     """Periodic multicast extension of installed-file cover leases (§4)."""
 
@@ -192,7 +196,7 @@ class InstalledAnnounce(Message):
     seq: int = 0
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RelinquishRequest(Message):
     """Voluntarily give up leases (client option, §4).
 
@@ -208,7 +212,7 @@ class RelinquishRequest(Message):
 # -- write-back extension (§2: non-write-through caches; §6: MFS/Echo tokens) --
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteLeaseRequest(Message):
     """Acquire an exclusive *write lease* on a datum.
 
@@ -222,7 +226,7 @@ class WriteLeaseRequest(Message):
     cached_version: Version | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class WriteLeaseReply(Message):
     """Reply to :class:`WriteLeaseRequest` once exclusivity is achieved."""
 
@@ -234,7 +238,7 @@ class WriteLeaseReply(Message):
     error: str | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecallRequest(Message):
     """Server-to-owner callback: surrender the write lease (flush dirty
     data).  Sent when another client needs the datum."""
@@ -243,7 +247,7 @@ class RecallRequest(Message):
     recall_id: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RecallReply(Message):
     """Owner's response to a recall: the dirty contents, or None if the
     cached copy was clean.  The write lease is relinquished either way."""
@@ -253,7 +257,7 @@ class RecallReply(Message):
     dirty: bytes | None = None
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class FlushRequest(Message):
     """Voluntary write-back of dirty data by the write-lease owner
     (e.g. ahead of lease expiry).  The lease is retained."""
@@ -286,3 +290,7 @@ KIND_BY_TYPE = {
     "RecallReply": "lease/recall",
     "FlushRequest": "lease/flush",
 }
+
+for _name, _kind in KIND_BY_TYPE.items():
+    setattr(globals()[_name], "kind", sys.intern(_kind))
+del _name, _kind

@@ -21,6 +21,7 @@ The engine performs no I/O and never reads a clock: every entry point takes
 from __future__ import annotations
 
 from collections import OrderedDict, deque
+from typing import Callable
 from dataclasses import dataclass, field
 from repro.errors import ReproError
 from repro.lease.installed import InstalledFileManager
@@ -174,6 +175,17 @@ class ServerEngine:
         self._dedup_window = 256
         #: (src, write_seq) currently in flight (retransmissions ignored).
         self._inflight: set[tuple[HostId, int]] = set()
+        #: Exact-type message dispatch.  Bound at init so subclass handler
+        #: overrides win; message classes are final, so ``type(msg)`` lookup
+        #: matches the isinstance chain it replaces.
+        self._dispatch: dict[type, Callable] = {
+            ReadRequest: self._handle_read,
+            ExtendRequest: self._handle_extend,
+            WriteRequest: self._handle_write,
+            NamespaceRequest: self._handle_namespace,
+            ApprovalReply: self._handle_approval,
+            RelinquishRequest: self._handle_relinquish,
+        }
 
     # -- lifecycle -------------------------------------------------------------
 
@@ -224,19 +236,10 @@ class ServerEngine:
     def handle_message(self, msg: Message, src: HostId, now: float) -> list[Effect]:
         """Process one inbound message; returns the effects to execute."""
         self.known_clients.add(src)
-        if isinstance(msg, ReadRequest):
-            return self._handle_read(msg, src, now)
-        if isinstance(msg, ExtendRequest):
-            return self._handle_extend(msg, src, now)
-        if isinstance(msg, WriteRequest):
-            return self._handle_write(msg, src, now)
-        if isinstance(msg, NamespaceRequest):
-            return self._handle_namespace(msg, src, now)
-        if isinstance(msg, ApprovalReply):
-            return self._handle_approval(msg, src, now)
-        if isinstance(msg, RelinquishRequest):
-            return self._handle_relinquish(msg, src, now)
-        raise ReproError(f"server got unexpected message {type(msg).__name__}")
+        handler = self._dispatch.get(type(msg))
+        if handler is None:
+            raise ReproError(f"server got unexpected message {type(msg).__name__}")
+        return handler(msg, src, now)
 
     def handle_timer(self, key: str, now: float) -> list[Effect]:
         """Process a timer firing; returns the effects to execute."""
@@ -735,6 +738,8 @@ class ServerEngine:
             return True
         if self.installed is not None and self.installed.write_pending(datum):
             return True
+        if not self._ns_queue:
+            return False
         return any(
             ctx.active and datum in ctx.pendings for ctx in self._ns_queue
         )

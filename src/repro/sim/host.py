@@ -63,9 +63,12 @@ class Host:
         when the previous one finishes.  Used by the network for send- and
         receive-side message processing.
         """
-        start = max(self.kernel.now, self._cpu_free_at)
-        self._cpu_free_at = start + duration
-        return self._cpu_free_at
+        free = self._cpu_free_at
+        now = self.kernel.now  # bypass the property on the hottest call site
+        if free < now:
+            free = now
+        self._cpu_free_at = free = free + duration
+        return free
 
     # -- failure model --------------------------------------------------------
 

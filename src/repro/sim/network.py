@@ -19,7 +19,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
-from repro.errors import SimulationError
+from repro.errors import HostDownError, SimulationError
 from repro.obs.events import NET_DROP, NET_DUP, NET_RECV, NET_SEND
 from repro.sim.host import Host
 from repro.sim.kernel import Kernel
@@ -137,7 +137,10 @@ class Network:
 
     def link_up(self, src: HostId, dst: HostId) -> bool:
         """True when every installed filter permits ``src -> dst``."""
-        return all(f(src, dst) for f in self._link_filters)
+        filters = self._link_filters
+        if not filters:
+            return True
+        return all(f(src, dst) for f in filters)
 
     # -- transmission ----------------------------------------------------------
 
@@ -148,18 +151,15 @@ class Network:
         send-side processing completes; costs ``m_proc`` on the receiver's
         CPU before the handler runs.
         """
-        sender = self._require_host(src)
-        self._require_host(dst)
+        hosts = self.hosts
+        sender = hosts.get(src)
+        if sender is None:
+            raise SimulationError(f"unknown host {src!r}")
+        if dst not in hosts:
+            raise SimulationError(f"unknown host {dst!r}")
         if not sender.up:
             return
-        self.stats[src].sent[kind] += 1
-        obs = self.obs
-        if obs is not None and obs.active:
-            obs.emit(NET_SEND, self.kernel.now, src, src=src, dst=dst, kind=kind)
-        departure = sender.occupy_cpu(self.params.m_proc)
-        self.kernel.schedule_at(
-            departure + self.params.m_prop, self._arrive, src, dst, payload, kind
-        )
+        self._send(sender, src, (dst,), payload, kind)
 
     def multicast(self, src: HostId, group: str, payload: Any, kind: str = "msg") -> int:
         """Send one message to every member of ``group`` except the sender.
@@ -174,16 +174,7 @@ class Network:
         if not sender.up:
             return 0
         members = [m for m in self.groups.get(group, ()) if m != src]
-        self.stats[src].sent[kind] += 1
-        obs = self.obs
-        departure = sender.occupy_cpu(self.params.m_proc)
-        for dst in members:
-            if obs is not None and obs.active:
-                obs.emit(NET_SEND, self.kernel.now, src, src=src, dst=dst, kind=kind)
-            self.kernel.schedule_at(
-                departure + self.params.m_prop, self._arrive, src, dst, payload, kind
-            )
-        return len(members)
+        return self._send(sender, src, members, payload, kind)
 
     def multisend(
         self, src: HostId, dsts: Iterable[HostId], payload: Any, kind: str = "msg"
@@ -202,18 +193,39 @@ class Network:
         members = [d for d in dsts if d != src]
         for dst in members:
             self._require_host(dst)
-        self.stats[src].sent[kind] += 1
-        obs = self.obs
-        departure = sender.occupy_cpu(self.params.m_proc)
-        for dst in members:
-            if obs is not None and obs.active:
-                obs.emit(NET_SEND, self.kernel.now, src, src=src, dst=dst, kind=kind)
-            self.kernel.schedule_at(
-                departure + self.params.m_prop, self._arrive, src, dst, payload, kind
-            )
-        return len(members)
+        return self._send(sender, src, members, payload, kind)
 
     # -- internals ---------------------------------------------------------------
+
+    def _send(
+        self, sender: Host, src: HostId, dsts: Iterable[HostId], payload: Any, kind: str
+    ) -> int:
+        """Charge one send-side ``m_proc`` and put a copy on the wire per leg.
+
+        The message counts as sent (and the sender's CPU is charged) even
+        with an empty recipient list — a multicast to an empty group is
+        still a send on the V model this reproduces.
+        """
+        kernel = self.kernel
+        params = self.params
+        self.stats[src].sent[kind] += 1
+        obs = self.obs
+        active = obs is not None and obs.active
+        # Host.occupy_cpu, unrolled on the two hottest call sites (here and
+        # _arrive): serialize on the sender's CPU, one m_proc per send.
+        free = sender._cpu_free_at
+        now = kernel.now
+        if free < now:
+            free = now
+        sender._cpu_free_at = free = free + params.m_proc
+        arrival = free + params.m_prop
+        count = 0
+        for dst in dsts:
+            if active:
+                obs.emit(NET_SEND, kernel.now, src, src=src, dst=dst, kind=kind)
+            kernel.post_at(arrival, self._arrive, src, dst, payload, kind)
+            count += 1
+        return count
 
     def _arrive(
         self, src: HostId, dst: HostId, payload: Any, kind: str, duplicate: bool = False
@@ -221,39 +233,55 @@ class Network:
         """Wire arrival at ``dst``: apply faults, then queue receive processing."""
         host = self.hosts[dst]
         obs = self.obs
-        if not host.up or not self.link_up(src, dst):
+        kernel = self.kernel
+        params = self.params
+        # link_up() inlined for the common no-filter case.
+        if not host.up or (self._link_filters and not self.link_up(src, dst)):
             self.dropped += 1
             if obs is not None and obs.active:
                 reason = "host_down" if not host.up else "partition"
                 obs.emit(
-                    NET_DROP, self.kernel.now, dst,
+                    NET_DROP, kernel.now, dst,
                     src=src, dst=dst, kind=kind, reason=reason,
                 )
             return
-        if self.params.loss_rate and self.kernel.rng.random() < self.params.loss_rate:
+        if params.loss_rate and kernel.rng.random() < params.loss_rate:
             self.dropped += 1
             if obs is not None and obs.active:
                 obs.emit(
-                    NET_DROP, self.kernel.now, dst,
+                    NET_DROP, kernel.now, dst,
                     src=src, dst=dst, kind=kind, reason="loss",
                 )
             return
         if (
             not duplicate
-            and self.params.duplicate_rate
-            and self.kernel.rng.random() < self.params.duplicate_rate
+            and params.duplicate_rate
+            and kernel.rng.random() < params.duplicate_rate
         ):
             self.duplicated += 1
             if obs is not None and obs.active:
-                obs.emit(NET_DUP, self.kernel.now, dst, src=src, dst=dst, kind=kind)
-            self.kernel.schedule(
-                self.params.m_prop, self._arrive, src, dst, payload, kind, True
+                obs.emit(NET_DUP, kernel.now, dst, src=src, dst=dst, kind=kind)
+            kernel.post_at(
+                kernel.now + params.m_prop, self._arrive, src, dst, payload, kind, True
             )
-        completion = host.occupy_cpu(self.params.m_proc)
-        self.kernel.schedule_at(completion, self._deliver, src, dst, payload, kind)
+        # Host.occupy_cpu, unrolled (see _send): receive-side m_proc.
+        free = host._cpu_free_at
+        now = kernel.now
+        if free < now:
+            free = now
+        host._cpu_free_at = completion = free + params.m_proc
+        # Tail call: defer may run _deliver inline (one kernel event per
+        # leg instead of two) when no queued event precedes `completion` —
+        # any pending fault, duplicate arrival or competing delivery
+        # forces the queued slow path, so state checks inside _deliver
+        # observe exactly what they would have.  The resolved Host rides
+        # along (hosts are registered once and never replaced; crash only
+        # flips ``up``, which _deliver re-checks at delivery time).
+        kernel.defer(completion, self._deliver, src, dst, host, payload, kind)
 
-    def _deliver(self, src: HostId, dst: HostId, payload: Any, kind: str) -> None:
-        host = self.hosts[dst]
+    def _deliver(
+        self, src: HostId, dst: HostId, host: Host, payload: Any, kind: str
+    ) -> None:
         obs = self.obs
         if not host.up:
             self.dropped += 1
@@ -266,7 +294,12 @@ class Network:
         self.stats[dst].received[kind] += 1
         if obs is not None and obs.active:
             obs.emit(NET_RECV, self.kernel.now, dst, src=src, dst=dst, kind=kind)
-        host.deliver(payload, src)
+        # host.deliver, unwrapped: ``up`` was checked just above, and the
+        # handler-missing error is preserved.
+        handler = host._handler
+        if handler is None:
+            raise HostDownError(f"host {dst!r} has no message handler")
+        handler(payload, src)
 
     def _require_host(self, name: HostId) -> Host:
         host = self.hosts.get(name)

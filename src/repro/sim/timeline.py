@@ -84,9 +84,9 @@ class Timeline:
     def _wrap(self, cluster: Cluster) -> None:
         original_deliver = cluster.network._deliver
 
-        def recording_deliver(src, dst, payload, kind):
+        def recording_deliver(src, dst, host, payload, kind):
             self._record(cluster.kernel.now, src, dst, _summarize(payload))
-            original_deliver(src, dst, payload, kind)
+            original_deliver(src, dst, host, payload, kind)
 
         cluster.network._deliver = recording_deliver
 

@@ -26,6 +26,13 @@ class DatumKind(enum.Enum):
     FILE = "file"
     DIRECTORY = "dir"
 
+    # Enum equality is identity, so the identity hash is consistent and
+    # replaces ``Enum.__hash__`` (a Python-level call) with the C slot —
+    # DatumKind is hashed inside every DatumId dict/set probe on the hot
+    # path.  Iteration-order determinism is unaffected: DatumId already
+    # contains a str, whose hash is per-process salted.
+    __hash__ = object.__hash__
+
 
 class DatumId(NamedTuple):
     """A unit of lease-coverable state: file contents or directory metadata."""

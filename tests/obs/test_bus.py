@@ -139,3 +139,51 @@ class TestJsonl:
 
     def test_read_jsonl_skips_blank_lines(self):
         assert read_jsonl(["", '{"type": "x"}', "  \n"]) == [{"type": "x"}]
+
+
+class TestCountsIncremental:
+    """The per-type tally is maintained on emit/evict/clear, never by
+    scanning the buffer — these pin it against the O(n) ground truth."""
+
+    @staticmethod
+    def scan(bus):
+        """The O(n) answer the incremental tally must always equal."""
+        from collections import Counter
+        return Counter(e["type"] for e in bus.events())
+
+    def test_tally_matches_scan_under_eviction(self):
+        bus = TraceBus(capacity=4)
+        for i in range(25):
+            bus.emit(f"t{i % 3}", float(i))
+            assert bus.counts() == self.scan(bus)
+        assert sum(bus.counts().values()) == 4  # only buffered events
+
+    def test_evicted_type_disappears_from_counts(self):
+        bus = TraceBus(capacity=2)
+        bus.emit("once", 0.0)
+        bus.emit("x", 1.0)
+        bus.emit("x", 2.0)  # evicts "once"
+        assert "once" not in bus.counts()
+        assert bus.counts() == {"x": 2}
+
+    def test_clear_resets_tally(self):
+        bus = TraceBus(capacity=8)
+        for i in range(5):
+            bus.emit("x", float(i))
+        bus.clear()
+        assert bus.counts() == {}
+        bus.emit("y", 9.0)
+        assert bus.counts() == {"y": 1}
+
+    def test_zero_capacity_never_counts(self):
+        bus = TraceBus(capacity=0)
+        bus.emit("x", 0.0)
+        assert bus.counts() == {}
+        assert len(bus) == 0
+
+    def test_counts_returns_a_copy(self):
+        bus = TraceBus()
+        bus.emit("x", 0.0)
+        snapshot = bus.counts()
+        snapshot["x"] = 99
+        assert bus.counts() == {"x": 1}

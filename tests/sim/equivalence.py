@@ -1,0 +1,116 @@
+"""Golden-digest harness proving the core fast paths change nothing.
+
+The PR-4 hot-path work (tuple-keyed timer wheel, inline delivery fast
+path, allocation diet) is constrained to be *byte-identical* to the seed
+behaviour: same trace stream, same per-host message statistics, same
+oracle verdicts and history fingerprint, same ``kernel.executed`` count.
+This module pins that contract: :data:`CASES` is a fixed scenario set
+spanning fault-free runs (which exercise the inline fast path end to
+end) and loss / duplication / partition / crash / clock-fault runs
+(which must fall back to the slow path leg by leg), and
+:func:`core_digest` reduces one run to a comparable record.
+
+``tests/sim/golden/core_digests.json`` was generated from the pre-PR
+code by running this file as a script::
+
+    PYTHONPATH=src python tests/sim/equivalence.py
+
+Regenerate it only for an *intentional* behaviour change, never to make
+a perf refactor pass.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+from repro.check.generator import GeneratorConfig, ScenarioGenerator
+from repro.check.runner import run_scenario
+from repro.check.scenario import Scenario
+from repro.obs.bus import TraceBus
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "core_digests.json")
+
+#: Seed namespace shared with the pinned benchmarks.
+BASE_SEED = 1989
+
+#: Grammar with every fault channel disabled: every message leg of these
+#: runs satisfies the fast-path preconditions (no loss, no duplication,
+#: no link filters ever armed).
+QUIET = GeneratorConfig(
+    loss_rates=(0.0,),
+    duplicate_rates=(0.0,),
+    max_client_crashes=0,
+    max_partitions=0,
+    p_server_crash=0.0,
+    p_loss_window=0.0,
+)
+
+#: The CI smoke grammar (loss, duplication, crashes, partitions).
+SMOKE = GeneratorConfig.smoke()
+
+#: Smoke grammar with §5 clock faults mixed in.
+CLOCK = GeneratorConfig.smoke(clock_faults=True)
+
+#: The pinned equivalence set: (label, config, index).  Indices were
+#: chosen so the set covers loss, duplication, partitions, client and
+#: server crashes, dangerous and safe clock faults, and fully quiet
+#: runs (see test_case_set_covers_fault_space).
+CASES: list[tuple[str, GeneratorConfig, int]] = (
+    [(f"quiet-{i}", QUIET, i) for i in range(8)]
+    + [(f"smoke-{i}", SMOKE, i) for i in (0, 1, 3, 5, 6, 7, 9, 10)]
+    + [(f"clock-{i}", CLOCK, i) for i in (1, 3, 4, 5, 7, 8, 10, 11)]
+)
+
+
+def scenario_for(config: GeneratorConfig, index: int) -> Scenario:
+    """The pinned scenario for one equivalence case."""
+    return ScenarioGenerator(BASE_SEED, config).generate(index)
+
+
+def core_digest(scenario: Scenario) -> dict:
+    """Run ``scenario`` with full tracing and reduce it to a digest.
+
+    The digest captures every observable the fast paths could disturb:
+    the complete obs event stream (hashed as canonical JSON lines), the
+    per-host send/receive counters, the oracle's verdict and history
+    fingerprint, and the kernel's executed-event count.
+    """
+    bus = TraceBus(capacity=None)
+    result = run_scenario(scenario, obs=bus)
+    return {
+        "trace_sha": hashlib.sha256(bus.to_jsonl().encode()).hexdigest(),
+        "trace_events": len(bus),
+        "stats_sha": hashlib.sha256(
+            json.dumps(result.stats, sort_keys=True).encode()
+        ).hexdigest(),
+        "fingerprint": result.fingerprint,
+        "verdict": result.verdict,
+        "violations": len(result.violations),
+        "executed": result.events_executed,
+    }
+
+
+def load_golden() -> dict:
+    """The committed pre-PR digests, keyed by case label."""
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main() -> None:
+    """(Re)generate the golden file from the current code."""
+    digests = {}
+    for label, config, index in CASES:
+        digests[label] = core_digest(scenario_for(config, index))
+        print(f"{label}: executed={digests[label]['executed']} "
+              f"verdict={digests[label]['verdict']}")
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(digests, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(digests)} digests -> {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

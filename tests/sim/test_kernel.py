@@ -115,10 +115,10 @@ class TestCompaction:
         for i in range(10_000):
             kernel.schedule(1.0 + i * 1e-4, lambda: None).cancel()
         # dead weight may never exceed the live count (plus the fixed floor)
-        assert len(kernel._heap) <= 2 * kernel.pending() + 64
+        assert kernel._size() <= 2 * kernel.pending() + 64
         assert kernel.pending() == len(keepers)
         kernel.run()
-        assert kernel._heap == []
+        assert kernel._size() == 0
 
     def test_pending_is_maintained_incrementally(self):
         kernel = Kernel()
