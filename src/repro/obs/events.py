@@ -48,6 +48,14 @@ NET_RECV = "net.recv"
 NET_DROP = "net.drop"
 NET_DUP = "net.dup"
 
+# -- real-transport connection lifecycle (repro.runtime.tcp) ----------------------
+CONN_UP = "conn.up"
+CONN_DOWN = "conn.down"
+CONN_RETRY = "conn.retry"
+
+# -- real-transport frame loss (repro.runtime) ------------------------------------
+TRANSPORT_DROP = "transport.drop"
+
 # -- simulation kernel -----------------------------------------------------------
 KERNEL_COMPACT = "kernel.compact"
 
@@ -88,6 +96,10 @@ SCHEMA: dict[str, tuple[str, ...]] = {
     NET_RECV: ("src", "dst", "kind"),
     NET_DROP: ("src", "dst", "kind", "reason"),
     NET_DUP: ("src", "dst", "kind"),
+    CONN_UP: ("peer", "attempt"),
+    CONN_DOWN: ("peer", "reason"),
+    CONN_RETRY: ("peer", "attempt", "delay"),
+    TRANSPORT_DROP: ("dst", "kind", "reason"),
     KERNEL_COMPACT: ("removed", "live"),
     ORACLE_VIOLATION: ("datum", "client", "version"),
     CHECK_RUN: ("scenario", "seed", "verdict"),

@@ -18,6 +18,13 @@ Client, interactive shell::
     python -m repro.runtime client --port 7400 shell
 
 Both TCP (default) and UDP transports are supported via ``--transport``.
+TCP clients reconnect automatically with capped exponential backoff when
+the server dies (``--no-reconnect`` restores single-shot behaviour), and
+``--chaos-loss/--chaos-delay/--chaos-dup/--chaos-disconnect`` wrap the
+client transport in :class:`repro.runtime.chaos.ChaosTransport` to
+exercise the §5 fault model over real sockets.  ``--trace FILE`` exports
+the run's obs events (``conn.*``, ``transport.drop``, ``net.*``, …) as
+JSON Lines on exit.
 """
 
 from __future__ import annotations
@@ -27,9 +34,11 @@ import asyncio
 
 from repro.lease.policy import AdaptiveTermPolicy, FixedTermPolicy
 from repro.analytic.params import V_PARAMS
+from repro.obs.bus import TraceBus
 from repro.protocol.client import ClientConfig
 from repro.protocol.server import ServerConfig
 from repro.runtime import pathapi
+from repro.runtime.chaos import ChaosTransport
 from repro.runtime.node import LeaseClientNode, LeaseServerNode
 from repro.runtime.tcp import TcpClientTransport, TcpServerTransport
 from repro.runtime.udp import UdpClientTransport, UdpServerTransport
@@ -88,10 +97,41 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--name", default="cli-client")
     client.add_argument("--epsilon", type=float, default=0.1)
     client.add_argument(
+        "--no-reconnect",
+        action="store_true",
+        help="disable automatic TCP reconnection (single-shot connection)",
+    )
+    client.add_argument(
+        "--chaos-loss", type=float, default=0.0, metavar="RATE",
+        help="inject message loss at this per-leg probability",
+    )
+    client.add_argument(
+        "--chaos-delay", type=float, default=0.0, metavar="SECONDS",
+        help="inject up to this much extra latency per message",
+    )
+    client.add_argument(
+        "--chaos-dup", type=float, default=0.0, metavar="RATE",
+        help="duplicate messages at this per-leg probability",
+    )
+    client.add_argument(
+        "--chaos-disconnect", type=float, default=0.0, metavar="SECONDS",
+        help="force a disconnect on average every SECONDS (TCP only)",
+    )
+    client.add_argument(
+        "--chaos-seed", type=int, default=0, help="chaos RNG seed"
+    )
+    client.add_argument(
         "command",
         choices=("read", "write", "ls", "create", "mkdir", "rm", "mv", "shell"),
     )
     client.add_argument("args", nargs="*")
+    for role_parser in (server, client):
+        role_parser.add_argument(
+            "--trace",
+            metavar="FILE",
+            default=None,
+            help="export the run's obs events as JSON Lines on exit",
+        )
     return parser
 
 
@@ -110,13 +150,24 @@ def _seed_store(specs: list[str]) -> FileStore:
     return store
 
 
+def _trace_bus(args: argparse.Namespace) -> TraceBus | None:
+    return TraceBus(capacity=None) if args.trace else None
+
+
+def _export_trace(args: argparse.Namespace, bus: TraceBus | None) -> None:
+    if bus is not None and args.trace:
+        count = bus.export_jsonl(args.trace)
+        print(f"trace: wrote {count} events to {args.trace}", flush=True)
+
+
 async def run_server(args: argparse.Namespace) -> int:
     store = _seed_store(args.file)
+    bus = _trace_bus(args)
     if args.transport == "tcp":
-        transport = TcpServerTransport()
+        transport = TcpServerTransport(obs=bus)
         await transport.start(host=args.host, port=args.port)
     else:
-        transport = UdpServerTransport()
+        transport = UdpServerTransport(obs=bus)
         await transport.start(host=args.host, port=args.port)
     policy = (
         AdaptiveTermPolicy(V_PARAMS, default_term=args.term)
@@ -130,6 +181,7 @@ async def run_server(args: argparse.Namespace) -> int:
         config=ServerConfig(
             epsilon=args.epsilon, recovery_delay=args.recovery_delay
         ),
+        obs=bus,
     )
     print(
         f"lease server on {args.transport}://{args.host}:{transport.port} "
@@ -153,6 +205,7 @@ async def run_server(args: argparse.Namespace) -> int:
         pass
     finally:
         await server.close()
+        _export_trace(args, bus)
     return 0
 
 
@@ -206,13 +259,26 @@ async def _shell(client: LeaseClientNode) -> int:
 
 
 async def run_client(args: argparse.Namespace) -> int:
+    bus = _trace_bus(args)
     if args.transport == "tcp":
-        transport = TcpClientTransport(args.name)
+        transport = TcpClientTransport(
+            args.name, reconnect=not args.no_reconnect, obs=bus
+        )
     else:
-        transport = UdpClientTransport(args.name)
+        transport = UdpClientTransport(args.name, obs=bus)
+    if any((args.chaos_loss, args.chaos_delay, args.chaos_dup, args.chaos_disconnect)):
+        transport = ChaosTransport(
+            transport,
+            loss=args.chaos_loss,
+            delay=args.chaos_delay,
+            dup=args.chaos_dup,
+            disconnect_period=args.chaos_disconnect,
+            seed=args.chaos_seed,
+            obs=bus,
+        )
     await transport.connect(host=args.host, port=args.port)
     client = LeaseClientNode(
-        transport, "server", config=ClientConfig(epsilon=args.epsilon)
+        transport, "server", config=ClientConfig(epsilon=args.epsilon), obs=bus
     )
     try:
         if args.command == "shell":
@@ -220,6 +286,7 @@ async def run_client(args: argparse.Namespace) -> int:
         return await _execute(client, args.command, args.args)
     finally:
         await client.close()
+        _export_trace(args, bus)
 
 
 def main(argv: list[str] | None = None) -> int:

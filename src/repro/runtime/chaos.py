@@ -1,0 +1,228 @@
+"""Chaos injection over real transports.
+
+The asyncio-world mirror of :mod:`repro.sim.faults`: where the simulator
+injects loss, delay, duplication and crashes into its virtual network,
+:class:`ChaosTransport` wraps any real :class:`~repro.runtime.transport.
+Transport` and injects the same §5 fault classes into live traffic — so
+the kill-server/restart scenarios the simulator already checks can run
+over real sockets with the same observability.
+
+Faults are applied symmetrically to both directions (outbound ``send``
+and inbound handler dispatch), each leg rolled independently, like the
+per-delivery rolls of the simulated network.  Injected losses are
+emitted as ``net.drop`` events with reason ``"chaos"`` and duplications
+as ``net.dup`` — the very schemas the simulator's fault machinery uses,
+so a chaos-run trace and a simulated fault trace are shape-identical.
+
+Forced disconnects call the wrapped transport's ``abort()`` (the
+reconnecting TCP client provides one); transports without an ``abort``
+simply ignore forced disconnects, because a datagram endpoint has no
+connection to sever.
+
+The RNG is seeded: a chaos schedule is reproducible run-to-run for a
+fixed seed and call sequence, which is what lets the chaos acceptance
+tests assert exact invariants instead of probabilistic ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import random
+from dataclasses import dataclass
+
+from repro.clock.system import MonotonicClock
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import NET_DROP, NET_DUP
+from repro.protocol.messages import Message
+from repro.runtime.transport import MessageHandler, Transport
+from repro.types import HostId
+
+
+@dataclass
+class ChaosStats:
+    """Counters for every fault the wrapper injected."""
+
+    sent: int = 0
+    received: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+    delayed: int = 0
+    disconnects: int = 0
+
+
+class ChaosTransport:
+    """Wrap a transport and inject loss, delay, duplication, disconnects.
+
+    Args:
+        inner: the real transport to wrap (hub endpoint, TCP, UDP).
+        loss: per-leg probability a message is silently eaten.
+        delay: maximum extra latency in seconds; each surviving leg is
+            delayed by ``uniform(0, delay)``.
+        dup: per-leg probability the message is delivered twice.
+        disconnect_period: mean seconds between forced disconnects of the
+            wrapped transport (exponentially distributed); 0 disables.
+        seed: chaos RNG seed.
+        obs: optional :class:`~repro.obs.bus.TraceBus` for ``net.drop`` /
+            ``net.dup`` events.
+        clock: event timestamp source (defaults to the monotonic clock).
+    """
+
+    def __init__(
+        self,
+        inner: Transport,
+        *,
+        loss: float = 0.0,
+        delay: float = 0.0,
+        dup: float = 0.0,
+        disconnect_period: float = 0.0,
+        seed: int = 0,
+        obs=None,
+        clock=None,
+    ):
+        for label, rate in (("loss", loss), ("dup", dup)):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{label} rate out of range: {rate}")
+        if delay < 0 or disconnect_period < 0:
+            raise ValueError("delay and disconnect_period must be non-negative")
+        self.inner = inner
+        self.loss = loss
+        self.delay = delay
+        self.dup = dup
+        self.disconnect_period = disconnect_period
+        self.stats = ChaosStats()
+        self._rng = random.Random(seed)
+        self._obs = obs or NULL_BUS
+        self._clock = clock or MonotonicClock()
+        self._handler: MessageHandler | None = None
+        self._pending: set[asyncio.TimerHandle] = set()
+        self._disconnector: asyncio.Task | None = None
+        self._closed = False
+        inner.set_handler(self._on_inbound)
+
+    @property
+    def name(self) -> HostId:
+        """The wrapped endpoint's host name."""
+        return self.inner.name
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the inbound-message callback (chaos applies first)."""
+        self._handler = handler
+
+    # -- fault rolls ------------------------------------------------------------
+
+    def _emit(self, etype: str, *, src: HostId, dst: HostId, kind: str, **extra) -> None:
+        if self._obs.active:
+            self._obs.emit(
+                etype, self._clock.now(), self.name, src=src, dst=dst, kind=kind, **extra
+            )
+
+    def _roll_loss(self, src: HostId, dst: HostId, kind: str) -> bool:
+        if self.loss and self._rng.random() < self.loss:
+            self.stats.dropped += 1
+            self._emit(NET_DROP, src=src, dst=dst, kind=kind, reason="chaos")
+            return True
+        return False
+
+    def _roll_dup(self, src: HostId, dst: HostId, kind: str) -> bool:
+        if self.dup and self._rng.random() < self.dup:
+            self.stats.duplicated += 1
+            self._emit(NET_DUP, src=src, dst=dst, kind=kind)
+            return True
+        return False
+
+    def _roll_delay(self) -> float:
+        if not self.delay:
+            return 0.0
+        self.stats.delayed += 1
+        return self._rng.uniform(0.0, self.delay)
+
+    # -- outbound ---------------------------------------------------------------
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Send through the wrapped transport, chaos permitting."""
+        if self._closed:
+            return
+        self.stats.sent += 1
+        if self._roll_loss(self.name, dst, message.kind):
+            return
+        pause = self._roll_delay()
+        if pause:
+            await asyncio.sleep(pause)
+        if self._closed:
+            return
+        await self.inner.send(dst, message)
+        if self._roll_dup(self.name, dst, message.kind):
+            await self.inner.send(dst, message)
+
+    # -- inbound ----------------------------------------------------------------
+
+    def _on_inbound(self, message: Message, src: HostId) -> None:
+        if self._closed:
+            return
+        self.stats.received += 1
+        if self._roll_loss(src, self.name, message.kind):
+            return
+        copies = 2 if self._roll_dup(src, self.name, message.kind) else 1
+        for _ in range(copies):
+            pause = self._roll_delay()
+            if pause:
+                self._schedule_delivery(pause, message, src)
+            elif self._handler is not None:
+                self._handler(message, src)
+
+    def _schedule_delivery(self, pause: float, message: Message, src: HostId) -> None:
+        loop = asyncio.get_running_loop()
+
+        def deliver() -> None:
+            self._pending.discard(handle)
+            if not self._closed and self._handler is not None:
+                self._handler(message, src)
+
+        handle = loop.call_later(pause, deliver)
+        self._pending.add(handle)
+
+    # -- forced disconnects ------------------------------------------------------
+
+    def disconnect(self) -> None:
+        """Sever the wrapped transport's live connection right now."""
+        abort = getattr(self.inner, "abort", None)
+        if abort is not None:
+            self.stats.disconnects += 1
+            abort("chaos")
+
+    async def _disconnect_loop(self) -> None:
+        while not self._closed:
+            await asyncio.sleep(self._rng.expovariate(1.0 / self.disconnect_period))
+            self.disconnect()
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    async def connect(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Connect the wrapped transport and start the disconnector."""
+        await self.inner.connect(host, port)
+        self.start_chaos()
+
+    def start_chaos(self) -> None:
+        """Arm the forced-disconnect schedule (no-op when disabled).
+
+        Called automatically by :meth:`connect`; call it directly when
+        wrapping an already-connected transport.
+        """
+        if self.disconnect_period and self._disconnector is None:
+            self._disconnector = asyncio.get_running_loop().create_task(
+                self._disconnect_loop()
+            )
+
+    async def close(self) -> None:
+        """Stop injecting and close the wrapped transport."""
+        self._closed = True
+        if self._disconnector is not None:
+            self._disconnector.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._disconnector
+            self._disconnector = None
+        for handle in list(self._pending):
+            handle.cancel()
+        self._pending.clear()
+        await self.inner.close()

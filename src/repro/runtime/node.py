@@ -20,7 +20,7 @@ from repro.errors import ReproError
 from repro.lease.installed import InstalledFileManager
 from repro.lease.policy import TermPolicy
 from repro.obs.bus import NULL_BUS
-from repro.obs.events import NET_RECV, NET_SEND, TIMER_FIRE
+from repro.obs.events import NET_RECV, NET_SEND, TIMER_FIRE, TRANSPORT_DROP
 from repro.protocol.client import ClientConfig, ClientEngine
 from repro.protocol.effects import Broadcast, CancelTimer, Complete, Effect, Send, SetTimer
 from repro.protocol.messages import Message
@@ -42,12 +42,22 @@ class _EngineNode:
         #: to its engine, which emits the protocol-level events itself.
         self.obs = obs or NULL_BUS
         self._timers: dict[str, asyncio.TimerHandle] = {}
-        self._loop = asyncio.get_event_loop()
+        # The loop is resolved lazily (see `_loop`): binding it here via the
+        # deprecated get_event_loop() would capture the wrong loop when a
+        # node is constructed before asyncio.run().
+        self._bound_loop: asyncio.AbstractEventLoop | None = None
+        self._send_tasks: set[asyncio.Task] = set()
         transport.set_handler(self._on_message)
 
     @property
     def name(self) -> HostId:
         return self.transport.name
+
+    @property
+    def _loop(self) -> asyncio.AbstractEventLoop:
+        if self._bound_loop is None:
+            self._bound_loop = asyncio.get_running_loop()
+        return self._bound_loop
 
     # -- overridden by subclasses ------------------------------------------------
 
@@ -97,7 +107,25 @@ class _EngineNode:
                 src=self.name, dst=dst, kind=message.kind,
             )
         task = self._loop.create_task(self.transport.send(dst, message))
-        task.add_done_callback(lambda t: t.exception())  # swallow transport loss
+        self._send_tasks.add(task)
+        task.add_done_callback(
+            lambda t, dst=dst, kind=message.kind: self._send_done(t, dst, kind)
+        )
+
+    def _send_done(self, task: asyncio.Task, dst: HostId, kind: str) -> None:
+        # A send cancelled during close() is not a failure, and calling
+        # task.exception() on it would raise CancelledError right here in
+        # the callback (unobserved-exception noise).  A send that failed
+        # for real is a dropped frame: observable, never silent.
+        self._send_tasks.discard(task)
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is not None and self.obs.active:
+            self.obs.emit(
+                TRANSPORT_DROP, self.clock.now(), self.name,
+                dst=dst, kind=kind, reason=type(exc).__name__,
+            )
 
     def _set_timer(self, key: str, delay: float) -> None:
         self._cancel_timer(key)
@@ -111,9 +139,15 @@ class _EngineNode:
             handle.cancel()
 
     async def close(self) -> None:
-        """Cancel timers and close the transport."""
+        """Cancel timers, reap in-flight sends, and close the transport."""
         for key in list(self._timers):
             self._cancel_timer(key)
+        pending = [t for t in self._send_tasks if not t.done()]
+        for task in pending:
+            task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._send_tasks.clear()
         await self.transport.close()
 
 

@@ -6,11 +6,30 @@ import asyncio
 import random
 from typing import Callable, Protocol
 
+from repro.clock.system import MonotonicClock
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import NET_DROP
 from repro.protocol.messages import Message
 from repro.types import HostId
 
 #: Inbound message handler installed by a node.
 MessageHandler = Callable[[Message, HostId], None]
+
+
+class _ObsMixin:
+    """Shared obs plumbing for the real transports."""
+
+    _name: HostId
+
+    def _init_obs(self, obs, clock) -> None:
+        """Bind the trace bus (NULL_BUS default) and timestamp clock."""
+        self._obs = obs or NULL_BUS
+        self._clock = clock or MonotonicClock()
+
+    def _emit(self, etype: str, **fields) -> None:
+        """Emit one event attributed to this endpoint, if anyone listens."""
+        if self._obs.active:
+            self._obs.emit(etype, self._clock.now(), self._name, **fields)
 
 
 class Transport(Protocol):
@@ -41,7 +60,14 @@ class InMemoryHub:
     Delivery order per (src, dst) pair is FIFO, like the simulator.
     """
 
-    def __init__(self, latency: float = 0.0, loss_rate: float = 0.0, seed: int = 0):
+    def __init__(
+        self,
+        latency: float = 0.0,
+        loss_rate: float = 0.0,
+        seed: int = 0,
+        obs=None,
+        clock=None,
+    ):
         if not 0.0 <= loss_rate <= 1.0:
             raise ValueError(f"loss_rate out of range: {loss_rate}")
         self.latency = latency
@@ -50,6 +76,8 @@ class InMemoryHub:
         self._endpoints: dict[HostId, _HubEndpoint] = {}
         self._blocked: set[tuple[HostId, HostId]] = set()
         self.dropped = 0
+        self._obs = obs or NULL_BUS
+        self._clock = clock or MonotonicClock()
 
     def endpoint(self, name: HostId) -> "_HubEndpoint":
         """Create (or fetch) the endpoint for ``name``."""
@@ -76,15 +104,24 @@ class InMemoryHub:
         """Lift every partition."""
         self._blocked.clear()
 
+    def _drop(self, src: HostId, dst: HostId, kind: str, reason: str) -> None:
+        self.dropped += 1
+        if self._obs.active:
+            self._obs.emit(
+                NET_DROP, self._clock.now(), dst,
+                src=src, dst=dst, kind=kind, reason=reason,
+            )
+
     async def _deliver(self, src: HostId, dst: HostId, message: Message) -> None:
-        if (src, dst) in self._blocked or (
-            self.loss_rate and self._rng.random() < self.loss_rate
-        ):
-            self.dropped += 1
+        if (src, dst) in self._blocked:
+            self._drop(src, dst, message.kind, "blocked")
+            return
+        if self.loss_rate and self._rng.random() < self.loss_rate:
+            self._drop(src, dst, message.kind, "loss")
             return
         endpoint = self._endpoints.get(dst)
         if endpoint is None or endpoint._handler is None:
-            self.dropped += 1
+            self._drop(src, dst, message.kind, "no_endpoint")
             return
         if self.latency:
             await asyncio.sleep(self.latency)
@@ -117,6 +154,10 @@ class _HubEndpoint:
         task.add_done_callback(self._tasks.discard)
 
     async def close(self) -> None:
-        for task in list(self._tasks):
+        pending = [t for t in self._tasks if not t.done()]
+        for task in pending:
             task.cancel()
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        self._tasks.clear()
         self._handler = None

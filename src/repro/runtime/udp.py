@@ -12,6 +12,11 @@ server can reply and later push callbacks/announcements to the last known
 address of each client.  Datagrams above ``MAX_DATAGRAM`` are refused at
 send time — leases cover data small enough to fit, and larger files
 belong on a bulk channel in a real deployment.
+
+Observability: datagram transports drop frames by design (that is the
+medium), but never silently when a bus is attached — a malformed inbound
+datagram, a send to a never-seen peer, and a send on a closed socket all
+emit ``transport.drop`` events (DESIGN.md §11).
 """
 
 from __future__ import annotations
@@ -20,9 +25,10 @@ import asyncio
 import json
 
 from repro.errors import RuntimeTransportError
+from repro.obs.events import TRANSPORT_DROP
 from repro.protocol.codec import decode_message, encode_message
 from repro.protocol.messages import Message
-from repro.runtime.transport import MessageHandler
+from repro.runtime.transport import MessageHandler, _ObsMixin
 from repro.types import HostId
 
 #: Stay under the common 64 KiB UDP limit with headroom for JSON framing.
@@ -41,7 +47,12 @@ class _Endpoint(asyncio.DatagramProtocol):
             message = decode_message(frame["msg"])
             src = frame["src"]
         except Exception:
-            return  # malformed datagram: drop, like any corrupted packet
+            # Malformed datagram: drop, like any corrupted packet — but
+            # observably, so fuzzed/hostile traffic shows in the trace.
+            self._owner._emit(
+                TRANSPORT_DROP, dst=self._owner.name, kind="?", reason="malformed"
+            )
+            return
         self._owner._on_datagram(message, src, addr)
 
     def error_received(self, exc) -> None:  # pragma: no cover - OS-dependent
@@ -60,11 +71,12 @@ def _encode(src: HostId, message: Message) -> bytes:
     return data
 
 
-class UdpServerTransport:
+class UdpServerTransport(_ObsMixin):
     """The server's datagram endpoint."""
 
-    def __init__(self, name: HostId = "server"):
+    def __init__(self, name: HostId = "server", *, obs=None, clock=None):
         self._name = name
+        self._init_obs(obs, clock)
         self._handler: MessageHandler | None = None
         self._transport: asyncio.DatagramTransport | None = None
         #: last known address of each client, learned from their datagrams.
@@ -97,10 +109,13 @@ class UdpServerTransport:
             self._handler(message, src)
 
     async def send(self, dst: HostId, message: Message) -> None:
-        """Send to a client's last known address; drops if never seen
-        (indistinguishable from packet loss, which the protocol absorbs)."""
+        """Send to a client's last known address; drops (observably) if
+        never seen — indistinguishable from packet loss, which the
+        protocol absorbs."""
         addr = self._peers.get(dst)
         if addr is None or self._transport is None:
+            reason = "no_peer" if self._transport is not None else "closed"
+            self._emit(TRANSPORT_DROP, dst=dst, kind=message.kind, reason=reason)
             return
         self._transport.sendto(_encode(self._name, message), addr)
 
@@ -108,13 +123,20 @@ class UdpServerTransport:
         """Close the datagram socket."""
         if self._transport is not None:
             self._transport.close()
+            self._transport = None
+            # The socket is released in a call_soon callback; yield once so
+            # it actually runs before the caller can tear down the loop.
+            await asyncio.sleep(0)
 
 
-class UdpClientTransport:
+class UdpClientTransport(_ObsMixin):
     """A client's datagram endpoint, bound to one server address."""
 
-    def __init__(self, name: HostId, server_name: HostId = "server"):
+    def __init__(
+        self, name: HostId, server_name: HostId = "server", *, obs=None, clock=None
+    ):
         self._name = name
+        self._init_obs(obs, clock)
         self._server_name = server_name
         self._handler: MessageHandler | None = None
         self._transport: asyncio.DatagramTransport | None = None
@@ -143,7 +165,10 @@ class UdpClientTransport:
 
     async def send(self, dst: HostId, message: Message) -> None:
         """Send to the server (a client's only peer)."""
-        if dst != self._server_name or self._transport is None:
+        if dst != self._server_name:
+            return
+        if self._transport is None:
+            self._emit(TRANSPORT_DROP, dst=dst, kind=message.kind, reason="closed")
             return
         self._transport.sendto(_encode(self._name, message), self._server_addr)
 
@@ -151,3 +176,5 @@ class UdpClientTransport:
         """Close the datagram socket."""
         if self._transport is not None:
             self._transport.close()
+            self._transport = None
+            await asyncio.sleep(0)

@@ -71,6 +71,7 @@ def server(request):
     yield port, transport
     proc.terminate()
     proc.wait(timeout=10)
+    proc.stdout.close()
 
 
 class TestCli:

@@ -6,6 +6,8 @@ import pytest
 
 from repro.errors import ReproError
 from repro.lease.policy import FixedTermPolicy, ZeroTermPolicy
+from repro.obs.bus import TraceBus
+from repro.obs.events import TRANSPORT_DROP
 from repro.protocol.client import ClientConfig
 from repro.protocol.server import ServerConfig
 from repro.runtime import InMemoryHub, LeaseClientNode, LeaseServerNode
@@ -113,6 +115,93 @@ class TestNodeErrors:
             for _ in range(3):
                 assert (await client.read(datum))[1] == b"v1"
             assert server.engine.table.lease_count() == 0
+            await client.close()
+            await server.close()
+
+        run(scenario())
+
+
+class _BrokenTransport:
+    """A transport whose sends always explode (or hang, configurable)."""
+
+    def __init__(self, name="c0", hang=False):
+        self.name = name
+        self.hang = hang
+        self._handler = None
+
+    def set_handler(self, handler):
+        self._handler = handler
+
+    async def send(self, dst, message):
+        if self.hang:
+            await asyncio.Event().wait()
+        raise OSError("wire cut")
+
+    async def close(self):
+        pass
+
+
+class TestSendFailureObservability:
+    def test_failed_send_emits_transport_drop(self):
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            client = LeaseClientNode(
+                _BrokenTransport(), "server",
+                config=ClientConfig(
+                    epsilon=0.01, rpc_timeout=0.05, write_timeout=0.05, max_retries=1
+                ),
+                obs=bus,
+            )
+            with pytest.raises(ReproError):
+                await client.read(DatumId.file("file:1"))
+            drops = bus.events(TRANSPORT_DROP)
+            assert drops
+            assert all(e["reason"] == "OSError" for e in drops)
+            assert drops[0]["dst"] == "server"
+            await client.close()
+
+        run(scenario())
+
+    def test_sends_cancelled_by_close_are_not_reported_as_drops(self):
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            client = LeaseClientNode(
+                _BrokenTransport(hang=True), "server",
+                config=ClientConfig(epsilon=0.01, rpc_timeout=5.0),
+                obs=bus,
+            )
+            read = asyncio.get_running_loop().create_task(
+                client.read(DatumId.file("file:1"))
+            )
+            await asyncio.sleep(0.02)  # the send task is now parked
+            assert client._send_tasks
+            await client.close()  # cancels it; must not raise or emit
+            read.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await read
+            assert not bus.events(TRANSPORT_DROP)
+            assert not client._send_tasks
+
+        run(scenario())
+
+    def test_node_constructed_before_asyncio_run_binds_the_right_loop(self):
+        # The loop is resolved lazily from inside the running loop; eager
+        # binding via the deprecated get_event_loop() captured whatever
+        # loop existed at construction time and broke under asyncio.run().
+        hub = InMemoryHub()
+        store = FileStore()
+        store.create_file("/doc", b"v1")
+
+        client = LeaseClientNode(  # constructed with NO loop running
+            hub.endpoint("c0"), "server", config=ClientConfig(epsilon=0.01)
+        )
+
+        async def scenario():
+            server = LeaseServerNode(
+                hub.endpoint("server"), store, FixedTermPolicy(1.0),
+                config=ServerConfig(epsilon=0.01, sweep_period=10.0),
+            )
+            assert await client.read(store.file_datum("/doc")) == (1, b"v1")
             await client.close()
             await server.close()
 

@@ -1,0 +1,121 @@
+"""Units for the resilience primitives: backoff, bounded queues, and the
+connection-lifecycle state machine (DESIGN.md §11)."""
+
+import pytest
+
+from repro.errors import RuntimeTransportError
+from repro.runtime import resilience
+from repro.runtime.resilience import BackoffPolicy, FrameQueue
+from repro.runtime.tcp import TcpClientTransport
+
+
+class TestBackoffPolicy:
+    def test_deterministic_schedule_without_jitter(self):
+        policy = BackoffPolicy(initial=0.1, cap=1.0, multiplier=2.0, jitter=0.0)
+        assert [policy.delay(n) for n in range(6)] == [
+            0.1, 0.2, 0.4, 0.8, 1.0, 1.0
+        ]
+
+    def test_cap_bounds_every_delay(self):
+        policy = BackoffPolicy(initial=0.5, cap=2.0, multiplier=3.0, jitter=0.5, seed=1)
+        assert all(policy.delay(n) <= 2.0 for n in range(20))
+
+    def test_jitter_stays_in_band(self):
+        policy = BackoffPolicy(initial=1.0, cap=1.0, multiplier=1.0, jitter=0.25, seed=7)
+        for _ in range(200):
+            delay = policy.delay(0)
+            assert 0.75 <= delay <= 1.0
+
+    def test_same_seed_same_schedule(self):
+        a = BackoffPolicy(seed=42)
+        b = BackoffPolicy(seed=42)
+        assert [a.delay(n) for n in range(10)] == [b.delay(n) for n in range(10)]
+
+    def test_negative_attempt_clamps_to_initial(self):
+        policy = BackoffPolicy(initial=0.1, jitter=0.0)
+        assert policy.delay(-3) == pytest.approx(0.1)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"initial": 0.0},
+            {"initial": -1.0},
+            {"initial": 1.0, "cap": 0.5},
+            {"multiplier": 0.5},
+            {"jitter": -0.1},
+            {"jitter": 1.5},
+        ],
+    )
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            BackoffPolicy(**kwargs)
+
+
+class TestFrameQueue:
+    def test_fifo_drain(self):
+        queue = FrameQueue(capacity=4)
+        for i in range(3):
+            queue.push(bytes([i]), f"k{i}")
+        assert queue.drain() == [(b"\x00", "k0"), (b"\x01", "k1"), (b"\x02", "k2")]
+        assert len(queue) == 0
+        assert queue.dropped == 0
+
+    def test_overflow_drops_oldest_and_reports(self):
+        evicted = []
+        queue = FrameQueue(capacity=2, on_drop=evicted.append)
+        queue.push(b"a", "first")
+        queue.push(b"b", "second")
+        queue.push(b"c", "third")
+        assert queue.dropped == 1
+        assert evicted == ["first"]
+        assert [kind for _, kind in queue.drain()] == ["second", "third"]
+
+    def test_clear_discards_without_counting_drops(self):
+        queue = FrameQueue(capacity=2)
+        queue.push(b"a", "x")
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.dropped == 0
+
+    @pytest.mark.parametrize("capacity", [0, -1])
+    def test_nonpositive_capacity_rejected(self, capacity):
+        with pytest.raises(ValueError):
+            FrameQueue(capacity=capacity)
+
+
+class TestStateMachine:
+    def test_every_state_has_a_transition_entry(self):
+        states = {
+            resilience.CONNECTING,
+            resilience.UP,
+            resilience.DOWN,
+            resilience.BACKOFF,
+            resilience.CLOSED,
+        }
+        assert set(resilience.TRANSITIONS) == states
+        for targets in resilience.TRANSITIONS.values():
+            assert targets <= states
+
+    def test_closed_is_terminal(self):
+        assert resilience.TRANSITIONS[resilience.CLOSED] == frozenset()
+
+    def test_reconnect_cycle_is_legal(self):
+        cycle = [
+            resilience.CONNECTING,
+            resilience.UP,
+            resilience.DOWN,
+            resilience.BACKOFF,
+            resilience.CONNECTING,
+        ]
+        for src, dst in zip(cycle, cycle[1:]):
+            assert dst in resilience.TRANSITIONS[src]
+
+    def test_illegal_transition_raises(self):
+        transport = TcpClientTransport("c0")  # starts DOWN; no loop needed
+        with pytest.raises(RuntimeTransportError, match="illegal connection transition"):
+            transport._transition(resilience.UP)
+
+    def test_self_transition_is_tolerated(self):
+        transport = TcpClientTransport("c0")
+        transport._transition(resilience.DOWN)  # no-op, must not raise
+        assert transport.state == resilience.DOWN

@@ -7,6 +7,8 @@ import pytest
 
 from repro.errors import RuntimeTransportError
 from repro.lease.policy import FixedTermPolicy
+from repro.obs.bus import TraceBus
+from repro.obs.events import TRANSPORT_DROP
 from repro.protocol.client import ClientConfig
 from repro.protocol.server import ServerConfig
 from repro.runtime import LeaseClientNode, LeaseServerNode
@@ -80,13 +82,13 @@ class TestUdpProtocol:
 
     def test_cached_reads_need_no_datagrams(self):
         async def scenario():
-            store, server, clients = await start_world(term=2.0)
+            store, server, clients = await start_world(n_clients=1, term=2.0)
             datum = store.file_datum("/doc")
             c = clients[0]
             await c.read(datum)
             await c.transport.close()  # no socket at all
             assert await asyncio.wait_for(c.read(datum), 0.2) == (1, b"v1")
-            await server.close()
+            await stop_world(server, clients)
 
         run(scenario())
 
@@ -133,5 +135,46 @@ class TestUdpProtocol:
             assert await clients[0].read(datum) == (1, b"v1")
             garbage_transport.close()
             await stop_world(server, clients)
+
+        run(scenario())
+
+    def test_malformed_datagram_is_an_observable_drop(self):
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            transport = UdpServerTransport(obs=bus)
+            await transport.start()
+            loop = asyncio.get_running_loop()
+            garbage_transport, _ = await loop.create_datagram_endpoint(
+                asyncio.DatagramProtocol, local_addr=("0.0.0.0", 0)
+            )
+            garbage_transport.sendto(
+                b"\xff\xfe garbage", ("127.0.0.1", transport.port)
+            )
+            await asyncio.sleep(0.05)
+            drops = bus.events(TRANSPORT_DROP)
+            assert any(e["reason"] == "malformed" for e in drops)
+            garbage_transport.close()
+            await transport.close()
+
+        run(scenario())
+
+    def test_sends_to_unknown_or_closed_endpoints_are_observable(self):
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            server_transport = UdpServerTransport(obs=bus)
+            await server_transport.start()
+            msg = WriteRequest(1, DatumId.file("f"), b"x", 1)
+            await server_transport.send("never-seen", msg)
+            await server_transport.close()
+            await server_transport.send("never-seen", msg)
+
+            client_transport = UdpClientTransport("c0", obs=bus)
+            await client_transport.connect(port=1)
+            await client_transport.close()
+            await client_transport.send("server", msg)
+
+            reasons = [e["reason"] for e in bus.events(TRANSPORT_DROP)]
+            assert reasons.count("no_peer") == 1
+            assert reasons.count("closed") == 2
 
         run(scenario())
