@@ -1,0 +1,23 @@
+"""Asyncio load benchmark; emits/gates ``BENCH_runtime.json``.
+
+Thin entry point over :mod:`repro.runtime.bench`: drives thousands of
+concurrent pipelined clients against one server node over the in-memory
+hub, reports requests/sec and p50/p99 latency, and (with ``--check``)
+enforces the committed baseline at the repository root.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py                # measure
+    PYTHONPATH=src python benchmarks/bench_runtime.py --check        # CI gate
+    PYTHONPATH=src python benchmarks/bench_runtime.py --pin          # re-pin
+    PYTHONPATH=src python benchmarks/bench_runtime.py --clients 500  # smoke
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.runtime.bench import main
+
+if __name__ == "__main__":
+    sys.exit(main())

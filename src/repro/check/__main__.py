@@ -57,6 +57,9 @@ def _build_parser() -> argparse.ArgumentParser:
                         "faults; long: bigger, clock faults on)")
     parser.add_argument("--clock-faults", action="store_true",
                         help="include §5 clock faults in smoke mode")
+    parser.add_argument("--batching", action="store_true",
+                        help="run clients with the request pipeline on "
+                        "(same schedules, batched frames)")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="write repro files + traces of failures here")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -97,9 +100,11 @@ def main(argv: list[str] | None = None) -> int:
         return _replay(args.replay, args.quiet)
 
     if args.mode == "long":
-        config = GeneratorConfig.long()
+        config = GeneratorConfig.long(batching=args.batching)
     else:
-        config = GeneratorConfig.smoke(clock_faults=args.clock_faults)
+        config = GeneratorConfig.smoke(
+            clock_faults=args.clock_faults, batching=args.batching
+        )
 
     registry = Registry()
     explorer = Explorer(

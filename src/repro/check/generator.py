@@ -54,14 +54,24 @@ class GeneratorConfig:
     p_loss_window: float = 0.25
     p_clock_fault: float = 0.0
     p_dangerous: float = 0.5
+    #: Generate scenarios with the client request pipeline on.  Kept out
+    #: of the random grammar so the same (base_seed, index) explores the
+    #: identical schedule with batching on or off.
+    batching: bool = False
 
     @classmethod
-    def smoke(cls, clock_faults: bool = False) -> "GeneratorConfig":
+    def smoke(
+        cls, clock_faults: bool = False, batching: bool = False
+    ) -> "GeneratorConfig":
         """The CI-budget preset (optionally including clock faults)."""
-        return cls(p_clock_fault=0.35 if clock_faults else 0.0)
+        return cls(
+            p_clock_fault=0.35 if clock_faults else 0.0, batching=batching
+        )
 
     @classmethod
-    def long(cls, clock_faults: bool = True) -> "GeneratorConfig":
+    def long(
+        cls, clock_faults: bool = True, batching: bool = False
+    ) -> "GeneratorConfig":
         """The overnight preset: bigger clusters, longer runs, more faults."""
         return cls(
             n_clients=(2, 6),
@@ -73,6 +83,7 @@ class GeneratorConfig:
             p_server_crash=0.5,
             p_loss_window=0.4,
             p_clock_fault=0.5 if clock_faults else 0.0,
+            batching=batching,
         )
 
 
@@ -112,6 +123,7 @@ class ScenarioGenerator:
             term=term,
             loss_rate=rng.choice(cfg.loss_rates),
             duplicate_rate=rng.choice(cfg.duplicate_rates),
+            batching=cfg.batching,
             ops=tuple(ops),
             faults=tuple(faults),
         )

@@ -133,6 +133,7 @@ def build_scenario_cluster(scenario: Scenario, obs=None, policy: TermPolicy | No
             rpc_timeout=scenario.rpc_timeout,
             write_timeout=scenario.write_timeout,
             max_retries=scenario.max_retries,
+            batching=scenario.batching,
         ),
         seed=scenario.seed,
         strict_oracle=False,

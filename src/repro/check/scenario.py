@@ -160,6 +160,10 @@ class Scenario:
         rpc_timeout: client retransmission timeout for reads/extensions.
         write_timeout: client retransmission timeout for writes.
         max_retries: client retransmissions before an operation fails.
+        batching: run the clients with the request pipeline on, so ops
+            submitted at the same instant ship as BatchRequest frames.
+            Serialized only when True, so legacy scenario digests (and the
+            pinned benchmark mix hashes built from them) are unchanged.
         may_violate: True when the schedule contains a dangerous §5 clock
             fault, so oracle violations are *possible* (expected-class)
             rather than harness failures.
@@ -179,6 +183,7 @@ class Scenario:
     rpc_timeout: float = 0.5
     write_timeout: float = 2.0
     max_retries: int = 40
+    batching: bool = False
     may_violate: bool = False
     ops: tuple[Op, ...] = ()
     faults: tuple[Fault, ...] = ()
@@ -252,8 +257,12 @@ class Scenario:
     # -- serialization ---------------------------------------------------------
 
     def to_json(self) -> dict:
-        """Plain-data form of the whole scenario."""
-        return {
+        """Plain-data form of the whole scenario.
+
+        ``batching`` is pruned at its default (like Fault's optional
+        fields) so pre-pipeline scenarios keep their digests.
+        """
+        data = {
             "format": FORMAT_VERSION,
             "name": self.name,
             "seed": self.seed,
@@ -271,6 +280,9 @@ class Scenario:
             "ops": [op.to_json() for op in self.ops],
             "faults": [fault.to_json() for fault in self.faults],
         }
+        if self.batching:
+            data["batching"] = True
+        return data
 
     @classmethod
     def from_json(cls, data: dict) -> "Scenario":
@@ -295,6 +307,7 @@ class Scenario:
             rpc_timeout=float(data.get("rpc_timeout", 0.5)),
             write_timeout=float(data.get("write_timeout", 2.0)),
             max_retries=int(data.get("max_retries", 40)),
+            batching=bool(data.get("batching", False)),
             may_violate=bool(data.get("may_violate", False)),
             ops=tuple(Op.from_json(o) for o in data.get("ops", ())),
             faults=tuple(Fault.from_json(f) for f in data.get("faults", ())),

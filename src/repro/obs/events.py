@@ -28,6 +28,7 @@ APPROVAL_REQUEST = "write.approval_request"
 APPROVAL_REPLY = "write.approval_reply"
 WRITE_DEFER = "write.defer"
 WRITE_COMMIT = "write.commit"
+WRITE_CAS_REJECT = "write.cas_reject"
 
 # -- crash recovery (ServerEngine) -----------------------------------------------
 RECOVERY_BEGIN = "recovery.begin"
@@ -85,6 +86,7 @@ SCHEMA: dict[str, tuple[str, ...]] = {
     APPROVAL_REPLY: ("datum", "write_id", "holder"),
     WRITE_DEFER: ("datum", "src", "reason"),
     WRITE_COMMIT: ("datum", "writer", "version"),
+    WRITE_CAS_REJECT: ("datum", "writer", "expected", "found"),
     RECOVERY_BEGIN: ("until",),
     RECOVERY_HOLD: ("src", "write_seq"),
     RECOVERY_END: ("queued",),

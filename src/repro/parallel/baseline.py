@@ -175,17 +175,42 @@ class BaselineComparison:
     Attributes:
         ok: True when no gated metric regressed beyond tolerance.
         regressions: human-readable description of each failure.
+        warnings: suspect-but-not-failing observations (e.g. the baseline
+            was pinned on different hardware, so throughput deltas are
+            noise until it is re-pinned).
         ratios: current/baseline events-per-sec ratio per gated metric.
     """
 
     ok: bool = True
     regressions: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
     ratios: dict[str, float] = field(default_factory=dict)
 
     def fail(self, message: str) -> None:
         """Record one gate failure."""
         self.ok = False
         self.regressions.append(message)
+
+    def warn(self, message: str) -> None:
+        """Record one non-failing warning."""
+        self.warnings.append(message)
+
+
+def machine_drift(current: dict, baseline: dict) -> str | None:
+    """Describe a machine-metadata mismatch, or ``None`` when identical.
+
+    The ``machine`` block is informational, but when it differs from the
+    baseline's, every throughput delta is suspect: the runner changed
+    (kernel upgrade, different instance type), not the code.  The gates
+    therefore demote throughput regressions to warnings while drifted —
+    a human re-pins the baseline on the new runner to restore the hard
+    gate — but semantic failures (mix mismatch, determinism, changed
+    event counts) still fail: those never depend on the hardware.
+    """
+    cur, base = current.get("machine"), baseline.get("machine")
+    if cur == base:
+        return None
+    return f"machine metadata drifted (baseline {base}, current {cur})"
 
 
 def compare(
@@ -195,7 +220,10 @@ def compare(
 
     Fails when serial or parallel events/sec dropped by more than
     ``tolerance``, when the parallel run was not byte-deterministic, or
-    when the job mixes differ (a stale baseline — re-pin it).
+    when the job mixes differ (a stale baseline — re-pin it).  When the
+    ``machine`` block differs from the baseline's, throughput drops are
+    demoted to warnings (see :func:`machine_drift`); the semantic checks
+    still fail hard.
 
     Args:
         current: report from :func:`run_benchmark`.
@@ -203,6 +231,13 @@ def compare(
         tolerance: allowed fractional events/sec drop (default 25 %).
     """
     verdict = BaselineComparison()
+    drift = machine_drift(current, baseline)
+    if drift:
+        verdict.warn(
+            f"{drift}: throughput deltas are suspect until the baseline is "
+            "re-pinned on this runner with `python benchmarks/bench_sweep.py "
+            "--pin`"
+        )
     if current.get("job_mix") != baseline.get("job_mix"):
         verdict.fail(
             f"job mix changed (baseline {baseline.get('job_mix')}, "
@@ -221,10 +256,14 @@ def compare(
         ratio = now / then
         verdict.ratios[metric] = ratio
         if ratio < 1.0 - tolerance:
-            verdict.fail(
+            message = (
                 f"{metric} events/sec regressed {100 * (1 - ratio):.1f}% "
                 f"({then:.0f} -> {now:.0f}, tolerance {100 * tolerance:.0f}%)"
             )
+            if drift:
+                verdict.warn(f"{message} — on a drifted machine; re-pin")
+            else:
+                verdict.fail(message)
     return verdict
 
 
@@ -289,6 +328,8 @@ def main(argv: list[str] | None = None) -> int:
         for metric, ratio in sorted(verdict.ratios.items()):
             print(f"{metric}: {100 * ratio:.1f}% of baseline events/sec",
                   file=sys.stderr)
+        for line in verdict.warnings:
+            print(f"PERF GATE WARN: {line}", file=sys.stderr)
         if not verdict.ok:
             for line in verdict.regressions:
                 print(f"PERF GATE FAIL: {line}", file=sys.stderr)

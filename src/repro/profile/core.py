@@ -40,6 +40,7 @@ from repro.parallel.baseline import (
     bench_job,
     load_report,
     machine_block,
+    machine_drift,
     pinned_mix_sha,
     save_report,
 )
@@ -214,9 +215,20 @@ def compare(
     Fails when the job mix changed (stale baseline — re-pin), when a
     workload's event count differs from the baseline's (the workloads
     are deterministic; a count change is a semantic change), or when a
-    workload's events/sec dropped more than ``tolerance``.
+    workload's events/sec dropped more than ``tolerance``.  Throughput
+    drops are demoted to warnings when the ``machine`` block differs
+    from the baseline's (see
+    :func:`repro.parallel.baseline.machine_drift`); the event-count and
+    mix checks still fail hard.
     """
     verdict = BaselineComparison()
+    drift = machine_drift(current, baseline)
+    if drift:
+        verdict.warn(
+            f"{drift}: throughput deltas are suspect until the baseline is "
+            "re-pinned on this runner with `python benchmarks/bench_core.py "
+            "--pin`"
+        )
     if current.get("job_mix") != baseline.get("job_mix"):
         verdict.fail(
             f"job mix changed (baseline {baseline.get('job_mix')}, "
@@ -238,12 +250,16 @@ def compare(
         ratio = now["events_per_sec"] / then["events_per_sec"]
         verdict.ratios[name] = ratio
         if ratio < 1.0 - tolerance:
-            verdict.fail(
+            message = (
                 f"{name} events/sec regressed {100 * (1 - ratio):.1f}% "
                 f"({then['events_per_sec']:.0f} -> "
                 f"{now['events_per_sec']:.0f}, "
                 f"tolerance {100 * tolerance:.0f}%)"
             )
+            if drift:
+                verdict.warn(f"{message} — on a drifted machine; re-pin")
+            else:
+                verdict.fail(message)
     return verdict
 
 
@@ -290,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
         for name, ratio in sorted(verdict.ratios.items()):
             print(f"{name}: {100 * ratio:.1f}% of baseline events/sec",
                   file=sys.stderr)
+        for line in verdict.warnings:
+            print(f"PERF GATE WARN: {line}", file=sys.stderr)
         if not verdict.ok:
             for line in verdict.regressions:
                 print(f"PERF GATE FAIL: {line}", file=sys.stderr)

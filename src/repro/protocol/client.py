@@ -26,6 +26,7 @@ the request that produced the lease.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -36,9 +37,12 @@ from repro.lease.holder import LeaseSet
 from repro.obs.bus import NULL_BUS
 from repro.obs.events import LOCAL_HIT, RETRANSMIT, RPC_FAIL
 from repro.protocol.effects import CancelTimer, Complete, Effect, Send, SetTimer
+from repro.protocol.pipeline import FLUSH_TIMER, BatchPipeline
 from repro.protocol.messages import (
     ApprovalReply,
     ApprovalRequest,
+    BatchReply,
+    BatchRequest,
     ExtendReply,
     ExtendRequest,
     InstalledAnnounce,
@@ -51,7 +55,7 @@ from repro.protocol.messages import (
     WriteReply,
     WriteRequest,
 )
-from repro.types import DatumId, HostId
+from repro.types import DatumId, HostId, Version
 
 
 @dataclass(frozen=True)
@@ -71,6 +75,12 @@ class ClientConfig:
         max_retries: retransmissions before an operation fails.
         batch_extensions: extend all held leases together (§3.1); off for
             the ablation benchmark.
+        batching: pipeline *all* outbound requests issued within one
+            instant into :class:`~repro.protocol.messages.BatchRequest`
+            frames (see :mod:`repro.protocol.pipeline`).  Off by default:
+            disabled, the wire traffic is bit-for-bit identical to the
+            pre-pipeline protocol.
+        max_batch: most ops per batched frame.
         anticipatory: renew leases before they expire (§4).
         anticipate_margin: how long before expiry the anticipatory renewal
             fires, and the period of its timer.
@@ -83,6 +93,8 @@ class ClientConfig:
     write_timeout: float = 45.0
     max_retries: int = 8
     batch_extensions: bool = True
+    batching: bool = False
+    max_batch: int = 64
     anticipatory: bool = False
     anticipate_margin: float = 2.0
     cache_capacity: int = 4096
@@ -123,6 +135,7 @@ class ClientMetrics:
     approvals_granted: int = 0
     retransmissions: int = 0
     failures: int = 0
+    cas_conflicts: int = 0
 
 
 class ClientEngine:
@@ -164,6 +177,11 @@ class ClientEngine:
         self._next_op = id_base + 1
         self._next_req = id_base + 1
         self._next_write_seq = id_base + 1
+        self._pipeline = (
+            BatchPipeline(self._take_req_id, self.config.max_batch)
+            if self.config.batching
+            else None
+        )
         #: Exact-type message dispatch.  Bound at init so subclass handler
         #: overrides win; message classes are final, so ``type(msg)`` lookup
         #: matches the isinstance chain it replaces.
@@ -174,6 +192,7 @@ class ClientEngine:
             NamespaceReply: self._on_ns_reply,
             ApprovalRequest: self._on_approval_request,
             InstalledAnnounce: self._on_announce,
+            BatchReply: self._on_batch_reply,
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -201,8 +220,20 @@ class ClientEngine:
                 return op.op_id, [done]
         return op.op_id, self._fetch(datum, op.op_id, now)
 
-    def write(self, datum: DatumId, content: bytes, now: float) -> tuple[int, list[Effect]]:
-        """Write a file datum through to the server."""
+    def write(
+        self,
+        datum: DatumId,
+        content: bytes,
+        now: float,
+        cas: Version | None = None,
+    ) -> tuple[int, list[Effect]]:
+        """Write a file datum through to the server.
+
+        Args:
+            cas: version this write was derived from; the server rejects
+                the write with a ``cas mismatch`` error if the datum has
+                moved past it (lost race with a concurrent writer).
+        """
         op = self._new_op("write", datum, now)
         self.metrics.writes += 1
         # The write request carries this client's *implicit approval* (§3.1),
@@ -211,7 +242,7 @@ class ClientEngine:
         # the WriteReply would serve the pre-write value from our own cache.
         self.cache.invalidate(datum)
         msg = WriteRequest(
-            self._next_req, datum, content, write_seq=self._next_write_seq
+            self._next_req, datum, content, write_seq=self._next_write_seq, cas=cas
         )
         self._next_req += 1
         self._next_write_seq += 1
@@ -252,7 +283,7 @@ class ClientEngine:
         if datum not in self.leases:
             return []
         self.leases.drop(datum)
-        return [Send(self.server, RelinquishRequest((datum,)))]
+        return self._outbound(RelinquishRequest((datum,)))
 
     def relinquish_all(self, now: float) -> list[Effect]:
         """Give up every held lease (e.g. ahead of a planned shutdown)."""
@@ -261,7 +292,7 @@ class ClientEngine:
             return []
         for datum in datums:
             self.leases.drop(datum)
-        return [Send(self.server, RelinquishRequest(datums))]
+        return self._outbound(RelinquishRequest(datums))
 
     # -- message handling ----------------------------------------------------------
 
@@ -276,6 +307,8 @@ class ClientEngine:
         """Process a timer firing; returns the effects to execute."""
         if key.startswith("rpc:"):
             return self._on_rpc_timeout(int(key.split(":", 1)[1]), now)
+        if key == FLUSH_TIMER:
+            return self._flush_pipeline()
         if key == "anticipate":
             return self._on_anticipate(now)
         raise ReproError(f"client got unexpected timer {key!r}")
@@ -304,10 +337,17 @@ class ClientEngine:
         return self._send_request(msg, waiters, now, self.config.rpc_timeout)
 
     def _send_extend(self, datum: DatumId, op_id: int | None, now: float) -> list[Effect]:
-        """Batched extension covering every held (non-cover) lease (§3.1)."""
+        """Batched extension covering every held (non-cover) lease (§3.1).
+
+        Batch order is the sorted (by ``str``) datum set and nothing else:
+        the triggering datum — absent from :meth:`LeaseSet.extension_batch`
+        only when it is held under a cover lease — is merged into sorted
+        position, so equivalent lease states always produce byte-identical
+        requests regardless of the op history that led to them.
+        """
         batch = self.leases.extension_batch(now)
-        if datum not in batch:
-            batch.append(datum)
+        if datum not in set(batch):
+            insort(batch, datum, key=str)
         items = []
         waiters: dict[DatumId, list[int]] = {}
         for d in batch:
@@ -350,7 +390,26 @@ class ClientEngine:
             for datum in waiters:
                 if datum is not None:
                     self._datum_req[datum] = msg.req_id
-        return [Send(self.server, msg), SetTimer(f"rpc:{msg.req_id}", timeout)]
+        return [*self._outbound(msg), SetTimer(f"rpc:{msg.req_id}", timeout)]
+
+    def _outbound(self, msg: Message) -> list[Effect]:
+        """Route one outbound request: direct send, or into the pipeline.
+
+        With batching on, the first buffered message of an instant arms a
+        zero-delay flush timer; everything buffered before it fires ships
+        as one batch.  Retry timers are armed by the caller either way, so
+        op-level recovery is identical in both modes.
+        """
+        if self._pipeline is None or not BatchPipeline.wants(msg):
+            return [Send(self.server, msg)]
+        if self._pipeline.add(msg):
+            return [SetTimer(FLUSH_TIMER, 0.0)]
+        return []
+
+    def _flush_pipeline(self) -> list[Effect]:
+        if self._pipeline is None:
+            return []
+        return [Send(self.server, m) for m in self._pipeline.flush()]
 
     # -- replies ------------------------------------------------------------------------
 
@@ -460,6 +519,8 @@ class ClientEngine:
         effects: list[Effect] = [CancelTimer(f"rpc:{msg.req_id}")]
         op_ids = req.waiters.get(msg.datum, [])
         if msg.error is not None:
+            if msg.error.startswith("cas mismatch"):
+                self.metrics.cas_conflicts += 1
             effects.extend(self._fail_ops(op_ids, msg.error))
             return effects
         if self._newer_write_in_flight(msg.datum, req.message.write_seq):
@@ -500,7 +561,24 @@ class ClientEngine:
         self.cache.invalidate(msg.datum, min_version=msg.new_version)
         self._floor_raised_at[msg.datum] = now
         self.metrics.approvals_granted += 1
-        return [Send(self.server, ApprovalReply(msg.datum, msg.write_id))]
+        return self._outbound(ApprovalReply(msg.datum, msg.write_id))
+
+    def _on_batch_reply(self, msg: BatchReply, now: float) -> list[Effect]:
+        """Unpack a batched reply frame and dispatch each inner reply.
+
+        Inner replies carry their own req_ids, so they route exactly as
+        if they had arrived individually.  Nested batches are a protocol
+        violation (the codec rejects them on the wire; an in-process peer
+        could still construct one) and are skipped.
+        """
+        effects: list[Effect] = []
+        for inner in msg.replies:
+            if isinstance(inner, (BatchRequest, BatchReply)):
+                continue
+            handler = self._dispatch.get(type(inner))
+            if handler is not None:
+                effects.extend(handler(inner, now))
+        return effects
 
     def _on_announce(self, msg: InstalledAnnounce, now: float) -> list[Effect]:
         """Refresh cover leases from a multicast announcement.
@@ -538,7 +616,7 @@ class ClientEngine:
             self.obs.emit(
                 RETRANSMIT, now, self.name, req_id=req_id, retries=req.retries
             )
-        return [Send(self.server, req.message), SetTimer(f"rpc:{req_id}", req.timeout)]
+        return [*self._outbound(req.message), SetTimer(f"rpc:{req_id}", req.timeout)]
 
     def _on_anticipate(self, now: float) -> list[Effect]:
         """Anticipatory extension (§4): renew soon-to-expire leases so
@@ -617,6 +695,11 @@ class ClientEngine:
                 del self._datum_req[datum]
         return req
 
+    def _take_req_id(self) -> int:
+        req_id = self._next_req
+        self._next_req += 1
+        return req_id
+
     def _new_op(self, kind: str, datum: DatumId | None, now: float) -> _OpCtx:
         op = _OpCtx(op_id=self._next_op, kind=kind, datum=datum, submitted_local=now)
         self._next_op += 1
@@ -628,3 +711,9 @@ class ClientEngine:
     def outstanding_requests(self) -> int:
         """Number of RPCs currently awaiting a reply."""
         return len(self._requests)
+
+    def pipeline_stats(self) -> tuple[int, int]:
+        """(batched frames sent, ops shipped inside them); (0, 0) unbatched."""
+        if self._pipeline is None:
+            return (0, 0)
+        return (self._pipeline.batches_sent, self._pipeline.ops_batched)

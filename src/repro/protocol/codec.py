@@ -6,7 +6,9 @@ deliberately simple: ``{"type": <class name>, ...fields}`` with
 * ``DatumId`` encoded as ``[kind, ident]``,
 * ``bytes`` encoded as base64 strings (marked by field name),
 * ``inf`` terms encoded as the string ``"inf"``,
-* nested ``ExtendGrant`` records encoded recursively.
+* nested ``ExtendGrant`` records encoded recursively,
+* nested messages (batch members) tagged ``__msg__``; batches never nest,
+  and decode enforces that so a hostile frame cannot recurse unboundedly.
 """
 
 from __future__ import annotations
@@ -19,6 +21,8 @@ from repro.errors import ProtocolError
 from repro.protocol.messages import (
     ApprovalReply,
     ApprovalRequest,
+    BatchReply,
+    BatchRequest,
     ExtendGrant,
     ExtendReply,
     ExtendRequest,
@@ -59,11 +63,23 @@ _MESSAGE_TYPES: dict[str, type] = {
         RecallRequest,
         RecallReply,
         FlushRequest,
+        BatchRequest,
+        BatchReply,
     )
+}
+
+#: Fields added to the wire format after v1, omitted when at their default
+#: so that frames from a new peer stay byte-identical to — and decodable
+#: by — an unbatched (pre-pipeline) peer.  Maps class name -> {field:
+#: default}.
+_OPTIONAL_FIELDS: dict[str, dict[str, Any]] = {
+    "WriteRequest": {"cas": None},
 }
 
 
 def _encode_value(value: Any) -> Any:
+    if isinstance(value, Message):
+        return {"__msg__": encode_message(value)}
     if isinstance(value, DatumId):
         return {"__datum__": [value.kind.value, value.ident]}
     if isinstance(value, bytes):
@@ -97,6 +113,8 @@ def _decode_value(value: Any) -> Any:
             return base64.b64decode(value["__bytes__"])
         if "__float__" in value:
             return math.inf
+        if "__msg__" in value:
+            return decode_message(value["__msg__"])
         if "__grant__" in value:
             g = value["__grant__"]
             return ExtendGrant(
@@ -118,9 +136,13 @@ def encode_message(msg: Message) -> dict:
     name = type(msg).__name__
     if name not in _MESSAGE_TYPES:
         raise ProtocolError(f"not a wire message: {name}")
+    optional = _OPTIONAL_FIELDS.get(name)
     fields = {
         field: _encode_value(getattr(msg, field))
         for field in msg.__dataclass_fields__
+        if optional is None
+        or field not in optional
+        or getattr(msg, field) != optional[field]
     }
     return {"type": name, **fields}
 
@@ -137,6 +159,14 @@ def decode_message(data: dict) -> Message:
         raise ProtocolError(f"unknown message type in {data!r}") from exc
     try:
         kwargs = {k: _decode_value(v) for k, v in data.items() if k != "type"}
-        return cls(**kwargs)
-    except (TypeError, ValueError, KeyError) as exc:
+        msg = cls(**kwargs)
+    except (TypeError, ValueError, KeyError, RecursionError) as exc:
         raise ProtocolError(f"malformed {data.get('type')}: {exc}") from exc
+    if isinstance(msg, (BatchRequest, BatchReply)):
+        inner = msg.ops if isinstance(msg, BatchRequest) else msg.replies
+        for op in inner:
+            if not isinstance(op, Message) or isinstance(
+                op, (BatchRequest, BatchReply)
+            ):
+                raise ProtocolError(f"invalid batch member: {op!r}")
+    return msg

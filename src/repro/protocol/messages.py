@@ -127,12 +127,19 @@ class WriteRequest(Message):
     Attributes:
         write_seq: per-client monotonically increasing sequence number for
             exactly-once commit under retransmission.
+        cas: compare-and-set guard — the version the writer read before
+            producing ``content``, or None for an unconditional write.
+            The server rejects the write (``error="cas mismatch..."``)
+            if the datum's committed version no longer matches, so
+            concurrent in-flight writers cannot silently clobber each
+            other once requests are pipelined.
     """
 
     req_id: int
     datum: DatumId
     content: bytes
     write_seq: int = 0
+    cas: Version | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -268,6 +275,39 @@ class FlushRequest(Message):
     write_seq: int = 0
 
 
+# -- pipelining (batched frames; memproxy-style client pipeline) --
+
+
+@dataclass(frozen=True, slots=True)
+class BatchRequest(Message):
+    """Several client requests coalesced into one frame.
+
+    The pipeline layer buffers every request a client issues within one
+    event-loop tick (or one simulated instant) and ships them as a single
+    batch, generalizing §3.1's batched lease extensions to *all* request
+    traffic.  Each inner op keeps its own ``req_id``, so replies match up
+    exactly as if the ops had been sent individually; the batch itself
+    adds a ``batch_id`` for tracing.  Batches never nest.
+    """
+
+    batch_id: int
+    ops: tuple[Message, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class BatchReply(Message):
+    """The immediate replies to a :class:`BatchRequest`.
+
+    Contains one reply per inner op that the server could answer at once.
+    Ops the server defers (e.g. a read parked behind a pending write) are
+    answered later as ordinary unbatched messages, so ``replies`` may be
+    shorter than the request's ``ops``.
+    """
+
+    batch_id: int
+    replies: tuple[Message, ...]
+
+
 #: Message kind strings for traffic accounting; all lease-protocol
 #: messages share the ``lease/`` prefix so experiments can separate
 #: consistency traffic with one prefix filter.
@@ -289,6 +329,8 @@ KIND_BY_TYPE = {
     "RecallRequest": "lease/recall",
     "RecallReply": "lease/recall",
     "FlushRequest": "lease/flush",
+    "BatchRequest": "lease/batch",
+    "BatchReply": "lease/batch",
 }
 
 for _name, _kind in KIND_BY_TYPE.items():

@@ -35,6 +35,7 @@ from repro.obs.events import (
     RECOVERY_BEGIN,
     RECOVERY_END,
     RECOVERY_HOLD,
+    WRITE_CAS_REJECT,
     WRITE_COMMIT,
     WRITE_DEFER,
 )
@@ -42,6 +43,8 @@ from repro.protocol.effects import Broadcast, Effect, Send, SetTimer
 from repro.protocol.messages import (
     ApprovalReply,
     ApprovalRequest,
+    BatchReply,
+    BatchRequest,
     ExtendGrant,
     ExtendReply,
     ExtendRequest,
@@ -91,6 +94,7 @@ class _FileWriteCtx:
     write_seq: int
     pending: PendingWrite
     sharing_at_begin: int = 1
+    cas: int | None = None
 
 
 #: Sentinel "writer" for namespace mutations: never matches a client id,
@@ -125,6 +129,7 @@ class _InstalledWriteCtx:
     datum: DatumId
     content: bytes
     write_seq: int
+    cas: int | None = None
 
 
 class ServerEngine:
@@ -185,6 +190,7 @@ class ServerEngine:
             NamespaceRequest: self._handle_namespace,
             ApprovalReply: self._handle_approval,
             RelinquishRequest: self._handle_relinquish,
+            BatchRequest: self._handle_batch,
         }
 
     # -- lifecycle -------------------------------------------------------------
@@ -371,6 +377,9 @@ class ServerEngine:
             ]
         if not self.store.datum_exists(datum):
             return [Send(src, WriteReply(msg.req_id, datum, error="no such datum"))]
+        rejected = self._cas_reject(msg.cas, datum, src, msg.req_id, msg.write_seq, now)
+        if rejected is not None:
+            return rejected
         self._inflight.add((src, msg.write_seq))
         if self._in_recovery(now):
             self._recovery_queue.append((msg, src))
@@ -408,6 +417,7 @@ class ServerEngine:
             write_seq=msg.write_seq,
             pending=pending,
             sharing_at_begin=len(pending.awaiting) + 1,
+            cas=msg.cas,
         )
         self._write_ctx[pending.write_id] = ctx
         if self.table.head_write(msg.datum) is pending:
@@ -417,6 +427,13 @@ class ServerEngine:
     def _activate_file_write(self, ctx: _FileWriteCtx, now: float) -> list[Effect]:
         """The write reached the head of its datum's queue: ask approvals
         or commit immediately."""
+        if ctx.cas is not None and self.store.version_of(ctx.datum) != ctx.cas:
+            # An earlier queued write committed first: this writer's basis
+            # version is gone, so reject rather than clobber (the CAS
+            # contract).  Checked at activation — once a file write is at
+            # the head of its queue nothing else can commit to the datum,
+            # so the predicate cannot change before our own commit.
+            return self._reject_file_write(ctx, now)
         pending = ctx.pending
         if pending.ready(now):
             return self._commit_file_write(ctx, now)
@@ -449,6 +466,46 @@ class ServerEngine:
         effects: list[Effect] = [
             Send(ctx.src, WriteReply(ctx.req_id, ctx.datum, version=version))
         ]
+        effects.extend(self._after_write_drains(ctx.datum, now))
+        return effects
+
+    def _cas_reject(
+        self,
+        cas: int | None,
+        datum: DatumId,
+        src: HostId,
+        req_id: int,
+        write_seq: int,
+        now: float,
+    ) -> list[Effect] | None:
+        """Reject a stale CAS write; None when the write may proceed.
+
+        The rejection is recorded in the dedup window so retransmissions
+        get the identical answer even if the datum's version later happens
+        to equal the (bogus) expected one.
+        """
+        if cas is None:
+            return None
+        version = self.store.version_of(datum)
+        if version == cas:
+            return None
+        error = f"cas mismatch: expected {cas}, datum at {version}"
+        if self.obs.active:
+            self.obs.emit(
+                WRITE_CAS_REJECT, now, self.name,
+                datum=str(datum), writer=src, expected=cas, found=version,
+            )
+        self._record_commit(src, write_seq, version, error)
+        return [Send(src, WriteReply(req_id, datum, version=version, error=error))]
+
+    def _reject_file_write(self, ctx: _FileWriteCtx, now: float) -> list[Effect]:
+        """Tear down a queued write whose CAS guard failed at activation."""
+        effects = self._cas_reject(
+            ctx.cas, ctx.datum, ctx.src, ctx.req_id, ctx.write_seq, now
+        )
+        assert effects is not None
+        self.table.finish_write(ctx.datum, ctx.pending.write_id)
+        del self._write_ctx[ctx.pending.write_id]
         effects.extend(self._after_write_drains(ctx.datum, now))
         return effects
 
@@ -500,6 +557,35 @@ class ServerEngine:
                 effects.extend(self._rearm_write_timer(datum, now))
         return effects
 
+    def _handle_batch(self, msg: BatchRequest, src: HostId, now: float) -> list[Effect]:
+        """Process one pipelined frame (see :mod:`repro.protocol.pipeline`).
+
+        Each inner op runs through its normal handler; every immediate
+        reply to the sender is coalesced into a single
+        :class:`BatchReply`, while all other effects — approval
+        broadcasts, timers, sends to other clients triggered by e.g. a
+        deferred-read flush — pass through unchanged.  Ops the handlers
+        defer (write pending, recovery) reply later as ordinary unbatched
+        messages.  Nested batches and unknown members are protocol
+        violations and are skipped.
+        """
+        passthrough: list[Effect] = []
+        replies: list[Message] = []
+        for op in msg.ops:
+            if isinstance(op, (BatchRequest, BatchReply)):
+                continue
+            handler = self._dispatch.get(type(op))
+            if handler is None:
+                continue
+            for effect in handler(op, src, now):
+                if isinstance(effect, Send) and effect.dst == src:
+                    replies.append(effect.message)
+                else:
+                    passthrough.append(effect)
+        if replies:
+            passthrough.append(Send(src, BatchReply(msg.batch_id, tuple(replies))))
+        return passthrough
+
     def _rearm_write_timer(self, datum: DatumId, now: float) -> list[Effect]:
         """Refresh the expiry timer of a datum's head write (if any)."""
         pending = self.table.head_write(datum)
@@ -543,6 +629,7 @@ class ServerEngine:
             datum=msg.datum,
             content=msg.content,
             write_seq=msg.write_seq,
+            cas=msg.cas,
         )
         iwrite_id = self._next_installed_id
         self._next_installed_id += 1
@@ -553,6 +640,14 @@ class ServerEngine:
 
     def _on_installed_ready(self, iwrite_id: int, now: float) -> list[Effect]:
         ctx = self._installed_writes.pop(iwrite_id)
+        rejected = self._cas_reject(
+            ctx.cas, ctx.datum, ctx.src, ctx.req_id, ctx.write_seq, now
+        )
+        if rejected is not None:
+            # Another delayed update committed during the cover wait.
+            self.installed.finish_write(ctx.datum)
+            rejected.extend(self._flush_deferred(ctx.datum, now))
+            return rejected
         version = self.store.commit_file_write(ctx.datum, ctx.content, now)
         if self.obs.active:
             self.obs.emit(

@@ -1,0 +1,386 @@
+"""Asyncio load harness; emits/gates ``BENCH_runtime.json``.
+
+The simulator benchmarks (``BENCH_core.json``, ``BENCH_sweep.json``)
+measure the engines under the deterministic kernel.  This harness
+measures the *runtime*: thousands of :class:`LeaseClientNode` instances
+driving one :class:`LeaseServerNode` over the in-memory hub on a real
+event loop, with the request pipeline on — the configuration the paper's
+load claims are about (§3: leases amortize server traffic; batching
+amortizes per-message cost).
+
+The workload is a pinned, seeded schedule: every client issues a fixed
+number of operations *concurrently* (so they coalesce into one
+``BatchRequest`` frame per client), reads spread over a small pool of
+shared files (first touch fetches a lease, later touches are local cache
+hits — the lease economics under test) and writes go to a per-client
+private file (no sharers, so the measurement is not dominated by
+approval broadcasts; write-sharing behaviour is covered by the oracle
+sweeps, not this throughput number).
+
+Reported metrics: requests/sec over the whole run, p50/p99 per-op
+latency (submission to completion, including queueing behind the other
+clients — the number an application would feel), op failures (must be
+zero), and the pipeline's batch counters.  ``--check`` gates
+requests/sec against the committed ``BENCH_runtime.json`` exactly like
+the other benches, including the machine-drift demotion
+(:func:`repro.parallel.baseline.machine_drift`).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py            # measure
+    PYTHONPATH=src python benchmarks/bench_runtime.py --check    # CI gate
+    PYTHONPATH=src python benchmarks/bench_runtime.py --pin      # re-pin
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import hashlib
+import json
+import os
+import random
+import sys
+import time
+
+from repro.errors import ReproError
+from repro.lease.policy import FixedTermPolicy
+from repro.parallel.baseline import (
+    BaselineComparison,
+    load_report,
+    machine_block,
+    machine_drift,
+    save_report,
+)
+from repro.protocol.client import ClientConfig
+from repro.protocol.server import ServerConfig
+from repro.runtime.node import LeaseClientNode, LeaseServerNode
+from repro.runtime.transport import InMemoryHub
+from repro.storage.store import FileStore
+
+#: Seed namespace of the pinned schedule (the paper's publication year).
+PINNED_SEED = 1989
+
+#: Pinned client count — the "10k concurrent clients" headline load.
+PINNED_CLIENTS = 10_000
+
+#: Operations issued (concurrently) by each client.
+PINNED_OPS = 5
+
+#: Shared read-pool size; small so leases actually amortize.
+READ_FILES = 64
+
+#: Fraction of ops that are writes (to the client's private file).
+P_WRITE = 0.1
+
+#: Allowed fractional requests/sec drop before the gate fails.  Wider
+#: than the simulator benches: a wall-clock asyncio run on a shared CI
+#: runner is noisier than the deterministic kernel.
+TOLERANCE = 0.40
+
+#: Default artifact path (committed at the repository root).
+BASELINE_PATH = "BENCH_runtime.json"
+
+
+def build_schedule(
+    clients: int,
+    ops: int,
+    seed: int = PINNED_SEED,
+    read_files: int = READ_FILES,
+    p_write: float = P_WRITE,
+) -> list[list[tuple]]:
+    """The pinned workload: per-client op lists, deterministic in ``seed``.
+
+    Each op is ``("read", pool_index)`` or ``("write",)`` — writes always
+    target the issuing client's private file.
+    """
+    rng = random.Random(f"repro.runtime.bench/{seed}")
+    return [
+        [
+            ("write",) if rng.random() < p_write else ("read", rng.randrange(read_files))
+            for _ in range(ops)
+        ]
+        for _ in range(clients)
+    ]
+
+
+def schedule_sha(schedule: list[list[tuple]]) -> str:
+    """SHA-256 over the canonical JSON of the schedule — the mix hash.
+
+    Committed inside the baseline's ``job_mix`` block so a workload
+    change shows up as a mix mismatch (stale baseline) instead of a
+    phantom perf swing, mirroring ``pinned_mix_sha`` for the sim benches.
+    """
+    blob = json.dumps(schedule, separators=(",", ":")).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+async def _run_load(
+    clients: int,
+    ops: int,
+    seed: int,
+    batching: bool,
+    max_batch: int,
+) -> dict:
+    """Build the world, drive the schedule, return the raw metrics."""
+    schedule = build_schedule(clients, ops, seed)
+    hub = InMemoryHub()
+    store = FileStore()
+    store.namespace.mkdir("/bench")
+    for i in range(READ_FILES):
+        store.create_file(f"/bench/shared-{i}", b"s" * 64)
+    read_pool = [store.file_datum(f"/bench/shared-{i}") for i in range(READ_FILES)]
+    own = []
+    for i in range(clients):
+        store.create_file(f"/bench/own-{i}", b"")
+        own.append(store.file_datum(f"/bench/own-{i}"))
+
+    server = LeaseServerNode(
+        hub.endpoint("server"),
+        store,
+        FixedTermPolicy(300.0),
+        config=ServerConfig(epsilon=0.01, announce_period=60.0, sweep_period=600.0),
+    )
+    # Generous timeouts: under full load an op legitimately queues behind
+    # thousands of peers; a retransmission storm would only add noise.
+    client_config = ClientConfig(
+        epsilon=0.01,
+        rpc_timeout=60.0,
+        write_timeout=240.0,
+        batching=batching,
+        max_batch=max_batch,
+    )
+    nodes = [
+        LeaseClientNode(
+            hub.endpoint(f"c{i}"),
+            "server",
+            config=client_config,
+            # Deterministic, disjoint dedup-id spaces (the default is a
+            # random epoch, which would perturb the pinned run).
+            id_base=(i + 1) * 1_000_000,
+        )
+        for i in range(clients)
+    ]
+
+    latencies: list[float] = []
+    failures = 0
+
+    async def do_op(node: LeaseClientNode, op: tuple, own_datum: str) -> None:
+        nonlocal failures
+        start = time.perf_counter()
+        try:
+            if op[0] == "write":
+                await node.write(own_datum, b"w" * 32)
+            else:
+                await node.read(read_pool[op[1]])
+        except ReproError:
+            failures += 1
+        latencies.append((time.perf_counter() - start) * 1000.0)
+
+    async def run_client(i: int, node: LeaseClientNode) -> None:
+        # Submitted concurrently on purpose: ops issued within one loop
+        # instant coalesce into a single BatchRequest frame.
+        await asyncio.gather(*(do_op(node, op, own[i]) for op in schedule[i]))
+
+    start = time.perf_counter()
+    await asyncio.gather(*(run_client(i, n) for i, n in enumerate(nodes)))
+    wall_s = time.perf_counter() - start
+
+    batches_sent = sum(n.engine.pipeline_stats()[0] for n in nodes)
+    batched_ops = sum(n.engine.pipeline_stats()[1] for n in nodes)
+    for node in nodes:
+        await node.close()
+    await server.close()
+
+    latencies.sort()
+    requests = len(latencies)
+
+    def percentile(p: float) -> float:
+        if not latencies:
+            return 0.0
+        return latencies[min(requests - 1, int(p * requests))]
+
+    return {
+        "requests": requests,
+        "failures": failures,
+        "dropped_frames": hub.dropped,
+        "wall_s": wall_s,
+        "requests_per_sec": requests / wall_s if wall_s else 0.0,
+        "p50_ms": percentile(0.50),
+        "p99_ms": percentile(0.99),
+        "batches_sent": batches_sent,
+        "batched_ops": batched_ops,
+    }
+
+
+def run_benchmark(
+    clients: int = PINNED_CLIENTS,
+    ops: int = PINNED_OPS,
+    seed: int = PINNED_SEED,
+    batching: bool = True,
+    max_batch: int = 64,
+) -> dict:
+    """Run the load once; return the ``BENCH_runtime.json`` report::
+
+        {
+          "benchmark": "runtime_load",
+          "job_mix":  {"clients", "ops_per_client", "read_files",
+                       "p_write", "seed", "batching", "max_batch",
+                       "mix_sha"},
+          "metrics":  {"requests", "failures", "dropped_frames",
+                       "wall_s", "requests_per_sec", "p50_ms", "p99_ms",
+                       "batches_sent", "batched_ops"},
+          "machine":  {"cpus", "python", "platform"}   # informational
+        }
+
+    A single timed pass, not best-of-N: the run *is* the steady state
+    (every client active at once), and at the pinned size one pass is
+    already expensive enough for CI.
+    """
+    metrics = asyncio.run(_run_load(clients, ops, seed, batching, max_batch))
+    return {
+        "benchmark": "runtime_load",
+        "job_mix": {
+            "clients": clients,
+            "ops_per_client": ops,
+            "read_files": READ_FILES,
+            "p_write": P_WRITE,
+            "seed": seed,
+            "batching": batching,
+            "max_batch": max_batch,
+            "mix_sha": schedule_sha(build_schedule(clients, ops, seed)),
+        },
+        "metrics": metrics,
+        "machine": machine_block(),
+    }
+
+
+def compare(
+    current: dict, baseline: dict, tolerance: float = TOLERANCE
+) -> BaselineComparison:
+    """Gate a fresh report against the committed ``BENCH_runtime.json``.
+
+    Fails when the job mix changed (stale baseline — re-pin), when any
+    op failed or any frame was dropped (the hub is lossless, so either
+    means the runtime broke under load), or when requests/sec dropped
+    more than ``tolerance``.  Throughput drops are demoted to warnings
+    when the ``machine`` block drifted from the baseline's; the
+    correctness checks still fail hard.
+    """
+    verdict = BaselineComparison()
+    drift = machine_drift(current, baseline)
+    if drift:
+        verdict.warn(
+            f"{drift}: throughput deltas are suspect until the baseline is "
+            "re-pinned on this runner with `python benchmarks/bench_runtime.py "
+            "--pin`"
+        )
+    if current.get("job_mix") != baseline.get("job_mix"):
+        verdict.fail(
+            f"job mix changed (baseline {baseline.get('job_mix')}, "
+            f"current {current.get('job_mix')}): re-pin with "
+            "`python benchmarks/bench_runtime.py --pin`"
+        )
+        return verdict
+    now = current["metrics"]
+    then = baseline["metrics"]
+    if now["failures"] or now["dropped_frames"]:
+        verdict.fail(
+            f"load run not clean: {now['failures']} op failures, "
+            f"{now['dropped_frames']} dropped frames (expected 0/0)"
+        )
+    ratio = now["requests_per_sec"] / then["requests_per_sec"]
+    verdict.ratios["requests_per_sec"] = ratio
+    if ratio < 1.0 - tolerance:
+        message = (
+            f"requests/sec regressed {100 * (1 - ratio):.1f}% "
+            f"({then['requests_per_sec']:.0f} -> "
+            f"{now['requests_per_sec']:.0f}, "
+            f"tolerance {100 * tolerance:.0f}%)"
+        )
+        if drift:
+            verdict.warn(f"{message} — on a drifted machine; re-pin")
+        else:
+            verdict.fail(message)
+    return verdict
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI driver; exit 0 on success, 1 on gate failure or an unclean
+    run (op failures / dropped frames), 2 on usage errors."""
+    parser = argparse.ArgumentParser(
+        prog="bench_runtime",
+        description="Asyncio load benchmark: N concurrent pipelined clients "
+        "against one server over the in-memory hub, with a baseline gate.",
+    )
+    parser.add_argument("--clients", type=int, default=PINNED_CLIENTS,
+                        help=f"concurrent clients (gate requires the "
+                        f"default {PINNED_CLIENTS})")
+    parser.add_argument("--ops", type=int, default=PINNED_OPS,
+                        help="concurrent ops per client "
+                        f"(default {PINNED_OPS})")
+    parser.add_argument("--seed", type=int, default=PINNED_SEED,
+                        help="schedule seed (gate requires the default)")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="run with the request pipeline off "
+                        "(for comparison; not the gated configuration)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the fresh report here")
+    parser.add_argument("--baseline", default=BASELINE_PATH, metavar="PATH",
+                        help=f"committed baseline (default {BASELINE_PATH})")
+    parser.add_argument("--check", action="store_true",
+                        help="compare against the baseline; exit 1 on "
+                        f">{100 * TOLERANCE:.0f}%% requests/sec regression")
+    parser.add_argument("--pin", action="store_true",
+                        help="write the fresh report over the baseline "
+                        "(commit the result)")
+    parser.add_argument("--tolerance", type=float, default=TOLERANCE,
+                        help="allowed fractional requests/sec drop for "
+                        "--check")
+    args = parser.parse_args(argv)
+
+    report = run_benchmark(
+        clients=args.clients,
+        ops=args.ops,
+        seed=args.seed,
+        batching=not args.no_batching,
+    )
+    print(json.dumps(report, indent=2, sort_keys=True))
+
+    if args.out:
+        save_report(report, args.out)
+    if args.pin:
+        save_report(report, args.baseline)
+        print(f"baseline pinned -> {args.baseline}", file=sys.stderr)
+
+    metrics = report["metrics"]
+    if metrics["failures"] or metrics["dropped_frames"]:
+        # Even un-gated (the CI smoke run), a load run that lost or
+        # failed ops is broken — refuse to report success.
+        print(f"LOAD RUN NOT CLEAN: {metrics['failures']} op failures, "
+              f"{metrics['dropped_frames']} dropped frames",
+              file=sys.stderr)
+        return 1
+
+    if args.check:
+        if not os.path.exists(args.baseline):
+            print(f"no baseline at {args.baseline}; pin one with --pin",
+                  file=sys.stderr)
+            return 2
+        verdict = compare(report, load_report(args.baseline),
+                          tolerance=args.tolerance)
+        for metric, ratio in sorted(verdict.ratios.items()):
+            print(f"{metric}: {100 * ratio:.1f}% of baseline",
+                  file=sys.stderr)
+        for line in verdict.warnings:
+            print(f"PERF GATE WARN: {line}", file=sys.stderr)
+        if not verdict.ok:
+            for line in verdict.regressions:
+                print(f"PERF GATE FAIL: {line}", file=sys.stderr)
+            return 1
+        print("perf gate ok", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

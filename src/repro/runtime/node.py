@@ -273,9 +273,17 @@ class LeaseClientNode(_EngineNode):
         op_id, effects = self.engine.read(datum, self.clock.now())
         return await self._submit(op_id, effects)
 
-    async def write(self, datum: DatumId, content: bytes) -> int:
-        """Write a file datum through to the server; returns the version."""
-        op_id, effects = self.engine.write(datum, content, self.clock.now())
+    async def write(
+        self, datum: DatumId, content: bytes, cas: int | None = None
+    ) -> int:
+        """Write a file datum through to the server; returns the version.
+
+        Args:
+            cas: version this write was derived from (from a prior
+                :meth:`read`); the server rejects the write if the datum
+                has since moved past it.
+        """
+        op_id, effects = self.engine.write(datum, content, self.clock.now(), cas=cas)
         return await self._submit(op_id, effects)
 
     async def namespace_op(self, op_name: str, args: tuple) -> Any:

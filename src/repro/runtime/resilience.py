@@ -119,6 +119,26 @@ class FrameQueue:
         self._frames.clear()
         return out
 
+    def requeue(self, frames: list[tuple[bytes, str]]) -> None:
+        """Return drained-but-unsent frames to the head, preserving order.
+
+        The reconnect-flush path drains the queue, writes the frames to
+        the fresh connection, and awaits the flush; if the connection
+        dies mid-flush the whole in-flight window comes back here rather
+        than vanishing.  Frames pushed *during* the flush attempt stay
+        behind the requeued window (FIFO is preserved), and if the
+        combined depth exceeds capacity the usual drop-oldest policy
+        applies — each evicted frame is counted and reported exactly
+        once, by this call: its original :meth:`push` admitted it without
+        dropping, and once evicted it can never be drained again.
+        """
+        self._frames.extendleft(reversed(frames))
+        while len(self._frames) > self.capacity:
+            _, old_kind = self._frames.popleft()
+            self.dropped += 1
+            if self._on_drop is not None:
+                self._on_drop(old_kind)
+
     def clear(self) -> None:
         """Discard the buffered frames without reporting them dropped."""
         self._frames.clear()

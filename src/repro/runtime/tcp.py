@@ -193,10 +193,18 @@ class TcpServerTransport(_ObsMixin):
         queue = self._pending.get(peer)
         if queue is None or not len(queue):
             return
-        for frame, _kind in queue.drain():
-            writer.write(frame)
-        with contextlib.suppress(ConnectionError, OSError):
+        pending = queue.drain()
+        try:
+            for frame, _kind in pending:
+                writer.write(frame)
             await writer.drain()
+        except (ConnectionError, OSError):
+            # The fresh connection died mid-flush.  Previously the drained
+            # window was silently lost here; requeue it for the next
+            # reconnect instead, with any overflow evictions counted
+            # exactly once by requeue().  The read loop observes the
+            # disconnect itself.
+            queue.requeue(pending)
 
     async def send(self, dst: HostId, message: Message) -> None:
         """Send to a client; queues (bounded) while it is disconnected."""
@@ -337,10 +345,24 @@ class TcpClientTransport(_ObsMixin):
 
     async def _open(self, attempt: int) -> None:
         reader, writer = await asyncio.open_connection(self._host, self._port)
-        writer.write(_frame({"hello": self._name}))
-        for frame, _kind in self._queue.drain():
-            writer.write(frame)
-        await writer.drain()
+        pending = self._queue.drain()
+        try:
+            writer.write(_frame({"hello": self._name}))
+            for frame, _kind in pending:
+                writer.write(frame)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            # Connected but died before the parked window flushed: the
+            # whole window goes back to the queue in order (frames sent
+            # while we awaited the drain stay behind it), so a reconnect
+            # deterministically either flushes the in-flight window or
+            # keeps it — it never silently vanishes.  The caller sees the
+            # OSError and transitions to DOWN as usual.
+            self._queue.requeue(pending)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+            raise
         self._reader, self._writer = reader, writer
         self.connects += 1
         self._transition(resilience.UP)

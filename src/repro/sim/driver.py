@@ -293,9 +293,12 @@ class SimClient:
         datum: DatumId,
         content: bytes,
         callback: Callable[[OpResult], None] | None = None,
+        cas: int | None = None,
     ) -> int:
         """Submit a write-through; returns the op id."""
-        op_id, effects = self.engine.write(datum, content, self.host.clock.now())
+        op_id, effects = self.engine.write(
+            datum, content, self.host.clock.now(), cas=cas
+        )
         self._register(op_id, None, callback)
         self._run_effects(effects)
         return op_id

@@ -68,6 +68,39 @@ class TestCompare:
         assert any("deterministic" in r for r in verdict.regressions)
 
 
+class TestMachineDrift:
+    def test_identical_machines_no_drift(self):
+        assert baseline.machine_drift(make_report(), make_report()) is None
+
+    def test_drift_alone_warns_but_passes(self):
+        current = make_report()
+        current["machine"] = dict(current["machine"], platform="other-kernel")
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert verdict.ok
+        assert any("drifted" in w for w in verdict.warnings)
+        assert not verdict.regressions
+
+    def test_drift_demotes_throughput_regression_to_warning(self):
+        current = make_report(serial_eps=100.0, parallel_eps=100.0)
+        current["machine"] = dict(current["machine"], platform="other-kernel")
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert verdict.ok
+        assert any("regressed" in w for w in verdict.warnings)
+        assert any("re-pin" in w for w in verdict.warnings)
+
+    def test_drift_does_not_mask_semantic_failures(self):
+        current = make_report(deterministic=False)
+        current["machine"] = dict(current["machine"], platform="other-kernel")
+        verdict = baseline.compare(current, make_report())
+        assert not verdict.ok
+        assert any("deterministic" in r for r in verdict.regressions)
+
+    def test_same_machine_regression_still_fails(self):
+        current = make_report(serial_eps=100.0)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert not verdict.ok
+
+
 class TestRunBenchmark:
     def test_report_structure_and_consistency(self):
         report = baseline.run_benchmark(workers=2, jobs=4)

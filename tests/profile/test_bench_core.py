@@ -75,6 +75,21 @@ class TestCompare:
         assert any("re-pin" in r for r in verdict.regressions)
         assert verdict.ratios == {}  # metrics not compared on a stale mix
 
+    def test_machine_drift_demotes_regression_to_warning(self):
+        current = make_report(core_eps=100000.0)
+        current["machine"] = dict(current["machine"], platform="other-kernel")
+        verdict = core.compare(current, make_report(), tolerance=0.30)
+        assert verdict.ok
+        assert any("drifted" in w for w in verdict.warnings)
+        assert any("regressed" in w for w in verdict.warnings)
+
+    def test_machine_drift_does_not_mask_event_count_change(self):
+        current = make_report(core_events=83505)
+        current["machine"] = dict(current["machine"], platform="other-kernel")
+        verdict = core.compare(current, make_report())
+        assert not verdict.ok
+        assert any("event count changed" in r for r in verdict.regressions)
+
     def test_workload_missing_from_baseline_fails(self):
         baseline = make_report()
         del baseline["workloads"]["core"]

@@ -1,0 +1,188 @@
+"""Batch-frame codec: round trips, wire compatibility, hostile frames.
+
+The pipeline's ``BatchRequest``/``BatchReply`` are the only messages
+that nest other messages, so they get their own robustness sweep:
+malformed, truncated and oversized frames in both directions, plus the
+compatibility guarantee that a client with batching off (and a server
+answering it) puts bytes on the wire that a pre-pipeline peer decodes
+unchanged.
+"""
+
+import asyncio
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError, RuntimeTransportError
+from repro.protocol.codec import decode_message, encode_message
+from repro.protocol.messages import (
+    BatchReply,
+    BatchRequest,
+    ExtendRequest,
+    NamespaceRequest,
+    ReadReply,
+    ReadRequest,
+    RelinquishRequest,
+    WriteReply,
+    WriteRequest,
+)
+from repro.runtime.tcp import MAX_FRAME, _frame, _read_frame
+from repro.types import DatumId
+
+F = DatumId.file("file:1")
+D = DatumId.directory("dir:/bin")
+
+BATCH_SAMPLES = [
+    BatchRequest(1, (ReadRequest(10, F),)),
+    BatchRequest(
+        2,
+        (
+            ReadRequest(11, F, cached_version=3),
+            WriteRequest(12, F, b"\x00bin\xff", write_seq=4),
+            WriteRequest(13, F, b"x", write_seq=5, cas=7),
+            ExtendRequest(14, ((F, 1), (D, 2))),
+            NamespaceRequest(15, "rename", ("/a", "/b"), write_seq=6),
+            RelinquishRequest((F,)),
+        ),
+    ),
+    BatchReply(1, (ReadReply(10, F, version=1, payload=b"v", term=5.0),)),
+    BatchReply(
+        2,
+        (
+            ReadReply(11, F, version=3, payload=None, term=5.0),
+            WriteReply(12, F, version=4),
+            WriteReply(13, F, version=4, error="cas mismatch: expected 7, datum at 4"),
+        ),
+    ),
+]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg", BATCH_SAMPLES, ids=lambda m: f"{type(m).__name__}-{m.batch_id}")
+    def test_roundtrip_equals(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    @pytest.mark.parametrize("msg", BATCH_SAMPLES, ids=lambda m: f"{type(m).__name__}-{m.batch_id}")
+    def test_roundtrip_survives_json(self, msg):
+        wire = json.loads(json.dumps(encode_message(msg)))
+        assert decode_message(wire) == msg
+
+
+class TestWireCompatibility:
+    """An unbatched peer must not notice this PR happened."""
+
+    #: The exact pre-pipeline encoding of a plain write: no ``cas`` key.
+    LEGACY_WRITE = {
+        "type": "WriteRequest",
+        "req_id": 5,
+        "datum": {"__datum__": ["file", "file:1"]},
+        "content": {"__bytes__": "Y29udGVudA=="},
+        "write_seq": 9,
+    }
+
+    def test_write_without_cas_encodes_to_legacy_format(self):
+        msg = WriteRequest(5, F, b"content", write_seq=9)
+        assert encode_message(msg) == self.LEGACY_WRITE
+
+    def test_legacy_write_frame_decodes(self):
+        msg = decode_message(self.LEGACY_WRITE)
+        assert msg == WriteRequest(5, F, b"content", write_seq=9)
+        assert msg.cas is None
+
+    def test_cas_write_carries_the_guard(self):
+        wire = encode_message(WriteRequest(5, F, b"content", write_seq=9, cas=3))
+        assert wire["cas"] == 3
+        assert decode_message(wire).cas == 3
+
+
+class TestHostileFrames:
+    def test_nested_batch_request_rejected(self):
+        wire = encode_message(BatchRequest(1, (ReadRequest(2, F),)))
+        nested = {"type": "BatchRequest", "batch_id": 9, "ops": [{"__msg__": wire}]}
+        with pytest.raises(ProtocolError):
+            decode_message(nested)
+
+    def test_nested_batch_reply_rejected(self):
+        wire = encode_message(BatchReply(1, ()))
+        nested = {"type": "BatchReply", "batch_id": 9, "replies": [{"__msg__": wire}]}
+        with pytest.raises(ProtocolError):
+            decode_message(nested)
+
+    def test_non_message_batch_member_rejected(self):
+        wire = {"type": "BatchRequest", "batch_id": 1, "ops": [42, "x"]}
+        with pytest.raises(ProtocolError):
+            decode_message(wire)
+
+    def test_deeply_nested_msg_tags_do_not_blow_the_stack(self):
+        """A hostile frame nesting ``__msg__`` thousands deep must come
+        back as ProtocolError, never RecursionError."""
+        wire = encode_message(ReadRequest(1, F))
+        for _ in range(5000):
+            wire = {"type": "BatchRequest", "batch_id": 1, "ops": [{"__msg__": wire}]}
+        with pytest.raises(ProtocolError):
+            decode_message(wire)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        ops=st.lists(
+            st.one_of(
+                st.integers(),
+                st.text(max_size=8),
+                st.dictionaries(st.text(max_size=6), st.integers(), max_size=3),
+            ),
+            max_size=4,
+        )
+    )
+    def test_garbage_members_never_leak_raw_exceptions(self, ops):
+        wire = {"type": "BatchRequest", "batch_id": 1, "ops": ops}
+        try:
+            msg = decode_message(wire)
+        except ProtocolError:
+            return
+        # An empty ops list is the only garbage-free outcome.
+        assert msg == BatchRequest(1, ())
+
+
+def read_frame(data: bytes):
+    """Feed raw bytes to _read_frame through a real StreamReader."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await _read_frame(reader)
+
+    return asyncio.run(go())
+
+
+class TestFraming:
+    def test_batch_survives_length_prefixed_framing(self):
+        msg = BATCH_SAMPLES[1]
+        assert decode_message(read_frame(_frame(encode_message(msg)))) == msg
+
+    def test_truncated_frame_reads_as_eof(self):
+        whole = _frame(encode_message(BATCH_SAMPLES[0]))
+        assert read_frame(whole[: len(whole) // 2]) is None
+        assert read_frame(whole[:2]) is None  # mid-header truncation
+
+    def test_garbage_body_rejected(self):
+        import struct
+
+        body = b"\xff{not json"
+        with pytest.raises(RuntimeTransportError):
+            read_frame(struct.pack(">I", len(body)) + body)
+
+    def test_oversized_length_prefix_rejected(self):
+        import struct
+
+        with pytest.raises(RuntimeTransportError):
+            read_frame(struct.pack(">I", MAX_FRAME + 1) + b"x")
+
+    def test_oversized_outbound_batch_rejected(self):
+        huge = BatchRequest(
+            1, (WriteRequest(2, F, b"a" * (MAX_FRAME + 1), write_seq=1),)
+        )
+        with pytest.raises(RuntimeTransportError):
+            _frame(encode_message(huge))

@@ -83,6 +83,79 @@ class TestFrameQueue:
             FrameQueue(capacity=capacity)
 
 
+class TestFrameQueueRequeue:
+    """The reconnect-flush path: drain, fail to send, requeue.
+
+    Invariants under test: depth never exceeds capacity, FIFO order is
+    preserved across a requeue, and every eviction is counted and
+    reported exactly once — whether it happens at push or at requeue.
+    """
+
+    def test_requeue_restores_fifo_order(self):
+        queue = FrameQueue(capacity=4)
+        for i in range(3):
+            queue.push(bytes([i]), f"k{i}")
+        window = queue.drain()
+        queue.requeue(window)
+        assert queue.drain() == window
+
+    def test_frames_pushed_during_flush_stay_behind_requeued_window(self):
+        queue = FrameQueue(capacity=4)
+        queue.push(b"a", "old0")
+        queue.push(b"b", "old1")
+        window = queue.drain()
+        queue.push(b"c", "new")  # arrives while the flush is in flight
+        queue.requeue(window)
+        assert [kind for _, kind in queue.drain()] == ["old0", "old1", "new"]
+
+    def test_requeue_overflow_evicts_oldest_exactly_once(self):
+        evicted = []
+        queue = FrameQueue(capacity=3, on_drop=evicted.append)
+        for i in range(3):
+            queue.push(bytes([i]), f"old{i}")
+        window = queue.drain()
+        queue.push(b"x", "new0")
+        queue.push(b"y", "new1")
+        queue.requeue(window)  # 5 frames into capacity 3
+        assert len(queue) == 3
+        assert queue.dropped == 2
+        assert evicted == ["old0", "old1"]
+        assert [kind for _, kind in queue.drain()] == ["old2", "new0", "new1"]
+
+    def test_depth_and_counter_invariants_under_sustained_overflow(self):
+        """Conservation law: admitted == drained + dropped + resident,
+        and depth <= capacity at every step, across interleaved push /
+        drain / requeue cycles."""
+        evicted = []
+        queue = FrameQueue(capacity=4, on_drop=evicted.append)
+        admitted = 0
+        drained = 0
+        for round_no in range(5):
+            for i in range(6):  # overflows capacity every round
+                queue.push(bytes([round_no, i]), f"r{round_no}f{i}")
+                admitted += 1
+                assert len(queue) <= queue.capacity
+            window = queue.drain()
+            if round_no % 2 == 0:
+                # Failed flush: everything comes back, plus new arrivals.
+                queue.push(b"z", f"mid{round_no}")
+                admitted += 1
+                queue.requeue(window)
+                assert len(queue) <= queue.capacity
+            else:
+                drained += len(window)
+        drained += len(queue.drain())
+        assert admitted == drained + queue.dropped
+        assert queue.dropped == len(evicted)
+
+    def test_empty_requeue_is_a_noop(self):
+        queue = FrameQueue(capacity=2)
+        queue.push(b"a", "x")
+        queue.requeue([])
+        assert [kind for _, kind in queue.drain()] == ["x"]
+        assert queue.dropped == 0
+
+
 class TestStateMachine:
     def test_every_state_has_a_transition_entry(self):
         states = {
