@@ -1,0 +1,209 @@
+"""Eviction policies for the client datum cache.
+
+The seed cache is pure LRU — fine for the paper's compile trace, wrong
+for skewed production traffic: under a Zipf hot set with a working set
+larger than cache, LRU cycles the long tail through the cache and evicts
+hot keys on every cold-key burst (hit-rate collapse).  The classic
+remedy is a hybrid score that also weighs *frequency*:
+
+    score = 0.6 * log-normalized frequency + 0.4 * decayed recency
+
+with two refinements (both measurably matter at scale):
+
+* **Logarithmic frequency normalization** — ``log(1+f) / log(1+max_f)``
+  over the *current* entries, so one super-popular key cannot collapse
+  every other score to ~0;
+* **Smooth recency decay** — full credit while fresh, a gentle linear
+  ramp to 0.7, then exponential half-life decay, instead of a hard
+  recency cutoff.
+
+Ages are measured in cache *accesses* (ticks), not seconds: the cache
+deliberately has no clock, and tick ages keep eviction deterministic
+under both the simulated kernel and the asyncio runtime.
+
+Lease protection: evicting an entry the client still holds a valid lease
+on is pure waste — the lease entitles the client to free local hits, and
+the next read pays a full refetch round trip anyway.  The policy
+therefore never selects a protected entry while any unprotected entry
+exists.  Capacity stays a hard bound: if *every* entry is protected the
+lowest-scoring one is evicted regardless (counted in
+:attr:`LruLfuPolicy.forced_evictions`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Iterable
+
+from repro.types import DatumId
+
+#: Eviction-policy names understood across configs, scenarios and CLIs.
+EVICTION_KINDS = ("lru", "lru-lfu")
+
+
+def recency_score(
+    age: float,
+    fresh: float = 8.0,
+    mid: float = 64.0,
+    halflife: float = 256.0,
+) -> float:
+    """The smooth recency component: 1.0 while fresh, then decaying.
+
+    * ``age <= fresh`` — 1.0 (just touched);
+    * ``fresh < age <= mid`` — linear ramp from 1.0 down to 0.7;
+    * ``age > mid`` — exponential decay from 0.7 with the given
+      half-life.
+
+    Monotonically non-increasing in ``age`` and continuous at both
+    seams; ages are in cache accesses (ticks).
+    """
+    if age <= fresh:
+        return 1.0
+    if age <= mid:
+        return 1.0 - 0.3 * (age - fresh) / (mid - fresh)
+    return 0.7 * 2.0 ** (-(age - mid) / halflife)
+
+
+def frequency_score(count: int, max_count: int) -> float:
+    """Log-normalized frequency: ``log(1+count) / log(1+max_count)``.
+
+    Monotonically non-decreasing in ``count`` for a fixed ``max_count``;
+    equals 1.0 for the most-accessed entry.
+    """
+    if count < 0:
+        raise ValueError(f"negative access count: {count}")
+    ceiling = max(1, max_count, count)
+    return math.log1p(count) / math.log1p(ceiling)
+
+
+class LruLfuPolicy:
+    """Hybrid LRU+LFU score-based eviction.
+
+    Args:
+        freq_weight: weight of the frequency component (default 0.6).
+        recency_weight: weight of the recency component (default 0.4).
+        fresh: tick age below which recency stays 1.0.
+        mid: tick age where the linear ramp hands over to exponential
+            decay.
+        halflife: exponential-decay half-life in ticks.
+        protected: zero-argument callable returning the datums that must
+            not be evicted while an unprotected candidate exists — the
+            client engine passes its lease set's
+            :meth:`~repro.lease.holder.LeaseSet.held_datums`.
+
+    Attributes:
+        forced_evictions: victims selected while *every* candidate was
+            protected (capacity is a hard bound; see module docstring).
+    """
+
+    def __init__(
+        self,
+        freq_weight: float = 0.6,
+        recency_weight: float = 0.4,
+        fresh: float = 8.0,
+        mid: float = 64.0,
+        halflife: float = 256.0,
+        protected: Callable[[], Iterable[DatumId]] | None = None,
+    ):
+        if freq_weight < 0 or recency_weight < 0 or freq_weight + recency_weight <= 0:
+            raise ValueError(
+                f"weights must be non-negative and sum positive: "
+                f"{freq_weight}, {recency_weight}"
+            )
+        if not 0 < fresh < mid:
+            raise ValueError(f"need 0 < fresh < mid: {fresh}, {mid}")
+        if halflife <= 0:
+            raise ValueError(f"halflife must be positive: {halflife}")
+        self.freq_weight = freq_weight
+        self.recency_weight = recency_weight
+        self.fresh = fresh
+        self.mid = mid
+        self.halflife = halflife
+        self.forced_evictions = 0
+        self._protected = protected
+        self._counts: dict[DatumId, int] = {}
+        self._last: dict[DatumId, int] = {}
+        self._tick = 0
+
+    # -- bookkeeping (driven by FileCache) -------------------------------------
+
+    def touch(self, datum: DatumId) -> None:
+        """Record one access (hit or admission) to ``datum``."""
+        self._tick += 1
+        self._counts[datum] = self._counts.get(datum, 0) + 1
+        self._last[datum] = self._tick
+
+    def forget(self, datum: DatumId) -> None:
+        """Drop all state for an evicted or removed datum."""
+        self._counts.pop(datum, None)
+        self._last.pop(datum, None)
+
+    def clear(self) -> None:
+        """Forget everything (cache cleared on crash)."""
+        self._counts.clear()
+        self._last.clear()
+        self._tick = 0
+
+    def access_count(self, datum: DatumId) -> int:
+        """Accesses recorded for ``datum`` (0 if never touched)."""
+        return self._counts.get(datum, 0)
+
+    def age_of(self, datum: DatumId) -> float:
+        """Ticks since ``datum`` was last touched."""
+        return float(self._tick - self._last.get(datum, 0))
+
+    # -- scoring ---------------------------------------------------------------
+
+    def score(self, datum: DatumId, max_count: int | None = None) -> float:
+        """The entry's retention score — the *lowest* score is evicted."""
+        if max_count is None:
+            max_count = max(self._counts.values(), default=1)
+        freq = frequency_score(self._counts.get(datum, 0), max_count)
+        rec = recency_score(
+            self.age_of(datum), self.fresh, self.mid, self.halflife
+        )
+        return self.freq_weight * freq + self.recency_weight * rec
+
+    def select_victim(self, candidates: Iterable[DatumId]) -> DatumId:
+        """The candidate to evict: lowest score, protected entries last.
+
+        Deterministic: score ties break on the datum's string form, so
+        eviction order is reproducible across runs and worker processes.
+        """
+        pool = list(candidates)
+        if not pool:
+            raise ValueError("no candidates to evict")
+        if self._protected is not None:
+            shielded = set(self._protected())
+            open_pool = [d for d in pool if d not in shielded]
+            if open_pool:
+                pool = open_pool
+            else:
+                self.forced_evictions += 1
+        max_count = max(
+            (self._counts.get(d, 0) for d in pool), default=1
+        )
+        return min(pool, key=lambda d: (self.score(d, max_count), str(d)))
+
+
+def make_policy(
+    eviction: str,
+    protected: Callable[[], Iterable[DatumId]] | None = None,
+) -> LruLfuPolicy | None:
+    """Policy instance for a config string (None = the built-in LRU)."""
+    if eviction == "lru":
+        return None
+    if eviction == "lru-lfu":
+        return LruLfuPolicy(protected=protected)
+    raise ValueError(
+        f"unknown eviction policy {eviction!r} (have: {', '.join(EVICTION_KINDS)})"
+    )
+
+
+__all__ = [
+    "EVICTION_KINDS",
+    "LruLfuPolicy",
+    "frequency_score",
+    "make_policy",
+    "recency_score",
+]

@@ -47,11 +47,17 @@ class CacheStats:
 
 
 class FileCache:
-    """LRU cache of datums, with invalidation floors.
+    """Capacity-bounded cache of datums, with invalidation floors.
 
     The cache stores data only; *usability* of an entry additionally
     requires a valid lease, which the client engine checks against its
     :class:`~repro.lease.holder.LeaseSet`.
+
+    **Eviction** defaults to plain LRU (the seed behaviour, byte-for-byte:
+    the pinned golden digests run through this path).  Passing a
+    :class:`~repro.cache.eviction.LruLfuPolicy` switches victim selection
+    to hybrid score-based eviction for skewed workloads; the policy
+    observes every access via ``touch`` and picks victims on overflow.
 
     **Version floors** are the correctness guard: when the client approves
     a write (invalidating its copy), a floor records the pending version so
@@ -62,10 +68,16 @@ class FileCache:
     invalidated) and are released when the datum is dropped.
     """
 
-    def __init__(self, capacity: int = 4096):
+    def __init__(self, capacity: int = 4096, policy=None):
+        """Args:
+            capacity: maximum resident entries (must be >= 1).
+            policy: optional :class:`~repro.cache.eviction.LruLfuPolicy`;
+                None keeps the built-in LRU victim selection.
+        """
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1: {capacity}")
         self.capacity = capacity
+        self.policy = policy
         self._entries: OrderedDict[DatumId, CacheEntry] = OrderedDict()
         #: datum -> minimum admissible version; never evicted.
         self._floors: dict[DatumId, Version] = {}
@@ -78,6 +90,8 @@ class FileCache:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(datum)
+        if self.policy is not None:
+            self.policy.touch(datum)
         self.stats.hits += 1
         return entry
 
@@ -101,17 +115,30 @@ class FileCache:
             self.stats.stale_rejects += 1
             return False
         entry = self._entries.get(datum)
+        if entry is not None and version < entry.version:
+            self.stats.stale_rejects += 1
+            return False
+        # Admission proves the server reached `version` (its versions are
+        # monotonic), so nothing older is ever admissible again.  Recording
+        # that as the floor makes the guard survive eviction: without it, a
+        # late in-flight reply carrying an older version could re-admit
+        # stale bytes after the newer entry was evicted under capacity
+        # pressure — and a still-valid lease would then serve them as
+        # local hits (found by the stampede adversarial family).
+        if version > self._floors.get(datum, 0):
+            self._floors[datum] = version
         if entry is not None:
-            if version < entry.version:
-                self.stats.stale_rejects += 1
-                return False
             entry.version = version
             entry.payload = payload
             entry.valid = True
             self._entries.move_to_end(datum)
+            if self.policy is not None:
+                self.policy.touch(datum)
             return True
         self._entries[datum] = CacheEntry(datum, version, payload)
-        self._evict()
+        if self.policy is not None:
+            self.policy.touch(datum)
+        self._evict(new=datum)
         return True
 
     def invalidate(self, datum: DatumId, min_version: Version | None = None) -> None:
@@ -156,11 +183,15 @@ class FileCache:
         """Remove an entry and its floor entirely (unlink semantics)."""
         self._entries.pop(datum, None)
         self._floors.pop(datum, None)
+        if self.policy is not None:
+            self.policy.forget(datum)
 
     def clear(self) -> None:
         """Client crash: all volatile cache state is gone."""
         self._entries.clear()
         self._floors.clear()
+        if self.policy is not None:
+            self.policy.clear()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -168,9 +199,28 @@ class FileCache:
     def __contains__(self, datum: DatumId) -> bool:
         return datum in self._entries
 
-    def _evict(self) -> None:
+    def _evict(self, new: DatumId | None = None) -> None:
+        """Evict down to capacity.
+
+        ``new`` is the datum the triggering :meth:`put` just admitted and
+        is exempt from score-based victim selection: under a frequency-
+        weighted policy a cold key scores below every hot resident, so
+        without the exemption the cache evicts the entry it just admitted
+        — ``put`` reports success, the caller's next lookup misses, and a
+        protocol engine refetches in a storm (found by the flash-crowd
+        adversarial workload at capacity 2).  Plain LRU is immune: the
+        newest entry is by construction the last victim.
+        """
         while len(self._entries) > self.capacity:
-            evicted, _ = self._entries.popitem(last=False)
+            if self.policy is None:
+                evicted, _ = self._entries.popitem(last=False)
+            else:
+                pool = self._entries.keys()
+                if new is not None and len(self._entries) > 1:
+                    pool = (d for d in pool if d != new)
+                evicted = self.policy.select_victim(pool)
+                del self._entries[evicted]
+                self.policy.forget(evicted)
             self.stats.evictions += 1
 
 

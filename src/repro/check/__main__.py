@@ -33,12 +33,21 @@ import json
 import sys
 import traceback
 
+import dataclasses
+
+from repro.cache.eviction import EVICTION_KINDS
 from repro.check.explorer import Explorer
-from repro.check.generator import GeneratorConfig
+from repro.check.generator import ADVERSARIAL_KINDS, GeneratorConfig, adversarial_config
 from repro.check.runner import run_scenario
 from repro.check.scenario import Scenario
 from repro.obs.registry import Registry
 from repro.parallel import resolve_workers
+from repro.workload.models import PRESETS, preset
+
+#: ``--workload`` choices: the traffic-model presets plus the adversarial
+#: families (which pick their own grammar, not just a model).  The
+#: ``flash-crowd`` name is in both sets; the adversarial grammar wins.
+WORKLOAD_CHOICES = tuple(sorted(set(PRESETS) | set(ADVERSARIAL_KINDS)))
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -60,6 +69,15 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--batching", action="store_true",
                         help="run clients with the request pipeline on "
                         "(same schedules, batched frames)")
+    parser.add_argument("--workload", choices=WORKLOAD_CHOICES, default=None,
+                        metavar="MODEL",
+                        help="draw op streams from a traffic model "
+                        f"({', '.join(WORKLOAD_CHOICES)}) instead of the "
+                        "legacy uniform grammar; flash-crowd/stampede/herd "
+                        "select the full adversarial grammar")
+    parser.add_argument("--eviction", choices=EVICTION_KINDS, default="lru",
+                        help="client cache eviction policy for generated "
+                        "scenarios (default lru)")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="write repro files + traces of failures here")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -99,12 +117,22 @@ def main(argv: list[str] | None = None) -> int:
     if args.replay is not None:
         return _replay(args.replay, args.quiet)
 
-    if args.mode == "long":
-        config = GeneratorConfig.long(batching=args.batching)
-    else:
-        config = GeneratorConfig.smoke(
-            clock_faults=args.clock_faults, batching=args.batching
+    if args.workload in ADVERSARIAL_KINDS:
+        config = dataclasses.replace(
+            adversarial_config(args.workload, eviction=args.eviction),
+            batching=args.batching,
         )
+    else:
+        if args.mode == "long":
+            config = GeneratorConfig.long(batching=args.batching)
+        else:
+            config = GeneratorConfig.smoke(
+                clock_faults=args.clock_faults, batching=args.batching
+            )
+        if args.workload is not None:
+            config = dataclasses.replace(config, workload=preset(args.workload))
+        if args.eviction != "lru":
+            config = dataclasses.replace(config, eviction=args.eviction)
 
     registry = Registry()
     explorer = Explorer(

@@ -28,6 +28,13 @@ import random
 from dataclasses import dataclass
 
 from repro.check.scenario import Fault, Op, Scenario
+from repro.workload.models import WorkloadSpec, preset, scenario_ops, with_capacity_ratio
+
+#: Adversarial scenario families (:func:`adversarial_config`): a flash
+#: crowd onto one installed file (thundering-herd lease storm), a cache
+#: stampede with the working set far larger than cache, and a flash crowd
+#: timed to hit *during* a server crash/restart window.
+ADVERSARIAL_KINDS = ("flash-crowd", "stampede", "herd")
 
 
 @dataclass(frozen=True)
@@ -58,6 +65,20 @@ class GeneratorConfig:
     #: of the random grammar so the same (base_seed, index) explores the
     #: identical schedule with batching on or off.
     batching: bool = False
+    #: Draw the op stream from this traffic model instead of the legacy
+    #: uniform Poisson grammar (``n_files`` and ``op_rate`` above are then
+    #: ignored — the model owns key popularity and arrival rate).  None
+    #: keeps the legacy grammar byte-for-byte.
+    workload: WorkloadSpec | None = None
+    #: Client cache eviction policy for generated scenarios.
+    eviction: str = "lru"
+    #: Client cache capacity; shrink below the workload's ``n_files`` to
+    #: put the cache under stampede-grade capacity pressure.
+    cache_capacity: int = 4096
+    #: Time the server crash window to start *inside* the workload's
+    #: flash-crowd window (requires a flash workload and a server crash
+    #: being rolled) — the herd-during-restart family.
+    crash_in_flash: bool = False
 
     @classmethod
     def smoke(
@@ -105,12 +126,26 @@ class ScenarioGenerator:
         cfg = self.config
         rng = random.Random(f"repro.check/{self.base_seed}/{index}")
         n_clients = rng.randint(*cfg.n_clients)
-        n_files = rng.randint(*cfg.n_files)
-        duration = rng.uniform(*cfg.duration)
-        term = rng.choice(cfg.terms)
-        op_rate = rng.uniform(*cfg.op_rate)
-
-        ops = self._sample_ops(rng, n_clients, n_files, duration, op_rate, cfg.p_write)
+        if cfg.workload is None:
+            # The legacy grammar — RNG draw order is frozen so existing
+            # (base_seed, index) pairs keep their exact schedules.
+            n_files = rng.randint(*cfg.n_files)
+            duration = rng.uniform(*cfg.duration)
+            term = rng.choice(cfg.terms)
+            op_rate = rng.uniform(*cfg.op_rate)
+            ops = self._sample_ops(
+                rng, n_clients, n_files, duration, op_rate, cfg.p_write
+            )
+        else:
+            n_files = cfg.workload.n_files
+            duration = rng.uniform(*cfg.duration)
+            term = rng.choice(cfg.terms)
+            ops = [
+                Op(at=at, client=client, kind=kind, file=file)
+                for at, client, kind, file in scenario_ops(
+                    cfg.workload, n_clients, duration, rng.getrandbits(32)
+                )
+            ]
         faults = self._sample_faults(rng, n_clients, duration)
 
         scenario = Scenario(
@@ -124,6 +159,9 @@ class ScenarioGenerator:
             loss_rate=rng.choice(cfg.loss_rates),
             duplicate_rate=rng.choice(cfg.duplicate_rates),
             batching=cfg.batching,
+            cache_capacity=cfg.cache_capacity,
+            eviction=cfg.eviction,
+            workload=cfg.workload,
             ops=tuple(ops),
             faults=tuple(faults),
         )
@@ -172,7 +210,17 @@ class ScenarioGenerator:
             )
         if rng.random() < cfg.p_server_crash:
             window = rng.uniform(1.0, 3.0)
-            start = rng.uniform(5.0, max(5.5, duration - window - 1.0))
+            workload = cfg.workload
+            if cfg.crash_in_flash and workload is not None and workload.has_flash:
+                # Herd-during-restart: the crash opens inside the flash
+                # window, so the whole crowd's lease storm lands on a dead
+                # (then freshly restarted, lease-table-empty) server.
+                flash_start = workload.flash_at * duration
+                flash_end = min(duration, flash_start + workload.flash_width * duration)
+                hi = max(flash_start + 0.1, min(flash_end, duration - window - 1.0))
+                start = rng.uniform(flash_start, hi)
+            else:
+                start = rng.uniform(5.0, max(5.5, duration - window - 1.0))
             faults.append(Fault("crash", at=start, host="server", duration=window))
         if rng.random() < cfg.p_loss_window:
             window = rng.uniform(2.0, 6.0)
@@ -203,6 +251,66 @@ class ScenarioGenerator:
         magnitude = rng.uniform(0.2, 0.6)
         sign = 1.0 if (dangerous == (host == "server")) else -1.0
         return Fault("clock_drift", at=at, host=host, drift=sign * magnitude)
+
+
+def adversarial_config(kind: str, eviction: str = "lru") -> GeneratorConfig:
+    """The grammar config for one adversarial scenario family.
+
+    All three families run with every oracle on; none of them carries a
+    clock fault, so *any* violation is a real finding, never expected
+    class.
+
+    * ``flash-crowd`` — every client stampedes one installed file
+      mid-run (the thundering-herd lease storm), with background Zipf
+      traffic and the usual crash/partition/loss noise around it;
+    * ``stampede`` — a Zipf working set six times the client cache, so
+      every cold-key burst forces evictions while leases are in flight;
+    * ``herd`` — the flash crowd again, but with a guaranteed server
+      crash window opening *inside* the flash, so the whole herd's lease
+      storm lands on a restarting, lease-table-empty server.
+
+    Args:
+        kind: one of :data:`ADVERSARIAL_KINDS`.
+        eviction: cache policy for the generated scenarios (the sweep
+            runs each family under both, ``lru`` and ``lru-lfu``).
+    """
+    if kind == "flash-crowd":
+        return GeneratorConfig(
+            n_clients=(3, 6),
+            duration=(12.0, 20.0),
+            max_client_crashes=1,
+            max_partitions=1,
+            p_server_crash=0.0,
+            workload=preset("flash-crowd"),
+            eviction=eviction,
+        )
+    if kind == "stampede":
+        spec = preset("zipf")
+        return GeneratorConfig(
+            n_clients=(3, 6),
+            duration=(15.0, 25.0),
+            max_client_crashes=1,
+            max_partitions=1,
+            p_server_crash=0.2,
+            workload=spec,
+            eviction=eviction,
+            cache_capacity=with_capacity_ratio(spec, 6.0),
+        )
+    if kind == "herd":
+        return GeneratorConfig(
+            n_clients=(3, 6),
+            duration=(20.0, 30.0),
+            max_client_crashes=0,
+            max_partitions=0,
+            p_server_crash=1.0,
+            p_loss_window=0.0,
+            workload=preset("flash-crowd"),
+            eviction=eviction,
+            crash_in_flash=True,
+        )
+    raise ValueError(
+        f"unknown adversarial kind {kind!r} (have: {', '.join(ADVERSARIAL_KINDS)})"
+    )
 
 
 def stress_scenario(

@@ -134,6 +134,8 @@ def build_scenario_cluster(scenario: Scenario, obs=None, policy: TermPolicy | No
             write_timeout=scenario.write_timeout,
             max_retries=scenario.max_retries,
             batching=scenario.batching,
+            cache_capacity=scenario.cache_capacity,
+            eviction=scenario.eviction,
         ),
         seed=scenario.seed,
         strict_oracle=False,

@@ -21,6 +21,10 @@ import json
 from dataclasses import dataclass
 from typing import IO, Iterable
 
+from repro.cache.eviction import EVICTION_KINDS
+from repro.errors import ScenarioError
+from repro.workload.models import WorkloadSpec
+
 #: Serialization format version, embedded in every scenario file.
 FORMAT_VERSION = 1
 
@@ -164,6 +168,17 @@ class Scenario:
             submitted at the same instant ship as BatchRequest frames.
             Serialized only when True, so legacy scenario digests (and the
             pinned benchmark mix hashes built from them) are unchanged.
+        cache_capacity: client datum-cache capacity.  The default (4096)
+            is effectively unbounded for scenario-sized runs; stampede
+            scenarios shrink it below the working set.  Pruned at the
+            default for digest stability.
+        eviction: client cache eviction policy, one of
+            :data:`~repro.cache.eviction.EVICTION_KINDS`.  Pruned at
+            ``"lru"`` (the seed behaviour).
+        workload: the :class:`~repro.workload.models.WorkloadSpec` that
+            *generated* ``ops``, carried for provenance and reporting.
+            The ops stream stays materialized — replay and shrinking never
+            need the model.  Pruned when None.
         may_violate: True when the schedule contains a dangerous §5 clock
             fault, so oracle violations are *possible* (expected-class)
             rather than harness failures.
@@ -184,6 +199,9 @@ class Scenario:
     write_timeout: float = 2.0
     max_retries: int = 40
     batching: bool = False
+    cache_capacity: int = 4096
+    eviction: str = "lru"
+    workload: WorkloadSpec | None = None
     may_violate: bool = False
     ops: tuple[Op, ...] = ()
     faults: tuple[Fault, ...] = ()
@@ -253,14 +271,24 @@ class Scenario:
                 raise ValueError(f"{fault.kind} fault needs a host")
             if fault.kind == "loss" and not 0.0 <= fault.rate <= 1.0:
                 raise ValueError(f"loss rate out of range: {fault.rate}")
+        if self.cache_capacity < 1:
+            raise ValueError(f"cache_capacity must be >= 1: {self.cache_capacity}")
+        if self.eviction not in EVICTION_KINDS:
+            raise ValueError(
+                f"unknown eviction policy {self.eviction!r} "
+                f"(have: {', '.join(EVICTION_KINDS)})"
+            )
+        if self.workload is not None:
+            self.workload.validate()
 
     # -- serialization ---------------------------------------------------------
 
     def to_json(self) -> dict:
         """Plain-data form of the whole scenario.
 
-        ``batching`` is pruned at its default (like Fault's optional
-        fields) so pre-pipeline scenarios keep their digests.
+        ``batching``, ``cache_capacity``, ``eviction`` and ``workload``
+        are pruned at their defaults (like Fault's optional fields) so
+        pre-existing scenarios keep their digests.
         """
         data = {
             "format": FORMAT_VERSION,
@@ -282,6 +310,12 @@ class Scenario:
         }
         if self.batching:
             data["batching"] = True
+        if self.cache_capacity != 4096:
+            data["cache_capacity"] = self.cache_capacity
+        if self.eviction != "lru":
+            data["eviction"] = self.eviction
+        if self.workload is not None:
+            data["workload"] = self.workload.to_json()
         return data
 
     @classmethod
@@ -294,6 +328,14 @@ class Scenario:
         version = int(data.get("format", FORMAT_VERSION))
         if version > FORMAT_VERSION:
             raise ValueError(f"scenario format {version} is newer than supported {FORMAT_VERSION}")
+        workload_data = data.get("workload")
+        workload = None
+        if workload_data is not None:
+            if not isinstance(workload_data, dict):
+                raise ScenarioError(
+                    f"workload must be an object, got {type(workload_data).__name__}"
+                )
+            workload = WorkloadSpec.from_json(workload_data)
         scenario = cls(
             name=str(data.get("name", "scenario")),
             seed=int(data.get("seed", 0)),
@@ -308,6 +350,9 @@ class Scenario:
             write_timeout=float(data.get("write_timeout", 2.0)),
             max_retries=int(data.get("max_retries", 40)),
             batching=bool(data.get("batching", False)),
+            cache_capacity=int(data.get("cache_capacity", 4096)),
+            eviction=str(data.get("eviction", "lru")),
+            workload=workload,
             may_violate=bool(data.get("may_violate", False)),
             ops=tuple(Op.from_json(o) for o in data.get("ops", ())),
             faults=tuple(Fault.from_json(f) for f in data.get("faults", ())),

@@ -60,6 +60,16 @@ class NotADirectoryError_(StorageError):
     """A path component that must be a directory is a plain file."""
 
 
+class ScenarioError(ReproError):
+    """A scenario or workload description is malformed.
+
+    Raised when parsing replay artifacts (scenario JSON, workload specs)
+    encounters fields the code does not understand.  Unknown fields are
+    rejected rather than dropped: a replay that silently ignored part of
+    its description would not reproduce the run the artifact records.
+    """
+
+
 class SimulationError(ReproError):
     """Base class for discrete-event simulation errors."""
 

@@ -17,6 +17,7 @@ from repro.experiments import (
     scaling,
     table2,
     unix_variant,
+    workload_curves,
 )
 
 
@@ -55,6 +56,10 @@ def main(argv: list[str]) -> int:
         print(unix_variant.render(unix_variant.run(duration=duration)))
         print()
         print(ablations.render())
+        print()
+        print(workload_curves.render(
+            workload_curves.run(workers=args.workers)
+        ))
         print()
         sweep = figure1.validate_sweep(
             terms=(0.0, 10.0), workers=args.workers

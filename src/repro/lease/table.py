@@ -346,7 +346,15 @@ class LeaseTable:
         return len(dead)
 
     def _on_holder_gone(self, datum: DatumId, holder: HostId) -> None:
-        """A released lease no longer blocks a pending write."""
-        write = self.head_write(datum)
-        if write is not None:
+        """A released lease no longer blocks any pending write.
+
+        Every *queued* write snapshots its awaited holders at
+        ``begin_write``, so the release must be swept through the whole
+        queue, not just the head — otherwise a write that reaches the
+        head after the release keeps waiting for the vanished lease's
+        original expiry (found by the stateful property tests: grant,
+        queue two writes, release, commit the first — the second write
+        reported not-ready with no live holder left).
+        """
+        for write in self._pending.get(datum, ()):
             write.awaiting.discard(holder)

@@ -30,6 +30,7 @@ from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.cache.eviction import make_policy
 from repro.cache.filecache import FileCache, TempFileStore
 from repro.clock.sync import safe_local_expiry
 from repro.errors import ReproError
@@ -84,6 +85,12 @@ class ClientConfig:
         anticipatory: renew leases before they expire (§4).
         anticipate_margin: how long before expiry the anticipatory renewal
             fires, and the period of its timer.
+        cache_capacity: maximum resident cache entries.
+        eviction: victim-selection policy — ``"lru"`` (the default; byte-
+            identical to the seed behaviour) or ``"lru-lfu"`` (hybrid
+            score-based eviction, :mod:`repro.cache.eviction`).  With
+            ``"lru-lfu"`` the policy is wired to the engine's lease set
+            so lease-held entries are shielded from eviction.
     """
 
     epsilon: float = 0.1
@@ -98,6 +105,7 @@ class ClientConfig:
     anticipatory: bool = False
     anticipate_margin: float = 2.0
     cache_capacity: int = 4096
+    eviction: str = "lru"
 
 
 @dataclass
@@ -163,8 +171,11 @@ class ClientEngine:
         self.server = server
         self.config = config or ClientConfig()
         self.obs = obs or NULL_BUS
-        self.cache = FileCache(capacity=self.config.cache_capacity)
         self.leases = LeaseSet()
+        self.cache = FileCache(
+            capacity=self.config.cache_capacity,
+            policy=make_policy(self.config.eviction, protected=self.leases.held_datums),
+        )
         self.temp = TempFileStore()
         self.metrics = ClientMetrics()
         self._ops: dict[int, _OpCtx] = {}
@@ -240,7 +251,11 @@ class ClientEngine:
         # and granting approval invalidates the local copy (§2).  Without
         # this, the window between the server-side commit and the arrival of
         # the WriteReply would serve the pre-write value from our own cache.
+        # The raise is recorded like any approval's: if this write never
+        # commits (crash-era retry confusion, cas loss), the floor it
+        # prophesied must be provably lowerable or reads livelock.
         self.cache.invalidate(datum)
+        self._floor_raised_at[datum] = now
         msg = WriteRequest(
             self._next_req, datum, content, write_seq=self._next_write_seq, cas=cas
         )
@@ -529,8 +544,11 @@ class ClientEngine:
             # serialize per datum).  Caching them would let a valid lease
             # serve the old version as a local hit once the newer write
             # commits — raise the floor instead; the newer reply (or a
-            # refetch) will repopulate the cache.
+            # refetch) will repopulate the cache.  Recorded as a raise so
+            # the floor can be proven dead if that newer write never
+            # commits (see _floor_write_aborted).
             self.cache.invalidate(msg.datum, min_version=msg.version + 1)
+            self._floor_raised_at[msg.datum] = now
         else:
             # Writes and write-back flushes both carry the committed bytes.
             self.cache.put(msg.datum, msg.version, req.message.content)

@@ -57,6 +57,7 @@ from repro.protocol.server import ServerConfig
 from repro.runtime.node import LeaseClientNode, LeaseServerNode
 from repro.runtime.transport import InMemoryHub
 from repro.storage.store import FileStore
+from repro.workload.models import PRESETS, bench_schedule, preset
 
 #: Seed namespace of the pinned schedule (the paper's publication year).
 PINNED_SEED = 1989
@@ -104,6 +105,23 @@ def build_schedule(
     ]
 
 
+def _schedule_for(
+    workload: str | None, clients: int, ops: int, seed: int
+) -> tuple[list[list[tuple]], int]:
+    """``(schedule, read_pool_size)`` — pinned or traffic-model workload.
+
+    ``workload=None`` is the gated configuration and stays byte-identical
+    to the committed ``mix_sha``; a named
+    :data:`~repro.workload.models.PRESETS` model reshapes the read pool
+    (Zipf/Pareto skew, flash crowds) via
+    :func:`~repro.workload.models.bench_schedule`, for ungated A/B runs.
+    """
+    if workload is None:
+        return build_schedule(clients, ops, seed), READ_FILES
+    spec = preset(workload)
+    return bench_schedule(spec, clients, ops, seed), spec.n_files
+
+
 def schedule_sha(schedule: list[list[tuple]]) -> str:
     """SHA-256 over the canonical JSON of the schedule — the mix hash.
 
@@ -121,15 +139,16 @@ async def _run_load(
     seed: int,
     batching: bool,
     max_batch: int,
+    workload: str | None = None,
 ) -> dict:
     """Build the world, drive the schedule, return the raw metrics."""
-    schedule = build_schedule(clients, ops, seed)
+    schedule, read_files = _schedule_for(workload, clients, ops, seed)
     hub = InMemoryHub()
     store = FileStore()
     store.namespace.mkdir("/bench")
-    for i in range(READ_FILES):
+    for i in range(read_files):
         store.create_file(f"/bench/shared-{i}", b"s" * 64)
-    read_pool = [store.file_datum(f"/bench/shared-{i}") for i in range(READ_FILES)]
+    read_pool = [store.file_datum(f"/bench/shared-{i}") for i in range(read_files)]
     own = []
     for i in range(clients):
         store.create_file(f"/bench/own-{i}", b"")
@@ -219,6 +238,7 @@ def run_benchmark(
     seed: int = PINNED_SEED,
     batching: bool = True,
     max_batch: int = 64,
+    workload: str | None = None,
 ) -> dict:
     """Run the load once; return the ``BENCH_runtime.json`` report::
 
@@ -236,20 +256,31 @@ def run_benchmark(
     A single timed pass, not best-of-N: the run *is* the steady state
     (every client active at once), and at the pinned size one pass is
     already expensive enough for CI.
+
+    ``workload`` swaps the pinned schedule for a named traffic model;
+    the ``job_mix`` block then carries a ``workload`` key (absent in the
+    default, so the committed baseline's mix hash is untouched) and the
+    result is for A/B comparison, not the gate.
     """
-    metrics = asyncio.run(_run_load(clients, ops, seed, batching, max_batch))
+    metrics = asyncio.run(
+        _run_load(clients, ops, seed, batching, max_batch, workload)
+    )
+    schedule, read_files = _schedule_for(workload, clients, ops, seed)
+    job_mix = {
+        "clients": clients,
+        "ops_per_client": ops,
+        "read_files": read_files,
+        "p_write": P_WRITE,
+        "seed": seed,
+        "batching": batching,
+        "max_batch": max_batch,
+        "mix_sha": schedule_sha(schedule),
+    }
+    if workload is not None:
+        job_mix["workload"] = workload
     return {
         "benchmark": "runtime_load",
-        "job_mix": {
-            "clients": clients,
-            "ops_per_client": ops,
-            "read_files": READ_FILES,
-            "p_write": P_WRITE,
-            "seed": seed,
-            "batching": batching,
-            "max_batch": max_batch,
-            "mix_sha": schedule_sha(build_schedule(clients, ops, seed)),
-        },
+        "job_mix": job_mix,
         "metrics": metrics,
         "machine": machine_block(),
     }
@@ -324,6 +355,12 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-batching", action="store_true",
                         help="run with the request pipeline off "
                         "(for comparison; not the gated configuration)")
+    parser.add_argument("--workload", default=None, metavar="MODEL",
+                        choices=sorted(PRESETS),
+                        help="drive a traffic-model schedule "
+                        f"({', '.join(sorted(PRESETS))}) instead of the "
+                        "pinned mix (for comparison; not the gated "
+                        "configuration)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the fresh report here")
     parser.add_argument("--baseline", default=BASELINE_PATH, metavar="PATH",
@@ -344,6 +381,7 @@ def main(argv: list[str] | None = None) -> int:
         ops=args.ops,
         seed=args.seed,
         batching=not args.no_batching,
+        workload=args.workload,
     )
     print(json.dumps(report, indent=2, sort_keys=True))
 

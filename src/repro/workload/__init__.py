@@ -10,9 +10,24 @@
 * :mod:`repro.workload.tracesim` — a fast trace-driven cache/lease
   simulator producing the *Trace* curve of Figure 1 without the full
   discrete-event stack.
+* :mod:`repro.workload.models` — production-shaped traffic models
+  (Zipf/Pareto popularity, diurnal swings, flash crowds, read/write mix
+  shifts) behind one :class:`~repro.workload.models.WorkloadSpec` that
+  drives the scenario grammar, the trace simulator, the asyncio load
+  harness and the experiment grids.
 """
 
 from repro.workload.events import TraceRecord, load_trace, save_trace, trace_stats
+from repro.workload.models import (
+    PRESETS,
+    WorkloadSpec,
+    bench_schedule,
+    generate_trace,
+    preset,
+    sample_events,
+    scenario_ops,
+    with_capacity_ratio,
+)
 from repro.workload.poisson import PoissonWorkload, SharingGroup
 from repro.workload.tracesim import TraceSimResult, simulate_trace
 from repro.workload.vtrace import VTraceConfig, generate_v_trace
@@ -28,4 +43,12 @@ __all__ = [
     "generate_v_trace",
     "simulate_trace",
     "TraceSimResult",
+    "PRESETS",
+    "WorkloadSpec",
+    "bench_schedule",
+    "generate_trace",
+    "preset",
+    "sample_events",
+    "scenario_ops",
+    "with_capacity_ratio",
 ]

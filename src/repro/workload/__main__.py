@@ -5,6 +5,7 @@ Usage::
     python -m repro.workload v --duration 3600 --out trace.txt
     python -m repro.workload poisson --clients 8 --sharing 2 --out p.txt
     python -m repro.workload unix --duration 1800 --out u.txt
+    python -m repro.workload model --preset flash-crowd --out f.txt
     python -m repro.workload stats trace.txt
 """
 
@@ -14,6 +15,7 @@ import argparse
 import sys
 
 from repro.workload.events import load_trace, save_trace, trace_stats
+from repro.workload.models import PRESETS, generate_trace, preset
 from repro.workload.poisson import PoissonWorkload
 from repro.workload.unixtrace import UnixTraceConfig, generate_unix_trace
 from repro.workload.vtrace import VTraceConfig, generate_v_trace
@@ -43,6 +45,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--out", default="-")
 
+    p = sub.add_parser("model", help="production-shaped traffic model (repro.workload.models)")
+    p.add_argument(
+        "--preset", default="zipf", choices=sorted(PRESETS), help="named WorkloadSpec"
+    )
+    p.add_argument("--clients", type=int, default=8)
+    p.add_argument("--duration", type=float, default=120.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--out", default="-")
+
     p = sub.add_parser("stats", help="measure a saved trace (the Table 2 view)")
     p.add_argument("path")
     return parser
@@ -64,6 +75,10 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "v":
         records = generate_v_trace(VTraceConfig(duration=args.duration, seed=args.seed))
+    elif args.command == "model":
+        records = generate_trace(
+            preset(args.preset), args.clients, args.duration, seed=args.seed
+        )
     elif args.command == "unix":
         records = generate_unix_trace(
             UnixTraceConfig(

@@ -1,11 +1,14 @@
 """Stateful property testing of the FileCache against a reference model.
 
 The safety property (single-copy consistency depends on it): once an
-invalidation establishes a version floor, **no payload below the floor is
-ever admitted or served again**, across any interleaving of puts, gets,
-invalidations, drops and LRU evictions.  (An earlier design kept floors on
-tombstone entries inside the LRU; this machine caught eviction discarding
-them — floors now live outside the LRU.)
+invalidation *or a successful admission* establishes a version floor,
+**no payload below the floor is ever admitted or served again**, across
+any interleaving of puts, gets, invalidations, drops and LRU evictions.
+(An earlier design kept floors on tombstone entries inside the LRU; this
+machine caught eviction discarding them — floors now live outside the
+LRU.  Admissions raise the floor too: the stampede adversarial family
+caught a late stale reply re-admitting an older version after the newer
+entry was evicted.)
 """
 
 from hypothesis import settings
@@ -34,6 +37,10 @@ class CacheMachine(RuleBasedStateMachine):
         )
         admitted = self.cache.put(datum, version, payload)
         assert admitted == expect, (datum, version, before, self.floors)
+        if admitted:
+            # Admission proves the server reached `version`: the floor
+            # rises so eviction cannot reopen the door to older bytes.
+            self.floors[datum] = max(self.floors.get(datum, 0), version)
 
     @rule(datum=st.sampled_from(DATUMS))
     def get(self, datum):

@@ -1,0 +1,244 @@
+"""Unit tests for the hybrid LRU+LFU eviction policy and its cache wiring."""
+
+import pytest
+
+from repro.cache import FileCache
+from repro.cache.eviction import (
+    EVICTION_KINDS,
+    LruLfuPolicy,
+    frequency_score,
+    make_policy,
+    recency_score,
+)
+from repro.types import DatumId
+
+F1 = DatumId.file("f1")
+F2 = DatumId.file("f2")
+F3 = DatumId.file("f3")
+
+
+class TestRecencyScore:
+    def test_fresh_entries_score_full(self):
+        assert recency_score(0.0) == 1.0
+        assert recency_score(8.0) == 1.0
+
+    def test_linear_ramp_reaches_seven_tenths_at_mid(self):
+        assert recency_score(64.0) == pytest.approx(0.7)
+        assert recency_score(36.0) == pytest.approx(0.85)
+
+    def test_exponential_halflife_beyond_mid(self):
+        assert recency_score(64.0 + 256.0) == pytest.approx(0.35)
+        assert recency_score(64.0 + 512.0) == pytest.approx(0.175)
+
+    def test_continuous_at_both_seams(self):
+        eps = 1e-9
+        assert recency_score(8.0 - eps) == pytest.approx(recency_score(8.0 + eps))
+        assert recency_score(64.0 - eps) == pytest.approx(recency_score(64.0 + eps))
+
+    def test_monotone_non_increasing(self):
+        ages = [0.0, 4.0, 8.0, 9.0, 32.0, 64.0, 65.0, 300.0, 1000.0]
+        scores = [recency_score(a) for a in ages]
+        assert all(a >= b for a, b in zip(scores, scores[1:]))
+
+
+class TestFrequencyScore:
+    def test_most_frequent_scores_one(self):
+        assert frequency_score(5, 5) == pytest.approx(1.0)
+
+    def test_zero_count_scores_zero(self):
+        assert frequency_score(0, 10) == 0.0
+
+    def test_monotone_in_count(self):
+        scores = [frequency_score(c, 100) for c in range(0, 101, 10)]
+        assert all(a < b for a, b in zip(scores, scores[1:]))
+
+    def test_count_above_ceiling_is_clamped_not_explosive(self):
+        # Callers pass the max over the *pool*; a non-pool count above it
+        # must still stay sane (<= ratio of logs), not raise.
+        assert frequency_score(10, 5) == pytest.approx(1.0, abs=0.35)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            frequency_score(-1, 5)
+
+
+class TestLruLfuPolicy:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            LruLfuPolicy(freq_weight=-0.1)
+        with pytest.raises(ValueError):
+            LruLfuPolicy(freq_weight=0.0, recency_weight=0.0)
+        with pytest.raises(ValueError):
+            LruLfuPolicy(fresh=10.0, mid=5.0)
+        with pytest.raises(ValueError):
+            LruLfuPolicy(halflife=0.0)
+
+    def test_touch_records_counts_and_ages(self):
+        policy = LruLfuPolicy()
+        policy.touch(F1)
+        policy.touch(F2)
+        policy.touch(F1)
+        assert policy.access_count(F1) == 2
+        assert policy.access_count(F2) == 1
+        assert policy.age_of(F1) == 0.0
+        assert policy.age_of(F2) == 1.0
+
+    def test_forget_drops_state(self):
+        policy = LruLfuPolicy()
+        policy.touch(F1)
+        policy.forget(F1)
+        assert policy.access_count(F1) == 0
+
+    def test_clear_resets_ticks(self):
+        policy = LruLfuPolicy()
+        for _ in range(5):
+            policy.touch(F1)
+        policy.clear()
+        assert policy.access_count(F1) == 0
+        policy.touch(F2)
+        assert policy.age_of(F2) == 0.0
+
+    def test_victim_is_least_valuable(self):
+        policy = LruLfuPolicy()
+        for _ in range(10):
+            policy.touch(F1)  # hot
+        policy.touch(F2)  # cold, recent
+        assert policy.select_victim([F1, F2]) == F2
+
+    def test_ties_break_on_datum_string(self):
+        policy = LruLfuPolicy()
+        # Neither touched: identical scores, deterministic order.
+        assert policy.select_victim([F2, F1]) == F1
+        assert policy.select_victim([F1, F2]) == F1
+
+    def test_no_candidates_rejected(self):
+        with pytest.raises(ValueError):
+            LruLfuPolicy().select_victim([])
+
+    def test_protected_entries_evicted_last(self):
+        policy = LruLfuPolicy(protected=lambda: {F2})
+        for _ in range(10):
+            policy.touch(F2)  # hot AND lease-held
+        policy.touch(F1)
+        # F1 scores lower anyway, but make the shield the deciding factor:
+        policy_shielded = LruLfuPolicy(protected=lambda: {F1})
+        for _ in range(10):
+            policy_shielded.touch(F2)
+        policy_shielded.touch(F1)
+        # F1 (cold) is protected, so hot F2 is the victim.
+        assert policy_shielded.select_victim([F1, F2]) == F2
+        assert policy_shielded.forced_evictions == 0
+
+    def test_all_protected_forces_lowest_score(self):
+        policy = LruLfuPolicy(protected=lambda: {F1, F2})
+        for _ in range(10):
+            policy.touch(F1)
+        policy.touch(F2)
+        assert policy.select_victim([F1, F2]) == F2
+        assert policy.forced_evictions == 1
+
+
+class TestMakePolicy:
+    def test_lru_means_no_policy(self):
+        assert make_policy("lru") is None
+
+    def test_lru_lfu_builds_policy(self):
+        assert isinstance(make_policy("lru-lfu"), LruLfuPolicy)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown eviction policy"):
+            make_policy("clock")
+
+    def test_kinds_constant_covers_factory(self):
+        for kind in EVICTION_KINDS:
+            make_policy(kind)  # must not raise
+
+
+class TestFileCacheWithPolicy:
+    def test_capacity_is_a_hard_bound(self):
+        cache = FileCache(capacity=2, policy=LruLfuPolicy())
+        for i in range(6):
+            cache.put(DatumId.file(f"f{i}"), 1, b"x")
+        assert len(cache) == 2
+        assert cache.stats.evictions == 4
+
+    def test_hot_entry_survives_cold_burst(self):
+        """The reason the policy exists: LRU would evict the hot key."""
+        cache = FileCache(capacity=2, policy=LruLfuPolicy())
+        cache.put(F1, 1, b"hot")
+        for _ in range(20):
+            cache.get(F1)
+        cache.put(F2, 1, b"warm")
+        cache.put(F3, 1, b"cold")  # overflow: victim should be warm F2
+        assert cache.peek(F1) is not None
+        assert cache.peek(F3) is not None
+        assert cache.peek(F2) is None
+
+    def test_lru_baseline_evicts_hot_on_cold_burst(self):
+        """Contrast case: plain LRU evicts in insertion/recency order."""
+        cache = FileCache(capacity=2)
+        cache.put(F1, 1, b"hot")
+        for _ in range(20):
+            cache.get(F1)
+        cache.put(F2, 1, b"warm")
+        cache.put(F3, 1, b"cold")
+        # 20 hits bought F1 nothing: two colder admissions push it out.
+        assert cache.peek(F1) is None
+        assert cache.peek(F2) is not None
+        assert cache.peek(F3) is not None
+
+    def test_self_eviction_regression(self):
+        """A successful put must leave the new entry resident.
+
+        Regression for the flash-crowd refetch storm: score-based victim
+        selection used to pick the just-admitted cold datum, so put()
+        returned True while the entry was already gone — the engine's
+        put-then-peek went to a refetch loop.
+        """
+        cache = FileCache(capacity=2, policy=LruLfuPolicy())
+        cache.put(F1, 1, b"hot")
+        for _ in range(50):
+            cache.get(F1)
+        cache.put(F2, 1, b"hot2")
+        for _ in range(50):
+            cache.get(F2)
+        assert cache.put(F3, 1, b"cold") is True
+        assert cache.peek(F3) is not None
+
+    def test_capacity_one_admits_the_new_entry(self):
+        cache = FileCache(capacity=1, policy=LruLfuPolicy())
+        cache.put(F1, 1, b"a")
+        for _ in range(10):
+            cache.get(F1)
+        assert cache.put(F2, 1, b"b") is True
+        assert cache.peek(F2) is not None
+        assert cache.peek(F1) is None
+
+    def test_drop_forgets_policy_state(self):
+        policy = LruLfuPolicy()
+        cache = FileCache(capacity=4, policy=policy)
+        cache.put(F1, 1, b"x")
+        cache.drop(F1)
+        assert policy.access_count(F1) == 0
+
+    def test_clear_resets_policy(self):
+        policy = LruLfuPolicy()
+        cache = FileCache(capacity=4, policy=policy)
+        cache.put(F1, 1, b"x")
+        cache.clear()
+        assert policy.access_count(F1) == 0
+
+    def test_lease_held_entry_never_evicted_while_alternative_exists(self):
+        held = set()
+        policy = LruLfuPolicy(protected=lambda: held)
+        cache = FileCache(capacity=2, policy=policy)
+        cache.put(F1, 1, b"held")  # cold but lease-protected
+        held.add(F1)
+        cache.put(F2, 1, b"hot")
+        for _ in range(20):
+            cache.get(F2)
+        cache.put(F3, 1, b"new")  # overflow: F1 shielded, F2 hot -> F2? no:
+        # victim pool is {F1, F2}; F1 is shielded, so hot F2 goes.
+        assert cache.peek(F1) is not None
+        assert cache.peek(F2) is None
+        assert policy.forced_evictions == 0

@@ -133,6 +133,55 @@ class TestInvalidation:
         cache.lower_floor(F2, 7)  # no floor at all: also a no-op
         assert cache.put(F2, 1, b"v1")
 
+    def test_lower_floor_to_equal_value_is_a_no_op(self):
+        cache = FileCache()
+        cache.invalidate(F1, min_version=3)
+        cache.lower_floor(F1, 3)
+        assert not cache.put(F1, 2, b"v2")
+        assert cache.put(F1, 3, b"v3")
+
+    def test_drop_discards_floor_so_lowering_after_is_inert(self):
+        """drop() releases the floor entirely; a late lower_floor on the
+        dropped datum must not resurrect admission control."""
+        cache = FileCache()
+        cache.put(F1, 1, b"x")
+        cache.invalidate(F1, min_version=9)
+        cache.drop(F1)
+        assert cache.floor_of(F1) == 0
+        cache.lower_floor(F1, 4)  # floor is 0: nothing to lower
+        assert cache.put(F1, 1, b"reborn")
+
+    def test_put_below_lowered_floor_still_refused(self):
+        cache = FileCache()
+        cache.invalidate(F1, min_version=10)
+        cache.lower_floor(F1, 6)
+        rejects_before = cache.stats.stale_rejects
+        assert not cache.put(F1, 5, b"stale")
+        assert cache.stats.stale_rejects == rejects_before + 1
+
+    def test_invalidate_after_lower_floor_can_raise_again(self):
+        """Lowering releases one dead write; a *new* approval may floor
+        higher afterwards and must win."""
+        cache = FileCache()
+        cache.invalidate(F1, min_version=5)
+        cache.lower_floor(F1, 2)
+        cache.invalidate(F1, min_version=8)
+        assert not cache.put(F1, 7, b"v7")
+        assert cache.put(F1, 8, b"v8")
+
+    def test_lower_floor_then_entry_version_still_guards(self):
+        """The floor is one guard; the resident entry's version is the
+        other.  Lowering the floor below a cached version must not let an
+        older payload overwrite newer bytes."""
+        cache = FileCache()
+        cache.put(F1, 5, b"v5")
+        cache.invalidate(F1, min_version=6)
+        cache.lower_floor(F1, 1)
+        assert not cache.put(F1, 3, b"v3")  # floor passed, entry version not
+        assert cache.get(F1) is None  # still invalid until a fresh put
+        assert cache.put(F1, 5, b"v5-again")
+        assert cache.get(F1).payload == b"v5-again"
+
 
 class TestLru:
     def test_eviction_removes_least_recent(self):
@@ -152,6 +201,22 @@ class TestLru:
         cache.peek(F1)
         cache.put(DatumId.file("f3"), 1, b"3")
         assert F1 not in cache  # peek did not refresh it
+
+    def test_admission_floor_survives_eviction(self):
+        """Regression (stampede adversarial family, seed gen-0-81): a
+        crash-era duplicate commit produced a late v4 WriteReply after v5
+        had been admitted *and evicted* under capacity pressure.  With the
+        floor raised only by invalidations, eviction reopened the door and
+        the stale bytes were served as local hits under a live lease.
+        Successful admission now raises the floor too."""
+        cache = FileCache(capacity=2)
+        assert cache.put(F1, 5, b"v5")
+        cache.put(F2, 1, b"2")
+        cache.put(DatumId.file("f3"), 1, b"3")  # evicts F1 (LRU-oldest)
+        assert F1 not in cache
+        assert cache.floor_of(F1) == 5
+        assert not cache.put(F1, 4, b"v4")
+        assert cache.stats.stale_rejects == 1
 
     @given(ops=st.lists(st.integers(0, 9), max_size=60))
     def test_size_never_exceeds_capacity(self, ops):

@@ -73,6 +73,53 @@ class TestSerialization:
         assert "delta" not in data and "drift" not in data and "rate" not in data
         assert Fault.from_json(json.loads(json.dumps(data))) == fault
 
+    def test_default_scenario_json_has_no_workload_keys(self):
+        """Digest-stability contract: pre-existing scenarios keep their
+        digests, so the new fields must be pruned at their defaults."""
+        data = small_scenario().to_json()
+        assert "cache_capacity" not in data
+        assert "eviction" not in data
+        assert "workload" not in data
+
+    def test_workload_fields_round_trip(self):
+        import dataclasses
+
+        from repro.workload.models import preset
+
+        scenario = dataclasses.replace(
+            small_scenario(),
+            cache_capacity=8,
+            eviction="lru-lfu",
+            workload=preset("flash-crowd"),
+        )
+        again = Scenario.loads(scenario.dumps())
+        assert again == scenario
+        assert again.workload == preset("flash-crowd")
+        assert again.digest() == scenario.digest()
+
+    def test_unknown_workload_field_rejected_via_loads(self):
+        """Satellite fix: an unknown workload field must raise, not be
+        silently dropped (the replayed scenario would differ from what
+        the artifact claims)."""
+        import dataclasses
+
+        from repro.errors import ScenarioError
+        from repro.workload.models import preset
+
+        scenario = dataclasses.replace(small_scenario(), workload=preset("zipf"))
+        data = json.loads(scenario.dumps())
+        data["workload"]["burstiness"] = 2.0
+        with pytest.raises(ScenarioError, match="burstiness"):
+            Scenario.loads(json.dumps(data))
+
+    def test_non_object_workload_rejected(self):
+        from repro.errors import ScenarioError
+
+        data = small_scenario().to_json()
+        data["workload"] = "zipf"
+        with pytest.raises(ScenarioError, match="must be an object"):
+            Scenario.from_json(data)
+
     def test_replay_from_file_reproduces_oracle_history(self, tmp_path):
         """The acceptance property: serialize -> load -> replay is identical."""
         scenario = demo_clock_fault_scenario()
@@ -128,6 +175,31 @@ class TestValidation:
             [], [Fault("loss", at=1.0, rate=1.5, duration=1.0)]
         )
         with pytest.raises(ValueError, match="out of range"):
+            scenario.validate()
+
+    def test_bad_cache_capacity_rejected(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(small_scenario(), cache_capacity=0)
+        with pytest.raises(ValueError, match="cache_capacity"):
+            scenario.validate()
+
+    def test_unknown_eviction_rejected(self):
+        import dataclasses
+
+        scenario = dataclasses.replace(small_scenario(), eviction="clock")
+        with pytest.raises(ValueError, match="eviction"):
+            scenario.validate()
+
+    def test_invalid_embedded_workload_rejected(self):
+        import dataclasses
+
+        from repro.workload.models import WorkloadSpec
+
+        scenario = dataclasses.replace(
+            small_scenario(), workload=WorkloadSpec(rate=0.0)
+        )
+        with pytest.raises(ValueError, match="rate"):
             scenario.validate()
 
 

@@ -1,0 +1,57 @@
+"""Tests for the E-WL workload/eviction curves experiment."""
+
+import pytest
+
+from repro.cache.eviction import EVICTION_KINDS
+from repro.experiments import workload_curves
+from repro.experiments.workload_curves import WORKLOADS
+
+TERMS = (0.0, 5.0)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return workload_curves.run(terms=TERMS, duration=40.0, n_clients=2)
+
+
+class TestShape:
+    def test_every_curve_present_and_full_length(self, result):
+        labels = result.labels()
+        assert len(labels) == len(WORKLOADS) * len(EVICTION_KINDS)
+        for label in labels:
+            assert len(result.hit_rate[label]) == len(TERMS)
+            assert len(result.server_load[label]) == len(TERMS)
+
+    def test_metrics_in_range(self, result):
+        for label in result.labels():
+            assert all(0.0 <= h <= 1.0 for h in result.hit_rate[label])
+            assert all(load >= 0.0 for load in result.server_load[label])
+
+    def test_capacity_pressure_is_real(self, result):
+        for workload in WORKLOADS:
+            assert result.capacities[workload] >= 1
+
+    def test_leases_help(self, result):
+        """Sanity anchor from the paper: a non-zero term beats term 0 on
+        hit rate (at term 0 no entry is ever usable)."""
+        for label in result.labels():
+            assert result.hit_rate[label][0] == 0.0
+            assert result.hit_rate[label][-1] > 0.0
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, result):
+        again = workload_curves.run(
+            terms=TERMS, duration=40.0, n_clients=2, workers=2
+        )
+        assert again == result
+
+
+class TestRender:
+    def test_render_mentions_every_curve_and_metric(self, result):
+        text = workload_curves.render(result)
+        for label in result.labels():
+            assert label in text
+        assert "hit rate" in text
+        assert "consistency msgs per read" in text
+        assert str(workload_curves.SEED) in text

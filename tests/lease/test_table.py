@@ -186,6 +186,23 @@ class TestWrites:
         table.finish_write(F1, write.write_id)
         assert not table.write_pending(F1)
 
+    def test_release_unblocks_every_queued_write(self):
+        """Regression: a release must sweep the *whole* pending queue,
+        not just the head.  Found by the stateful property tests — with
+        two writes queued behind one holder, releasing the holder and
+        committing the first write left the second still awaiting a
+        departed host."""
+        table = LeaseTable()
+        table.grant(F1, "c1", now=0.0, term=1.0)
+        w1 = table.begin_write(F1, "c0", now=0.0)
+        w2 = table.begin_write(F1, "c0", now=0.0)
+        assert w1.awaiting == {"c1"} and w2.awaiting == {"c1"}
+        table.release(F1, "c1")
+        table.finish_write(F1, w1.write_id)
+        head = table.head_write(F1)
+        assert head is w2
+        assert head.ready(0.0)
+
     def test_infinite_lease_blocks_write_forever(self):
         """Why the callback scheme loses availability (§6)."""
         table = LeaseTable()

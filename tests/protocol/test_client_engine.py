@@ -269,6 +269,27 @@ class TestApprovals:
         assert client.cache.floor_of(F1) == 1
         assert client.cache.get(F1).payload == b"v1"
 
+    def test_unfulfilled_write_submit_floor_releases(self):
+        """Regression (stampede adversarial family, seed gen-0-31): the
+        submit-time invalidate of ``write()`` raises a floor anticipating
+        our own commit, but never recorded the raise — so when the write
+        failed to advance the server (crash-era retry/dedup confusion),
+        ``_floor_write_aborted`` could not prove the floor dead and the
+        client refetch-livelocked behind its own prophecy."""
+        client = make_client()
+        fetch(client)  # v1 cached, lease held
+        op_id, effects = client.write(F1, b"mine", now=1.0)
+        only(effects, Send)  # the WriteRequest — swallow it (never commits)
+        assert client.cache.floor_of(F1) == 2
+        # A later read: the server still serves v1 and grants a lease,
+        # proving no write is pending — the floor must come down.
+        op_id, effects = client.read(F1, now=2.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=1, payload=b"v1", term=10.0)
+        effects = client.handle_message(reply, "server", now=2.003)
+        assert only(effects, Complete).value == (1, b"v1")
+        assert client.cache.floor_of(F1) == 1
+
     def test_leaseless_reply_does_not_release_the_floor(self):
         """Without a lease grant the server proves nothing about pending
         writes, so the floor stays and the client refetches."""
@@ -411,6 +432,29 @@ class TestOwnWriteRaces:
         client.handle_message(WriteReply(req_b.req_id, F1, version=3), "server", 2.1)
         entry = client.cache.peek(F1)
         assert entry.valid and entry.version == 3 and entry.payload == b"B"
+
+    def test_superseded_reply_floor_releases_when_newer_write_dies(self):
+        """Regression (herd adversarial family, seed gen-0-40): the
+        superseded-reply branch raises the floor to the *newer* write's
+        future version, but never recorded the raise — if that write then
+        died at the server, ``_floor_write_aborted`` could not prove the
+        floor dead and every refetch was refused as stale forever."""
+        client = make_client()
+        fetch(client)
+        _, e1 = client.write(F1, b"A", now=1.0)
+        _, e2 = client.write(F1, b"B", now=1.1)
+        req_a = only(e1, Send).message
+        only(e2, Send)  # B's request — lost, never commits
+        client.handle_message(WriteReply(req_a.req_id, F1, version=2), "server", 2.0)
+        assert client.cache.floor_of(F1) == 3
+        # B died at the server; a later lease-granting read still carries
+        # v2, proving v3 will never commit — the floor must come down.
+        _, effects = client.read(F1, now=3.0)
+        send = only(effects, Send)
+        reply = ReadReply(send.message.req_id, F1, version=2, payload=b"A", term=10.0)
+        effects = client.handle_message(reply, "server", now=3.003)
+        assert only(effects, Complete).value == (2, b"A")
+        assert client.cache.floor_of(F1) == 2
 
     def test_local_hits_suspended_while_own_write_unresolved(self):
         """The server exempts the writer from approval callbacks, trusting

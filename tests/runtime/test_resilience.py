@@ -155,6 +155,85 @@ class TestFrameQueueRequeue:
         assert [kind for _, kind in queue.drain()] == ["x"]
         assert queue.dropped == 0
 
+    def test_partial_flush_requeues_only_the_unsent_tail(self):
+        """A flush that dies mid-window sends a prefix; only the unsent
+        suffix returns, ahead of frames pushed during the attempt."""
+        queue = FrameQueue(capacity=8)
+        for i in range(4):
+            queue.push(bytes([i]), f"k{i}")
+        window = queue.drain()
+        sent, unsent = window[:2], window[2:]
+        queue.push(b"n", "new")
+        queue.requeue(unsent)
+        assert [kind for _, kind in queue.drain()] == ["k2", "k3", "new"]
+        assert len(sent) == 2  # prefix is gone for good — delivered
+
+
+class TestFrameQueueChaos:
+    """Seeded chaos-disconnect interleavings against a reference model.
+
+    Mirrors what the chaos transport does to the real queue: bursts of
+    pushes, flush attempts that succeed fully, die mid-window (partial
+    requeue), or die before writing a byte (full requeue).  The model is
+    the three-line spec: a bounded list with drop-oldest overflow.
+    """
+
+    CAPACITY = 5
+
+    def _model_admit(self, model, item, drops):
+        if len(model) >= self.CAPACITY:
+            drops.append(model.pop(0)[1])
+        model.append(item)
+
+    @pytest.mark.parametrize("seed", [0, 1, 7, 42, 1989])
+    def test_matches_reference_model(self, seed):
+        import random
+
+        rng = random.Random(f"frame-queue-chaos/{seed}")
+        evicted = []
+        queue = FrameQueue(capacity=self.CAPACITY, on_drop=evicted.append)
+        model, model_drops = [], []
+        delivered, model_delivered = [], []
+        serial = 0
+        for _ in range(300):
+            action = rng.random()
+            if action < 0.55:  # push burst
+                for _ in range(rng.randint(1, 4)):
+                    frame = (serial.to_bytes(4, "big"), f"m{serial}")
+                    serial += 1
+                    queue.push(*frame)
+                    self._model_admit(model, frame, model_drops)
+            elif action < 0.9:  # flush attempt
+                window = queue.drain()
+                model_window, model[:] = list(model), []
+                assert window == model_window
+                cut = rng.randint(0, len(window))  # bytes that got out
+                delivered += window[:cut]
+                model_delivered += model_window[:cut]
+                # Chaos: frames can arrive while the flush is in flight.
+                for _ in range(rng.randint(0, 2)):
+                    frame = (serial.to_bytes(4, "big"), f"m{serial}")
+                    serial += 1
+                    queue.push(*frame)
+                    self._model_admit(model, frame, model_drops)
+                if cut < len(window):  # connection died mid-window
+                    queue.requeue(window[cut:])
+                    model[:0] = model_window[cut:]
+                    while len(model) > self.CAPACITY:
+                        model_drops.append(model.pop(0)[1])
+            else:  # hard reconnect with a fresh session: discard
+                queue.clear()
+                model.clear()
+            assert len(queue) <= self.CAPACITY
+            assert queue.dropped == len(model_drops)
+        rest = queue.drain()
+        assert rest == model
+        assert delivered == model_delivered
+        assert evicted == model_drops  # every drop reported exactly once
+        # Conservation: every admitted frame is delivered, dropped,
+        # resident at the end, or was discarded by an explicit clear().
+        assert serial >= len(delivered) + queue.dropped + len(rest)
+
 
 class TestStateMachine:
     def test_every_state_has_a_transition_entry(self):

@@ -1,0 +1,64 @@
+"""Golden-digest harness for the traffic models.
+
+Every preset's event stream at the pinned seed is reduced to the SHA-256
+of its saved trace text.  The committed digests
+(``tests/workload/golden/model_digests.json``) pin the byte-exact
+streams: any change to the samplers, the thinning loop, or the RNG
+namespacing shows up as a digest mismatch, which is how downstream
+scenario digests and experiment curves stay reproducible across PRs.
+
+``tests/workload/golden/model_digests.json`` is regenerated only for an
+*intentional* model change, by running this file as a script::
+
+    PYTHONPATH=src python tests/workload/golden_models.py
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+
+from repro.workload.events import save_trace
+from repro.workload.models import PRESETS, generate_trace
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden", "model_digests.json")
+
+#: Pinned generation shape (seed = the paper's publication year).
+SEED = 1989
+N_CLIENTS = 4
+DURATION = 60.0
+
+
+def model_digest(name: str) -> dict:
+    """One preset's digest record at the pinned shape."""
+    records = generate_trace(PRESETS[name], N_CLIENTS, DURATION, seed=SEED)
+    buffer = io.StringIO()
+    save_trace(records, buffer)
+    return {
+        "records": len(records),
+        "trace_sha": hashlib.sha256(buffer.getvalue().encode()).hexdigest(),
+    }
+
+
+def current_digests() -> dict[str, dict]:
+    """Digest records for every preset, in sorted name order."""
+    return {name: model_digest(name) for name in sorted(PRESETS)}
+
+
+def load_golden() -> dict[str, dict]:
+    with open(GOLDEN_PATH, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def main() -> None:
+    os.makedirs(os.path.dirname(GOLDEN_PATH), exist_ok=True)
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as fh:
+        json.dump(current_digests(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {GOLDEN_PATH}")
+
+
+if __name__ == "__main__":
+    main()

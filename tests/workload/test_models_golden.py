@@ -1,0 +1,37 @@
+"""Golden-digest determinism tests for every workload model preset."""
+
+from repro.workload.models import PRESETS
+
+from tests.workload.golden_models import (
+    DURATION,
+    N_CLIENTS,
+    SEED,
+    current_digests,
+    load_golden,
+    model_digest,
+)
+
+
+def test_golden_covers_every_preset():
+    """Adding a preset without pinning its digest must fail loudly."""
+    assert sorted(load_golden()) == sorted(PRESETS)
+
+
+def test_digests_match_golden():
+    golden = load_golden()
+    current = current_digests()
+    mismatched = {
+        name: (golden[name], current[name])
+        for name in golden
+        if golden[name] != current[name]
+    }
+    assert not mismatched, (
+        f"model digests changed for {sorted(mismatched)} at seed {SEED} "
+        f"({N_CLIENTS} clients, {DURATION}s); if intentional regenerate with "
+        "`PYTHONPATH=src python tests/workload/golden_models.py`"
+    )
+
+
+def test_digest_is_stable_within_process():
+    """Same seed, same call, same bytes — no hidden global RNG state."""
+    assert model_digest("flash-crowd") == model_digest("flash-crowd")

@@ -1,0 +1,102 @@
+"""Hypothesis properties of the popularity samplers and event streams."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workload.models import (
+    ParetoSampler,
+    UniformSampler,
+    WorkloadSpec,
+    ZipfSampler,
+    sample_events,
+)
+
+n_keys_st = st.integers(min_value=1, max_value=64)
+alpha_st = st.floats(min_value=0.1, max_value=3.0, allow_nan=False)
+hot_fraction_st = st.floats(min_value=0.01, max_value=1.0, allow_nan=False)
+hot_mass_st = st.floats(min_value=0.01, max_value=0.99, allow_nan=False)
+
+
+class TestZipf:
+    @given(n_keys=n_keys_st, alpha=alpha_st)
+    def test_weights_normalized(self, n_keys, alpha):
+        total = sum(ZipfSampler(n_keys, alpha).weights)
+        assert total == pytest.approx(1.0)
+
+    @given(n_keys=n_keys_st, alpha=alpha_st)
+    def test_weights_monotone_in_rank(self, n_keys, alpha):
+        weights = ZipfSampler(n_keys, alpha).weights
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    @given(n_keys=n_keys_st, alpha=alpha_st, seed=st.integers(0, 2**16))
+    def test_samples_in_range(self, n_keys, alpha, seed):
+        sampler = ZipfSampler(n_keys, alpha)
+        rng = random.Random(seed)
+        for _ in range(50):
+            assert 0 <= sampler.sample(rng) < n_keys
+
+
+class TestPareto:
+    @given(n_keys=n_keys_st, hot_fraction=hot_fraction_st, hot_mass=hot_mass_st)
+    def test_weights_normalized_or_inversion_rejected(self, n_keys, hot_fraction, hot_mass):
+        try:
+            sampler = ParetoSampler(n_keys, hot_fraction, hot_mass)
+        except ValueError:
+            return  # inverted hot set: rejected at construction, never sampled
+        assert sum(sampler.weights) == pytest.approx(1.0)
+
+    @given(n_keys=st.integers(2, 64), hot_mass=st.floats(0.5, 0.99, allow_nan=False))
+    def test_tail_mass_is_the_complement(self, n_keys, hot_mass):
+        sampler = ParetoSampler(n_keys, hot_fraction=0.2, hot_mass=hot_mass)
+        if sampler.hot_keys < n_keys:  # non-degenerate split
+            tail = sum(sampler.weights[sampler.hot_keys:])
+            assert tail == pytest.approx(1.0 - hot_mass)
+
+    @given(
+        n_keys=st.integers(2, 64),
+        hot_fraction=hot_fraction_st,
+        hot_mass=hot_mass_st,
+    )
+    def test_hot_keys_never_lighter_than_cold(self, n_keys, hot_fraction, hot_mass):
+        """The invariant the ValueError protects: an accepted sampler's
+        hot keys are at least as popular as its cold keys."""
+        try:
+            sampler = ParetoSampler(n_keys, hot_fraction, hot_mass)
+        except ValueError:
+            return
+        assert sampler.weights[0] >= sampler.weights[-1]
+
+
+class TestStreams:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        seed=st.integers(0, 2**16),
+        n_clients=st.integers(1, 4),
+        kind=st.sampled_from(["uniform", "zipf", "pareto"]),
+    )
+    def test_seed_stability(self, seed, n_clients, kind):
+        """The same (spec, shape, seed) always yields the same stream."""
+        spec = WorkloadSpec(kind=kind, n_files=8)
+        a = sample_events(spec, n_clients, 20.0, seed)
+        b = sample_events(spec, n_clients, 20.0, seed)
+        assert a == b
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2**16), duration=st.floats(5.0, 60.0))
+    def test_events_sorted_and_bounded(self, seed, duration):
+        spec = WorkloadSpec(kind="zipf", n_files=6, flash_at=0.4, flash_width=0.2)
+        events = sample_events(spec, 2, duration, seed)
+        assert events == sorted(events)
+        assert all(0.0 <= e[0] < duration for e in events)
+        assert all(0 <= e[3] < 6 for e in events)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 2**16))
+    def test_uniform_sampler_matches_randrange_distribution_support(self, seed):
+        sampler = UniformSampler(5)
+        rng = random.Random(seed)
+        seen = {sampler.sample(rng) for _ in range(200)}
+        assert seen <= set(range(5))
