@@ -78,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--eviction", choices=EVICTION_KINDS, default="lru",
                         help="client cache eviction policy for generated "
                         "scenarios (default lru)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="lease-server shards (default 1 = the classic "
+                        "single server; N>1 consistent-hashes files across "
+                        "servers s0..s{N-1})")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="write repro files + traces of failures here")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -133,6 +137,11 @@ def main(argv: list[str] | None = None) -> int:
             config = dataclasses.replace(config, workload=preset(args.workload))
         if args.eviction != "lru":
             config = dataclasses.replace(config, eviction=args.eviction)
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    if args.shards != 1:
+        config = dataclasses.replace(config, shards=args.shards)
 
     registry = Registry()
     explorer = Explorer(

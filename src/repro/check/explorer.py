@@ -22,7 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Iterator
 
-from repro.check.generator import GeneratorConfig, ScenarioGenerator
+from repro.check.generator import GeneratorConfig, ScenarioGenerator, effective_config
 from repro.check.runner import RunResult, run_scenario
 from repro.check.scenario import Scenario
 from repro.check.shrink import ShrinkResult, shrink_scenario, strip_unused
@@ -67,6 +67,10 @@ class ExplorationReport:
             harness bugs and fail CI.
         failures: the failing outcomes, with shrink artifacts.
         verdicts: per-scenario verdict strings, in index order.
+        config: the effective generator configuration of the sweep
+            (:func:`~repro.check.generator.effective_config`) — shards,
+            batching, eviction, cache capacity, workload — so a report
+            artifact records exactly what was swept.
     """
 
     base_seed: int
@@ -76,6 +80,7 @@ class ExplorationReport:
     failed: int = 0
     failures: list[ScenarioOutcome] = field(default_factory=list)
     verdicts: list[str] = field(default_factory=list)
+    config: dict = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -86,6 +91,7 @@ class ExplorationReport:
         """Plain-data summary (for the CLI's ``--json`` report)."""
         return {
             "base_seed": self.base_seed,
+            "config": dict(self.config),
             "scenarios": self.scenarios,
             "passed": self.passed,
             "violations": self.violations,
@@ -332,7 +338,10 @@ class Explorer:
                 CPU; ``1`` = serial in-process).
         """
         workers = resolve_workers(workers)
-        report = ExplorationReport(base_seed=self.generator.base_seed)
+        report = ExplorationReport(
+            base_seed=self.generator.base_seed,
+            config=effective_config(self.generator.config),
+        )
         for outcome, trace_text in self._outcomes(n, workers):
             self._finalize(outcome, trace_text)
             report.scenarios += 1

@@ -79,6 +79,11 @@ class GeneratorConfig:
     #: flash-crowd window (requires a flash workload and a server crash
     #: being rolled) — the herd-during-restart family.
     crash_in_flash: bool = False
+    #: Number of lease-server shards in generated scenarios.  1 keeps the
+    #: classic single-server cluster *and* the legacy RNG draw order, so
+    #: existing (base_seed, index) pairs keep their exact schedules; above
+    #: 1, server-targeting faults additionally draw a victim shard.
+    shards: int = 1
 
     @classmethod
     def smoke(
@@ -161,6 +166,7 @@ class ScenarioGenerator:
             batching=cfg.batching,
             cache_capacity=cfg.cache_capacity,
             eviction=cfg.eviction,
+            shards=cfg.shards,
             workload=cfg.workload,
             ops=tuple(ops),
             faults=tuple(faults),
@@ -221,7 +227,9 @@ class ScenarioGenerator:
                 start = rng.uniform(flash_start, hi)
             else:
                 start = rng.uniform(5.0, max(5.5, duration - window - 1.0))
-            faults.append(Fault("crash", at=start, host="server", duration=window))
+            faults.append(
+                Fault("crash", at=start, host=self._server_victim(rng), duration=window)
+            )
         if rng.random() < cfg.p_loss_window:
             window = rng.uniform(2.0, 6.0)
             start = rng.uniform(1.0, max(1.5, duration - window - 1.0))
@@ -231,6 +239,16 @@ class ScenarioGenerator:
         if rng.random() < cfg.p_clock_fault:
             faults.append(self._sample_clock_fault(rng, n_clients, duration))
         return faults
+
+    def _server_victim(self, rng) -> str:
+        """The host name a server-targeting fault hits.
+
+        Single-server configs name it without consuming randomness (the
+        frozen legacy draw order); sharded configs draw a victim shard.
+        """
+        if self.config.shards <= 1:
+            return "server"
+        return f"s{rng.randrange(self.config.shards)}"
 
     def _sample_clock_fault(self, rng, n_clients, duration):
         """One clock fault, dangerous or safe per the configured weight.
@@ -242,15 +260,35 @@ class ScenarioGenerator:
         """
         dangerous = rng.random() < self.config.p_dangerous
         on_server = rng.random() < 0.4
-        host = "server" if on_server else f"c{rng.randrange(n_clients)}"
+        host = self._server_victim(rng) if on_server else f"c{rng.randrange(n_clients)}"
         at = rng.uniform(1.0, duration * 0.6)
         if rng.random() < 0.5:  # step fault
-            magnitude = rng.uniform(2.0, 8.0) if host != "server" else rng.uniform(2.0, 5.0)
-            sign = 1.0 if (dangerous == (host == "server")) else -1.0
+            magnitude = rng.uniform(2.0, 8.0) if not on_server else rng.uniform(2.0, 5.0)
+            sign = 1.0 if (dangerous == on_server) else -1.0
             return Fault("clock_step", at=at, host=host, delta=sign * magnitude)
         magnitude = rng.uniform(0.2, 0.6)
-        sign = 1.0 if (dangerous == (host == "server")) else -1.0
+        sign = 1.0 if (dangerous == on_server) else -1.0
         return Fault("clock_drift", at=at, host=host, drift=sign * magnitude)
+
+
+def effective_config(config: GeneratorConfig) -> dict:
+    """The full effective sweep configuration, for machine-readable reports.
+
+    Everything that shapes generated scenarios beyond (base_seed, index):
+    shard count, batching, eviction policy, cache capacity, the workload
+    model (serialized) and the fault-grammar toggles.  Embedded in
+    ``repro.check --json`` reports so a CI artifact records *what* was
+    actually swept, not just how it went.
+    """
+    return {
+        "shards": config.shards,
+        "batching": config.batching,
+        "eviction": config.eviction,
+        "cache_capacity": config.cache_capacity,
+        "workload": config.workload.to_json() if config.workload is not None else None,
+        "clock_faults": config.p_clock_fault > 0.0,
+        "crash_in_flash": config.crash_in_flash,
+    }
 
 
 def adversarial_config(kind: str, eviction: str = "lru") -> GeneratorConfig:

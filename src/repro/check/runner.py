@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from repro.check.scenario import Fault, Scenario
 from repro.lease.policy import FixedTermPolicy, TermPolicy
 from repro.protocol.client import ClientConfig
+from repro.shard.sim import build_sharded_cluster
 from repro.sim.driver import Cluster, build_cluster
 from repro.sim.network import NetworkParams
 from repro.storage.store import FileStore
@@ -122,7 +123,7 @@ def build_scenario_cluster(scenario: Scenario, obs=None, policy: TermPolicy | No
         for i in range(scenario.n_files):
             store.create_file(f"/file{i}", b"init")
 
-    return build_cluster(
+    common = dict(
         n_clients=scenario.n_clients,
         policy=policy or FixedTermPolicy(scenario.term),
         setup_store=setup_store,
@@ -141,6 +142,12 @@ def build_scenario_cluster(scenario: Scenario, obs=None, policy: TermPolicy | No
         strict_oracle=False,
         obs=obs,
     )
+    if scenario.shards > 1:
+        # The sharded build path is taken only above one shard, so
+        # ``shards: 1`` scenarios run the legacy wiring verbatim and
+        # reproduce their golden digests and traces byte-for-byte.
+        return build_sharded_cluster(scenario.shards, **common)
+    return build_cluster(**common)
 
 
 def apply_fault(cluster: Cluster, scenario: Scenario, fault: Fault) -> None:

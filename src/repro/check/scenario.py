@@ -23,6 +23,7 @@ from typing import IO, Iterable
 
 from repro.cache.eviction import EVICTION_KINDS
 from repro.errors import ScenarioError
+from repro.shard.router import is_server_host, shard_hosts
 from repro.workload.models import WorkloadSpec
 
 #: Serialization format version, embedded in every scenario file.
@@ -110,7 +111,7 @@ class Fault:
             value = self.drift
         else:
             return False
-        if self.host == "server":
+        if is_server_host(self.host):
             return value > 0.0
         return value < 0.0
 
@@ -175,6 +176,11 @@ class Scenario:
         eviction: client cache eviction policy, one of
             :data:`~repro.cache.eviction.EVICTION_KINDS`.  Pruned at
             ``"lru"`` (the seed behaviour).
+        shards: number of lease-server shards.  1 (the default, pruned
+            from serialization so legacy digests are unchanged) runs the
+            classic single-server cluster on host ``"server"``; ``N > 1``
+            consistent-hashes the file namespace across server hosts
+            ``s0 .. s{N-1}`` (see :mod:`repro.shard`).
         workload: the :class:`~repro.workload.models.WorkloadSpec` that
             *generated* ``ops``, carried for provenance and reporting.
             The ops stream stays materialized — replay and shrinking never
@@ -201,6 +207,7 @@ class Scenario:
     batching: bool = False
     cache_capacity: int = 4096
     eviction: str = "lru"
+    shards: int = 1
     workload: WorkloadSpec | None = None
     may_violate: bool = False
     ops: tuple[Op, ...] = ()
@@ -210,8 +217,12 @@ class Scenario:
 
     @property
     def hosts(self) -> tuple[str, ...]:
-        """Every host name in the cluster (server first)."""
-        return ("server",) + tuple(f"c{i}" for i in range(self.n_clients))
+        """Every host name in the cluster (servers first)."""
+        if self.shards > 1:
+            servers = shard_hosts(self.shards)
+        else:
+            servers = ("server",)
+        return servers + tuple(f"c{i}" for i in range(self.n_clients))
 
     @property
     def event_count(self) -> int:
@@ -246,6 +257,8 @@ class Scenario:
             raise ValueError(f"need at least one client, got {self.n_clients}")
         if self.n_files < 1:
             raise ValueError(f"need at least one file, got {self.n_files}")
+        if self.shards < 1:
+            raise ValueError(f"need at least one shard, got {self.shards}")
         hosts = set(self.hosts)
         for op in self.ops:
             if op.kind not in OP_KINDS:
@@ -286,9 +299,9 @@ class Scenario:
     def to_json(self) -> dict:
         """Plain-data form of the whole scenario.
 
-        ``batching``, ``cache_capacity``, ``eviction`` and ``workload``
-        are pruned at their defaults (like Fault's optional fields) so
-        pre-existing scenarios keep their digests.
+        ``batching``, ``cache_capacity``, ``eviction``, ``shards`` and
+        ``workload`` are pruned at their defaults (like Fault's optional
+        fields) so pre-existing scenarios keep their digests.
         """
         data = {
             "format": FORMAT_VERSION,
@@ -314,6 +327,8 @@ class Scenario:
             data["cache_capacity"] = self.cache_capacity
         if self.eviction != "lru":
             data["eviction"] = self.eviction
+        if self.shards != 1:
+            data["shards"] = self.shards
         if self.workload is not None:
             data["workload"] = self.workload.to_json()
         return data
@@ -352,6 +367,7 @@ class Scenario:
             batching=bool(data.get("batching", False)),
             cache_capacity=int(data.get("cache_capacity", 4096)),
             eviction=str(data.get("eviction", "lru")),
+            shards=int(data.get("shards", 1)),
             workload=workload,
             may_violate=bool(data.get("may_violate", False)),
             ops=tuple(Op.from_json(o) for o in data.get("ops", ())),

@@ -57,6 +57,10 @@ CONN_RETRY = "conn.retry"
 # -- real-transport frame loss (repro.runtime) ------------------------------------
 TRANSPORT_DROP = "transport.drop"
 
+# -- shard routing (repro.shard) ---------------------------------------------------
+SHARD_ROUTE = "shard.route"
+SHARD_MISS = "shard.miss"
+
 # -- simulation kernel -----------------------------------------------------------
 KERNEL_COMPACT = "kernel.compact"
 
@@ -102,6 +106,8 @@ SCHEMA: dict[str, tuple[str, ...]] = {
     CONN_DOWN: ("peer", "reason"),
     CONN_RETRY: ("peer", "attempt", "delay"),
     TRANSPORT_DROP: ("dst", "kind", "reason"),
+    SHARD_ROUTE: ("datum", "shard", "kind"),
+    SHARD_MISS: ("src", "kind"),
     KERNEL_COMPACT: ("removed", "live"),
     ORACLE_VIOLATION: ("datum", "client", "version"),
     CHECK_RUN: ("scenario", "seed", "verdict"),

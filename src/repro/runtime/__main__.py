@@ -56,6 +56,12 @@ def build_parser() -> argparse.ArgumentParser:
     server.add_argument("--port", type=int, default=7400)
     server.add_argument("--transport", choices=("tcp", "udp"), default="tcp")
     server.add_argument(
+        "--name",
+        default="server",
+        help="this server's host name — run shard k of a sharded "
+        "deployment as --name s<k> (clients address shards by name)",
+    )
+    server.add_argument(
         "--term", type=float, default=10.0, help="lease term in seconds"
     )
     server.add_argument(
@@ -95,6 +101,12 @@ def build_parser() -> argparse.ArgumentParser:
     client.add_argument("--port", type=int, default=7400)
     client.add_argument("--transport", choices=("tcp", "udp"), default="tcp")
     client.add_argument("--name", default="cli-client")
+    client.add_argument(
+        "--server-name",
+        default="server",
+        help="host name of the server to address (a shard server started "
+        "with --name s<k> is addressed as s<k>)",
+    )
     client.add_argument("--epsilon", type=float, default=0.1)
     client.add_argument(
         "--no-reconnect",
@@ -164,10 +176,10 @@ async def run_server(args: argparse.Namespace) -> int:
     store = _seed_store(args.file)
     bus = _trace_bus(args)
     if args.transport == "tcp":
-        transport = TcpServerTransport(obs=bus)
+        transport = TcpServerTransport(args.name, obs=bus)
         await transport.start(host=args.host, port=args.port)
     else:
-        transport = UdpServerTransport(obs=bus)
+        transport = UdpServerTransport(args.name, obs=bus)
         await transport.start(host=args.host, port=args.port)
     policy = (
         AdaptiveTermPolicy(V_PARAMS, default_term=args.term)
@@ -262,10 +274,13 @@ async def run_client(args: argparse.Namespace) -> int:
     bus = _trace_bus(args)
     if args.transport == "tcp":
         transport = TcpClientTransport(
-            args.name, reconnect=not args.no_reconnect, obs=bus
+            args.name,
+            server_name=args.server_name,
+            reconnect=not args.no_reconnect,
+            obs=bus,
         )
     else:
-        transport = UdpClientTransport(args.name, obs=bus)
+        transport = UdpClientTransport(args.name, server_name=args.server_name, obs=bus)
     if any((args.chaos_loss, args.chaos_delay, args.chaos_dup, args.chaos_disconnect)):
         transport = ChaosTransport(
             transport,
@@ -278,7 +293,10 @@ async def run_client(args: argparse.Namespace) -> int:
         )
     await transport.connect(host=args.host, port=args.port)
     client = LeaseClientNode(
-        transport, "server", config=ClientConfig(epsilon=args.epsilon), obs=bus
+        transport,
+        args.server_name,
+        config=ClientConfig(epsilon=args.epsilon),
+        obs=bus,
     )
     try:
         if args.command == "shell":

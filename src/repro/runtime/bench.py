@@ -52,10 +52,11 @@ from repro.parallel.baseline import (
     machine_drift,
     save_report,
 )
-from repro.protocol.client import ClientConfig
+from repro.protocol.client import ClientConfig, ClientEngine
 from repro.protocol.server import ServerConfig
 from repro.runtime.node import LeaseClientNode, LeaseServerNode
 from repro.runtime.transport import InMemoryHub
+from repro.shard import ShardedClientEngine, ShardedStore, shard_hosts
 from repro.storage.store import FileStore
 from repro.workload.models import PRESETS, bench_schedule, preset
 
@@ -140,12 +141,45 @@ async def _run_load(
     batching: bool,
     max_batch: int,
     workload: str | None = None,
+    shards: int = 1,
 ) -> dict:
-    """Build the world, drive the schedule, return the raw metrics."""
+    """Build the world, drive the schedule, return the raw metrics.
+
+    ``shards > 1`` stands up one :class:`LeaseServerNode` per shard
+    (hub endpoints ``s0 .. s{N-1}``, each over its own shard of a
+    :class:`~repro.shard.store.ShardedStore`) and binds every client to
+    a :class:`~repro.shard.client.ShardedClientEngine`; the hub reaches
+    any endpoint by name, so no fan-out transport is needed here.
+    """
     schedule, read_files = _schedule_for(workload, clients, ops, seed)
     hub = InMemoryHub()
-    store = FileStore()
-    store.namespace.mkdir("/bench")
+    server_config = ServerConfig(
+        epsilon=0.01, announce_period=60.0, sweep_period=600.0
+    )
+    if shards > 1:
+        store = ShardedStore(shards)
+        for shard_store in store.shards:
+            shard_store.namespace.mkdir("/bench")
+        servers = [
+            LeaseServerNode(
+                hub.endpoint(host),
+                store.shards[k],
+                FixedTermPolicy(300.0),
+                config=server_config,
+            )
+            for k, host in enumerate(shard_hosts(shards))
+        ]
+    else:
+        store = FileStore()
+        store.namespace.mkdir("/bench")
+        servers = [
+            LeaseServerNode(
+                hub.endpoint("server"),
+                store,
+                FixedTermPolicy(300.0),
+                config=server_config,
+            )
+        ]
     for i in range(read_files):
         store.create_file(f"/bench/shared-{i}", b"s" * 64)
     read_pool = [store.file_datum(f"/bench/shared-{i}") for i in range(read_files)]
@@ -154,12 +188,6 @@ async def _run_load(
         store.create_file(f"/bench/own-{i}", b"")
         own.append(store.file_datum(f"/bench/own-{i}"))
 
-    server = LeaseServerNode(
-        hub.endpoint("server"),
-        store,
-        FixedTermPolicy(300.0),
-        config=ServerConfig(epsilon=0.01, announce_period=60.0, sweep_period=600.0),
-    )
     # Generous timeouts: under full load an op legitimately queues behind
     # thousands of peers; a retransmission storm would only add noise.
     client_config = ClientConfig(
@@ -172,11 +200,12 @@ async def _run_load(
     nodes = [
         LeaseClientNode(
             hub.endpoint(f"c{i}"),
-            "server",
+            shard_hosts(shards) if shards > 1 else "server",
             config=client_config,
             # Deterministic, disjoint dedup-id spaces (the default is a
             # random epoch, which would perturb the pinned run).
             id_base=(i + 1) * 1_000_000,
+            engine_cls=ShardedClientEngine if shards > 1 else ClientEngine,
         )
         for i in range(clients)
     ]
@@ -207,9 +236,16 @@ async def _run_load(
 
     batches_sent = sum(n.engine.pipeline_stats()[0] for n in nodes)
     batched_ops = sum(n.engine.pipeline_stats()[1] for n in nodes)
+    per_shard: list[int] | None = None
+    if shards > 1:
+        per_shard = [0] * shards
+        for node in nodes:
+            for k, count in enumerate(node.engine.shard_counts):
+                per_shard[k] += count
     for node in nodes:
         await node.close()
-    await server.close()
+    for server in servers:
+        await server.close()
 
     latencies.sort()
     requests = len(latencies)
@@ -219,7 +255,7 @@ async def _run_load(
             return 0.0
         return latencies[min(requests - 1, int(p * requests))]
 
-    return {
+    metrics = {
         "requests": requests,
         "failures": failures,
         "dropped_frames": hub.dropped,
@@ -230,6 +266,10 @@ async def _run_load(
         "batches_sent": batches_sent,
         "batched_ops": batched_ops,
     }
+    if per_shard is not None:
+        # Ops routed to each shard — the load-spread the ring achieved.
+        metrics["per_shard_requests"] = per_shard
+    return metrics
 
 
 def run_benchmark(
@@ -239,6 +279,7 @@ def run_benchmark(
     batching: bool = True,
     max_batch: int = 64,
     workload: str | None = None,
+    shards: int = 1,
 ) -> dict:
     """Run the load once; return the ``BENCH_runtime.json`` report::
 
@@ -260,10 +301,12 @@ def run_benchmark(
     ``workload`` swaps the pinned schedule for a named traffic model;
     the ``job_mix`` block then carries a ``workload`` key (absent in the
     default, so the committed baseline's mix hash is untouched) and the
-    result is for A/B comparison, not the gate.
+    result is for A/B comparison, not the gate.  ``shards > 1`` likewise
+    adds a ``shards`` key to ``job_mix`` and a ``per_shard_requests``
+    breakdown to the metrics, and is never the gated configuration.
     """
     metrics = asyncio.run(
-        _run_load(clients, ops, seed, batching, max_batch, workload)
+        _run_load(clients, ops, seed, batching, max_batch, workload, shards)
     )
     schedule, read_files = _schedule_for(workload, clients, ops, seed)
     job_mix = {
@@ -278,6 +321,8 @@ def run_benchmark(
     }
     if workload is not None:
         job_mix["workload"] = workload
+    if shards > 1:
+        job_mix["shards"] = shards
     return {
         "benchmark": "runtime_load",
         "job_mix": job_mix,
@@ -361,6 +406,10 @@ def main(argv: list[str] | None = None) -> int:
                         f"({', '.join(sorted(PRESETS))}) instead of the "
                         "pinned mix (for comparison; not the gated "
                         "configuration)")
+    parser.add_argument("--shards", type=int, default=1, metavar="N",
+                        help="lease-server shards (default 1; N>1 runs one "
+                        "server node per shard with shard-aware clients — "
+                        "for comparison, not the gated configuration)")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the fresh report here")
     parser.add_argument("--baseline", default=BASELINE_PATH, metavar="PATH",
@@ -376,12 +425,16 @@ def main(argv: list[str] | None = None) -> int:
                         "--check")
     args = parser.parse_args(argv)
 
+    if args.shards < 1:
+        print(f"--shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
     report = run_benchmark(
         clients=args.clients,
         ops=args.ops,
         seed=args.seed,
         batching=not args.no_batching,
         workload=args.workload,
+        shards=args.shards,
     )
     print(json.dumps(report, indent=2, sort_keys=True))
 

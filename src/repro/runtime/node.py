@@ -231,14 +231,24 @@ class LeaseClientNode(_EngineNode):
         clock=None,
         id_base: int | None = None,
         obs=None,
+        engine_cls: type[ClientEngine] = ClientEngine,
     ):
+        """Args:
+            server: the server host name — or, with ``engine_cls`` set to
+                :class:`~repro.shard.client.ShardedClientEngine`, the
+                tuple of shard host names (pair it with a
+                :class:`~repro.shard.transport.FanoutTransport` or a hub
+                endpoint that reaches every shard).
+            engine_cls: the sans-io engine to drive (the single-server
+                :class:`~repro.protocol.client.ClientEngine` by default).
+        """
         super().__init__(transport, clock, obs=obs)
         if id_base is None:
             # A fresh random epoch per process: two incarnations (or two
             # processes reusing one client name) must never collide in the
             # server's write-dedup space.
             id_base = random.getrandbits(44) << 16
-        self.engine = ClientEngine(
+        self.engine = engine_cls(
             transport.name, server, config=config, id_base=id_base, obs=self.obs
         )
         self._futures: dict[int, asyncio.Future] = {}

@@ -1,0 +1,153 @@
+"""The sharded DES cluster: N independent lease servers, one oracle.
+
+:func:`build_sharded_cluster` mirrors :func:`repro.sim.driver.
+build_cluster` but stands up one :class:`~repro.sim.driver.SimServer`
+per shard (hosts ``s0 .. s{N-1}``, each with its own
+:class:`~repro.storage.store.FileStore`, lease table and term policy)
+and binds every :class:`~repro.sim.driver.SimClient` to a
+:class:`~repro.shard.client.ShardedClientEngine` addressing all of them.
+
+One :class:`~repro.sim.oracle.ConsistencyOracle` spans the whole sharded
+namespace.  File datum ids are globally unique (the
+:class:`~repro.shard.store.ShardedStore` mints them from one counter),
+so file history merges cleanly; directory datums are *not* globally
+unique (every shard's namespace has its own root and dir counter), so
+shards beyond the first attach with a ``s{k}/`` prefix on their
+directory datum ids — see :meth:`~repro.sim.oracle.ConsistencyOracle.
+attach_store`.
+
+The fault surface is unchanged: the scenario fault vocabulary addresses
+hosts by name, and shard hosts are ordinary simulated hosts, so a
+``crash`` of ``s2`` exercises the §2 server-recovery rule on that shard
+while the others keep serving — exactly the availability claim sharding
+makes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.lease.policy import FixedTermPolicy, TermPolicy
+from repro.protocol.client import ClientConfig
+from repro.protocol.server import ServerConfig
+from repro.shard.client import ShardedClientEngine
+from repro.shard.router import ShardRouter, shard_hosts
+from repro.shard.store import ShardedStore
+from repro.sim.driver import Cluster, SimClient, SimServer
+from repro.sim.host import Host
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, NetworkParams
+from repro.sim.oracle import ConsistencyOracle
+
+
+@dataclass
+class ShardedCluster(Cluster):
+    """A :class:`~repro.sim.driver.Cluster` with one server per shard.
+
+    ``server`` (the inherited field) aliases shard 0 so code written
+    against the single-server cluster keeps working; ``servers`` holds
+    all of them.  ``store`` is the :class:`~repro.shard.store.
+    ShardedStore` facade.
+    """
+
+    servers: list[SimServer] = field(default_factory=list)
+    router: ShardRouter | None = None
+
+    @property
+    def n_shards(self) -> int:
+        """Number of server shards."""
+        return len(self.servers)
+
+
+def build_sharded_cluster(
+    n_shards: int,
+    n_clients: int = 2,
+    policy: TermPolicy | None = None,
+    network_params: NetworkParams | None = None,
+    client_config: ClientConfig | None = None,
+    server_config: ServerConfig | None = None,
+    use_multicast: bool = True,
+    seed: int = 0,
+    strict_oracle: bool = True,
+    setup_store: Callable[[ShardedStore], None] | None = None,
+    client_clock_params: Callable[[int], tuple[float, float]] | None = None,
+    server_clock_params: tuple[float, float] = (0.0, 0.0),
+    obs=None,
+) -> ShardedCluster:
+    """Assemble a simulated sharded cluster.
+
+    Mirrors :func:`repro.sim.driver.build_cluster`; differences:
+
+    Args:
+        n_shards: number of server shards (hosts ``s0 .. s{N-1}``).
+        policy: term policy *shared* by every shard (the stock policies
+            are stateless; pass a fresh instance per run as usual).
+        setup_store: receives the :class:`ShardedStore` facade — created
+            files land on their hash-owned shards.
+        server_clock_params: (offset, drift) applied to *every* shard
+            host; per-shard clock faults go through the fault injector.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard: {n_shards}")
+    kernel = Kernel(seed=seed, obs=obs)
+    network = Network(kernel, network_params or NetworkParams(), obs=obs)
+    router = ShardRouter(n_shards)
+    store = ShardedStore(n_shards, router=router)
+    if setup_store is not None:
+        setup_store(store)
+
+    # Shard 0 seeds the oracle's history; the rest attach with prefixed
+    # directory ids so per-shard namespaces don't alias.
+    oracle = ConsistencyOracle(kernel, store.shards[0], strict=strict_oracle, obs=obs)
+    for k in range(1, n_shards):
+        oracle.attach_store(store.shards[k], dir_prefix=f"s{k}/")
+
+    term_policy = policy or FixedTermPolicy(10.0)
+    offset, drift = server_clock_params
+    servers = []
+    for k, host_name in enumerate(shard_hosts(n_shards)):
+        host = Host(host_name, kernel, clock_offset=offset, clock_drift=drift)
+        network.attach(host)
+        servers.append(
+            SimServer(
+                host,
+                network,
+                store.shards[k],
+                term_policy,
+                config=server_config,
+                use_multicast=use_multicast,
+                obs=obs,
+            )
+        )
+
+    clients = []
+    for i in range(n_clients):
+        c_offset, c_drift = (0.0, 0.0)
+        if client_clock_params is not None:
+            c_offset, c_drift = client_clock_params(i)
+        host = Host(f"c{i}", kernel, clock_offset=c_offset, clock_drift=c_drift)
+        network.attach(host)
+        clients.append(
+            SimClient(
+                host,
+                network,
+                shard_hosts(n_shards),
+                config=client_config,
+                oracle=oracle,
+                engine_cls=ShardedClientEngine,
+                obs=obs,
+            )
+        )
+
+    return ShardedCluster(
+        kernel=kernel,
+        network=network,
+        server=servers[0],
+        clients=clients,
+        store=store,
+        oracle=oracle,
+        obs=obs,
+        servers=servers,
+        router=router,
+    )

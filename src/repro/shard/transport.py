@@ -1,0 +1,90 @@
+"""A fan-out transport: one client endpoint per shard, one interface.
+
+The real client transports (:class:`~repro.runtime.tcp.
+TcpClientTransport`, :class:`~repro.runtime.udp.UdpClientTransport`, hub
+endpoints) each speak to exactly one server.  :class:`FanoutTransport`
+composes one of them per shard behind the :class:`~repro.runtime.
+transport.Transport` protocol, routing outbound ``send(dst, ...)`` by
+destination host name and funnelling every inbound message into the one
+handler the node installs.  Combined with
+:class:`~repro.shard.client.ShardedClientEngine` (whose ``Send`` effects
+already target shard host names), this lets an unmodified
+:class:`~repro.runtime.node.LeaseClientNode` talk to ``N`` real server
+processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.obs.bus import NULL_BUS
+from repro.obs.events import SHARD_MISS
+from repro.protocol.messages import Message
+from repro.runtime.transport import MessageHandler, Transport
+from repro.types import HostId
+
+
+class FanoutTransport:
+    """Routes ``send`` calls across per-shard transports by destination.
+
+    Args:
+        name: this endpoint's host name (the client's).
+        transports: shard-order mapping of server host name to the
+            transport bound to that server.  Each inner transport must
+            deliver inbound messages with its server's name as ``src``
+            (the stock client transports all do).
+    """
+
+    def __init__(
+        self,
+        name: HostId,
+        transports: dict[HostId, Transport],
+        obs=None,
+        clock=None,
+    ):
+        if not transports:
+            raise ValueError("need at least one shard transport")
+        self._name = name
+        self._transports = dict(transports)
+        self._obs = obs or NULL_BUS
+        self._clock = clock
+        self._handler: MessageHandler | None = None
+        for transport in self._transports.values():
+            transport.set_handler(self._deliver)
+
+    @property
+    def name(self) -> HostId:
+        """This endpoint's host name."""
+        return self._name
+
+    def set_handler(self, handler: MessageHandler) -> None:
+        """Install the node's inbound callback (shared by every shard)."""
+        self._handler = handler
+
+    def _deliver(self, message: Message, src: HostId) -> None:
+        if self._handler is not None:
+            self._handler(message, src)
+
+    async def send(self, dst: HostId, message: Message) -> None:
+        """Forward to the transport bound to ``dst``.
+
+        A destination no transport is bound to is dropped with a
+        ``shard.miss`` event — same contract as the real transports,
+        which drop rather than raise on unreachable peers.
+        """
+        transport = self._transports.get(dst)
+        if transport is None:
+            if self._obs.active:
+                now = self._clock.now() if self._clock is not None else 0.0
+                self._obs.emit(
+                    SHARD_MISS, now, self._name, src=dst, kind=message.kind
+                )
+            return
+        await transport.send(dst, message)
+
+    async def close(self) -> None:
+        """Close every shard transport."""
+        await asyncio.gather(
+            *(t.close() for t in self._transports.values()),
+            return_exceptions=True,
+        )

@@ -62,14 +62,32 @@ class ConsistencyOracle:
         #: datum -> parallel lists of (commit kernel-times, versions).
         self._times: dict[DatumId, list[float]] = {}
         self._versions: dict[DatumId, list[Version]] = {}
-        store.on_commit = self._record_file_commit
-        store.namespace.on_change = self._record_dir_commit
-        self._snapshot(store)
+        self.attach_store(store)
 
-    def _snapshot(self, store: FileStore) -> None:
+    def attach_store(self, store: FileStore, dir_prefix: str = "") -> None:
+        """Subscribe to one store's commit hooks and snapshot its state.
+
+        A sharded cluster calls this once per shard so a single oracle's
+        history (and :meth:`history_fingerprint`) spans the whole
+        namespace.  File datum ids are globally unique (the sharded store
+        allocates them from one counter), but each shard's namespace
+        mints its own directory ids — ``dir_prefix`` (e.g. ``"s1/"``)
+        disambiguates those in the recorded history.
+        """
+        store.on_commit = self._record_file_commit
+        if dir_prefix:
+            def on_change(dir_id: str, version: Version) -> None:
+                self._record_dir_commit(dir_prefix + dir_id, version)
+
+            store.namespace.on_change = on_change
+        else:
+            store.namespace.on_change = self._record_dir_commit
+        self._snapshot(store, dir_prefix)
+
+    def _snapshot(self, store: FileStore, dir_prefix: str = "") -> None:
         """Record versions that existed before the oracle was attached."""
         for dir_id, record in store.namespace._dirs.items():
-            self._append(DatumId.directory(dir_id), record.version)
+            self._append(DatumId.directory(dir_prefix + dir_id), record.version)
         for file_id, record in store._files.items():
             self._append(DatumId.file(file_id), record.version)
 

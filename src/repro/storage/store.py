@@ -41,9 +41,19 @@ class FileStore:
         file_class: FileClass = FileClass.NORMAL,
         mode: str = "rw",
         now: float = 0.0,
+        file_id: str | None = None,
     ) -> FileData:
-        """Create a file and bind it at ``path``."""
-        file_id = f"file:{next(self._ids)}"
+        """Create a file and bind it at ``path``.
+
+        Args:
+            file_id: explicit datum id.  A sharded deployment
+                (:class:`repro.shard.store.ShardedStore`) allocates ids
+                from one global counter — placement hashes the id, so the
+                id must exist before the owning store is chosen.  Default:
+                this store's own counter.
+        """
+        if file_id is None:
+            file_id = f"file:{next(self._ids)}"
         record = FileData(
             file_id=file_id,
             content=content,

@@ -109,7 +109,16 @@ class TestCachePolicyProperties:
     @settings(max_examples=40, deadline=None)
     @given(ops=ops_st, capacity=st.integers(1, 4))
     def test_policy_and_lru_agree_on_membership_count(self, ops, capacity):
-        """Policies change *which* entries live, never *how many*."""
+        """Policies change *which* entries live, never *how many*.
+
+        This holds for put/get streams only: every put either overwrites
+        (no count change in either cache) or inserts with both caches at
+        the same size, evicting in both or neither.  Once the resident
+        *sets* diverge, a targeted drop or invalidate can hit one cache
+        and miss the other — the counts then legitimately differ — so
+        those ops are remapped to lookups here, and occupancy staying
+        within capacity is asserted alongside.
+        """
         lru = FileCache(capacity=capacity)
         hybrid = FileCache(capacity=capacity, policy=LruLfuPolicy())
         version = 0
@@ -119,16 +128,11 @@ class TestCachePolicyProperties:
                 version += 1
                 lru.put(datum, version, b"x")
                 hybrid.put(datum, version, b"x")
-            elif op == "get":
+            else:
                 lru.get(datum)
                 hybrid.get(datum)
-            elif op == "drop":
-                lru.drop(datum)
-                hybrid.drop(datum)
-            else:
-                lru.invalidate(datum)
-                hybrid.invalidate(datum)
-        assert len(lru) == len(hybrid)
+            assert len(lru) == len(hybrid)
+            assert len(lru) <= capacity
 
 
 class TestVictimDeterminism:

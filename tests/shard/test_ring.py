@@ -1,0 +1,99 @@
+"""Determinism and balance properties of the consistent-hash ring."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.shard.ring import HashRing, stable_hash
+
+#: Pinned assignments at 4 shards.  These are *golden*: placement is part
+#: of the persistent contract (every client and server must agree across
+#: processes, restarts and Python versions), so a change here is a
+#: breaking re-shard, not a refactor detail.
+GOLDEN_4 = {
+    "file:file:1": 3,
+    "file:file:2": 0,
+    "file:file:3": 1,
+    "file:file:4": 2,
+    "file:file:5": 2,
+    "file:file:6": 2,
+    "file:file:7": 0,
+    "file:file:8": 0,
+    "file:abc": 0,
+    "dir:/": 0,
+}
+
+
+class TestStableHash:
+    def test_pinned_value(self):
+        # First 8 bytes of sha256("file:file:1"), big-endian.
+        assert stable_hash("file:file:1") == 6207193555861442533
+
+    def test_distinct_keys_distinct_hashes(self):
+        hashes = {stable_hash(f"k{i}") for i in range(1000)}
+        assert len(hashes) == 1000
+
+
+class TestHashRing:
+    def test_golden_assignments(self):
+        ring = HashRing(4)
+        assert {k: ring.shard_of(k) for k in GOLDEN_4} == GOLDEN_4
+
+    def test_rejects_degenerate_shapes(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+    def test_single_shard_owns_everything(self):
+        ring = HashRing(1)
+        assert all(ring.shard_of(f"k{i}") == 0 for i in range(100))
+
+    def test_spread_reasonably_even(self):
+        counts = HashRing(4).spread([f"k{i}" for i in range(2000)])
+        assert sum(counts) == 2000
+        # 64 virtual points per shard keeps every bucket within ~2x of fair.
+        assert min(counts) > 2000 / 4 / 2
+        assert max(counts) < 2000 / 4 * 2
+
+    def test_growth_moves_few_keys(self):
+        """Adding one shard re-homes roughly 1/(N+1) of the keyspace."""
+        before, after = HashRing(4), HashRing(5)
+        keys = [f"k{i}" for i in range(2000)]
+        moved = sum(1 for k in keys if before.shard_of(k) != after.shard_of(k))
+        assert moved / len(keys) < 0.35
+
+    def test_independent_instances_agree(self):
+        a, b = HashRing(6), HashRing(6)
+        assert all(a.shard_of(f"k{i}") == b.shard_of(f"k{i}") for i in range(500))
+
+
+class TestCrossProcessDeterminism:
+    def test_placement_ignores_pythonhashseed(self):
+        """The ring must not lean on the salted builtin ``hash``.
+
+        Two subprocesses with different ``PYTHONHASHSEED`` values must
+        both reproduce the golden assignments computed in this process.
+        """
+        program = (
+            "from repro.shard.ring import HashRing\n"
+            "ring = HashRing(4)\n"
+            f"keys = {sorted(GOLDEN_4)!r}\n"
+            "print(','.join(str(ring.shard_of(k)) for k in keys))\n"
+        )
+        expected = ",".join(str(GOLDEN_4[k]) for k in sorted(GOLDEN_4))
+        for hash_seed in ("12345", "54321"):
+            env = dict(os.environ, PYTHONHASHSEED=hash_seed)
+            env["PYTHONPATH"] = os.pathsep.join(
+                filter(None, ["src", env.get("PYTHONPATH", "")])
+            )
+            out = subprocess.run(
+                [sys.executable, "-c", program],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            )
+            assert out.stdout.strip() == expected, f"PYTHONHASHSEED={hash_seed}"
