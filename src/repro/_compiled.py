@@ -1,0 +1,170 @@
+"""Runtime selector for the optional compiled hot core.
+
+:func:`activate` runs exactly once, from the *top* of ``repro/__init__``
+— before any canonical hot module can have been imported, because
+importing one imports the ``repro`` package first, which runs the
+selector.  When a built ``repro._hot`` package is present (and
+``REPRO_PURE=1`` does not veto it), each twin module is imported and
+aliased over its canonical name in ``sys.modules``; every later
+``from repro.sim.kernel import Kernel`` then resolves to the twin.  With
+no build present this is a handful of dict lookups and the pure modules
+load untouched — the default path.
+
+Environment knobs:
+
+``REPRO_PURE=1``
+    Force the pure-python modules even when a compiled build exists.
+``REPRO_HOT_DIR=<dir>``
+    Extra directory appended to ``repro.__path__`` before looking for
+    ``_hot`` — lets tests stage a twin build outside the source tree.
+``REPRO_ALLOW_PURE_HOT=1``
+    Accept twins that are plain ``.py`` files (an uncompiled
+    ``prepare_sources`` output).  Normally such twins are ignored — they
+    would be slower than the originals — but they let the alias
+    machinery be exercised end to end on machines without a C toolchain.
+
+Ordering within :func:`activate` is load-bearing.  Twins whose imports
+never leave the leaf modules (kernel, messages, codec, filecache) are
+aliased first.  The two twins with cross-package imports (network needs
+``repro.sim.host``, table needs ``repro.lease.lease`` and
+``repro.obs.bus``) would otherwise re-enter their own package
+``__init__`` mid-exec — so their interpreted closure is imported *first*
+(which pulls in the pure network/table as a side effect), the twin is
+imported after, and the stale pure bindings in the package namespaces
+are patched over.  The pure modules imported in passing become garbage;
+nothing holds a reference to their classes once the rebind runs.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+from typing import Any
+
+from repro._build import HOT_MODULES
+
+_active: str = "pure"
+_reason: str = "no compiled build present"
+_twins: dict[str, Any] = {}
+
+
+def _is_compiled(module: Any) -> bool:
+    # mypyc emits C extension modules; a twin loaded from a .py file is
+    # an uncompiled prepare_sources() output, not a real build.
+    filename = getattr(module, "__file__", None) or ""
+    return not filename.endswith(".py")
+
+
+def _load(canonical: str, stem: str, allow_pure_twins: bool) -> bool:
+    """Import one twin and alias it over its canonical name."""
+    try:
+        twin = importlib.import_module(f"repro._hot.{stem}")
+    except ImportError:
+        return False
+    if not (allow_pure_twins or _is_compiled(twin)):
+        return False
+    _twins[canonical] = twin
+    sys.modules[canonical] = twin
+    return True
+
+
+def activate() -> str:
+    """Select the hot-core implementation; returns the live build name."""
+    global _active, _reason
+    if os.environ.get("REPRO_PURE") == "1":
+        _reason = "REPRO_PURE=1"
+        return _active
+    hot_dir = os.environ.get("REPRO_HOT_DIR")
+    if hot_dir:
+        package = sys.modules["repro"]
+        if hot_dir not in package.__path__:
+            package.__path__.append(hot_dir)
+    try:
+        importlib.import_module("repro._hot")
+    except ImportError:
+        return _active
+    allow_pure_twins = os.environ.get("REPRO_ALLOW_PURE_HOT") == "1"
+
+    # Leaf-closure twins first (see module docstring on ordering).
+    ok = (
+        _load("repro.sim.kernel", "kernel", allow_pure_twins)
+        and _load("repro.protocol.messages", "messages", allow_pure_twins)
+        and _load("repro.protocol.codec", "codec", allow_pure_twins)
+        and _load("repro.cache.filecache", "filecache", allow_pure_twins)
+    )
+    if ok:
+        importlib.import_module("repro.sim.host")
+        ok = _load("repro.sim.network", "network", allow_pure_twins)
+    if ok:
+        importlib.import_module("repro.lease.lease")
+        importlib.import_module("repro.obs.bus")
+        ok = _load("repro.lease.table", "table", allow_pure_twins)
+
+    # Patch the stale pure bindings made while importing the closures.
+    sim_pkg = sys.modules.get("repro.sim")
+    network = _twins.get("repro.sim.network")
+    if sim_pkg is not None and network is not None:
+        sim_pkg.network = network
+        sim_pkg.Network = network.Network
+        sim_pkg.NetworkParams = network.NetworkParams
+    lease_pkg = sys.modules.get("repro.lease")
+    table = _twins.get("repro.lease.table")
+    if lease_pkg is not None and table is not None:
+        lease_pkg.table = table
+        lease_pkg.LeaseTable = table.LeaseTable
+        lease_pkg.PendingWrite = table.PendingWrite
+
+    if not _twins:
+        _reason = "twin import failed or twins not compiled"
+        return _active
+    compiled = sum(1 for twin in _twins.values() if _is_compiled(twin))
+    if len(_twins) < len(HOT_MODULES):
+        _active = "mixed"
+        _reason = f"only {len(_twins)}/{len(HOT_MODULES)} twins usable"
+    elif compiled == len(_twins):
+        _active = "compiled"
+        _reason = "mypyc-compiled repro._hot build"
+    elif compiled == 0:
+        _active = "pure-twin"
+        _reason = "uncompiled twins accepted (REPRO_ALLOW_PURE_HOT=1)"
+    else:
+        _active = "mixed"
+        _reason = f"{compiled}/{len(_twins)} twins compiled"
+    return _active
+
+
+def bind_parents() -> None:
+    """Set ``repro.sim.kernel``-style attributes on the parent packages.
+
+    An import that is satisfied from ``sys.modules`` (as every aliased
+    canonical import is) skips the parent-attribute binding a first load
+    performs, so ``repro.sim.kernel`` would otherwise be reachable as a
+    module but not as an attribute.  Runs at the bottom of
+    ``repro/__init__`` once every parent package exists; harmless (a
+    re-binding of what is already there) on the pure path.
+    """
+    for canonical, _stem in HOT_MODULES:
+        module = sys.modules.get(canonical)
+        if module is None:
+            continue
+        parent_name, _, child = canonical.rpartition(".")
+        parent = sys.modules.get(parent_name)
+        if parent is not None:
+            setattr(parent, child, module)
+
+
+def info() -> dict[str, Any]:
+    """Build metadata for ``repro.build_info()`` and bench reports."""
+    modules: dict[str, str] = {}
+    for canonical, _stem in HOT_MODULES:
+        module = sys.modules.get(canonical)
+        if module is None:
+            modules[canonical] = "unloaded"
+        elif _is_compiled(module):
+            modules[canonical] = "compiled"
+        elif (getattr(module, "__name__", "") or "").startswith("repro._hot."):
+            modules[canonical] = "pure-twin"
+        else:
+            modules[canonical] = "pure"
+    return {"build": _active, "reason": _reason, "modules": modules}

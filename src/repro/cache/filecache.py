@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
+from typing import Any
 
 from repro.types import DatumId, Version
 
@@ -68,7 +69,7 @@ class FileCache:
     invalidated) and are released when the datum is dropped.
     """
 
-    def __init__(self, capacity: int = 4096, policy=None):
+    def __init__(self, capacity: int = 4096, policy: Any = None):
         """Args:
             capacity: maximum resident entries (must be >= 1).
             policy: optional :class:`~repro.cache.eviction.LruLfuPolicy`;

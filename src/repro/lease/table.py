@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.errors import LeaseDeniedError
 from repro.lease.lease import Lease
@@ -70,7 +70,7 @@ class PendingWrite:
 class LeaseTable:
     """All lease state held by one server."""
 
-    def __init__(self, obs=None, owner: HostId | None = None) -> None:
+    def __init__(self, obs: Any = None, owner: HostId | None = None) -> None:
         """Args:
             obs: optional :class:`~repro.obs.bus.TraceBus` receiving
                 ``lease.*`` lifecycle events.

@@ -10,14 +10,20 @@ Writes ``profile.json`` (per-subsystem attribution) and
 ``profile.pstats`` (full dump; open with ``python -m pstats``) into
 ``--out-dir``, and prints the attribution table plus the heaviest
 individual functions.
+
+``--compare a.json b.json`` instead diffs two previously written
+attribution artifacts (before -> after) and prints the per-subsystem
+delta table — the before/after evidence for a perf change, including
+pure-vs-compiled runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.profile import profile_run
+from repro.profile import compare_reports, profile_run
 from repro.profile.core import core_workload, scenario_workload
 
 
@@ -38,7 +44,19 @@ def main(argv: list[str] | None = None) -> int:
                         help="individual functions to list (default 15)")
     parser.add_argument("--out-dir", default="profile_out", metavar="DIR",
                         help="artifact directory (default profile_out)")
+    parser.add_argument("--compare", nargs=2, metavar=("BEFORE", "AFTER"),
+                        help="diff two profile.json artifacts instead of "
+                        "profiling (before after)")
     args = parser.parse_args(argv)
+
+    if args.compare:
+        before_path, after_path = args.compare
+        with open(before_path, encoding="utf-8") as fh:
+            before = json.load(fh)
+        with open(after_path, encoding="utf-8") as fh:
+            after = json.load(fh)
+        print(compare_reports(before, after))
+        return 0
 
     if args.workload == "core":
         label, workload = "core_storms", core_workload

@@ -14,6 +14,7 @@ deliberately simple: ``{"type": <class name>, ...fields}`` with
 from __future__ import annotations
 
 import base64
+import dataclasses
 import math
 from typing import Any
 
@@ -68,6 +69,14 @@ _MESSAGE_TYPES: dict[str, type] = {
     )
 }
 
+#: Wire field names per class — real dataclass fields only (``kind`` is a
+#: ClassVar pseudo-field and must never hit the wire), precomputed so the
+#: encode path does no per-message reflection.
+_FIELDS_BY_TYPE: dict[str, tuple[str, ...]] = {
+    name: tuple(f.name for f in dataclasses.fields(cls))
+    for name, cls in _MESSAGE_TYPES.items()
+}
+
 #: Fields added to the wire format after v1, omitted when at their default
 #: so that frames from a new peer stay byte-identical to — and decodable
 #: by — an unbatched (pre-pipeline) peer.  Maps class name -> {field:
@@ -78,6 +87,17 @@ _OPTIONAL_FIELDS: dict[str, dict[str, Any]] = {
 
 
 def _encode_value(value: Any) -> Any:
+    # Scalars first: most wire fields are ints, strings, None or bools,
+    # and exact-type checks keep them off the isinstance chain below.
+    # Anything these miss (e.g. an int or float subclass) falls through
+    # to the original chain, so dispatch is unchanged — only faster.
+    tp = type(value)
+    if value is None or tp is str or tp is int or tp is bool:
+        return value
+    if tp is float:
+        return {"__float__": "inf"} if math.isinf(value) else value
+    if tp is bytes:
+        return {"__bytes__": base64.b64encode(value).decode("ascii")}
     if isinstance(value, Message):
         return {"__msg__": encode_message(value)}
     if isinstance(value, DatumId):
@@ -99,7 +119,7 @@ def _encode_value(value: Any) -> Any:
         }
     if isinstance(value, (tuple, list)):
         return [_encode_value(v) for v in value]
-    if value is None or isinstance(value, (str, int, float, bool)):
+    if isinstance(value, (str, int, float, bool)):
         return value
     raise ProtocolError(f"cannot encode {type(value).__name__}: {value!r}")
 
@@ -134,17 +154,21 @@ def _decode_value(value: Any) -> Any:
 def encode_message(msg: Message) -> dict:
     """Encode a protocol message as a JSON-safe dict."""
     name = type(msg).__name__
-    if name not in _MESSAGE_TYPES:
+    fields = _FIELDS_BY_TYPE.get(name)
+    if fields is None:
         raise ProtocolError(f"not a wire message: {name}")
+    out: dict[str, Any] = {"type": name}
     optional = _OPTIONAL_FIELDS.get(name)
-    fields = {
-        field: _encode_value(getattr(msg, field))
-        for field in msg.__dataclass_fields__
-        if optional is None
-        or field not in optional
-        or getattr(msg, field) != optional[field]
-    }
-    return {"type": name, **fields}
+    if optional is None:
+        for field in fields:
+            out[field] = _encode_value(getattr(msg, field))
+    else:
+        for field in fields:
+            value = getattr(msg, field)
+            if field in optional and value == optional[field]:
+                continue
+            out[field] = _encode_value(value)
+    return out
 
 
 def decode_message(data: dict) -> Message:

@@ -12,8 +12,8 @@ measures) are derived from the class: ``lease/read``, ``lease/extend``,
 
 from __future__ import annotations
 
-import sys
 from dataclasses import dataclass
+from typing import ClassVar
 
 from repro.types import DatumId, Version
 
@@ -22,13 +22,15 @@ from repro.types import DatumId, Version
 class Message:
     """Base class for all protocol messages.
 
-    ``kind`` — the traffic-accounting category — is a per-class interned
-    string attribute (assigned from :data:`KIND_BY_TYPE` at the bottom of
-    this module), so reading it on the send path is one attribute lookup
-    with no per-message dict or property-call overhead.
+    ``kind`` — the traffic-accounting category — is a per-class string
+    attribute declared in each class body, so reading it on the send path
+    is one attribute lookup with no per-message dict or property-call
+    overhead.  (:data:`KIND_BY_TYPE` at the bottom of this module is
+    derived from the classes, not the other way round — class bodies keep
+    the attribute visible to the compiled build.)
     """
 
-    kind = "msg"
+    kind: ClassVar[str] = "msg"
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,6 +44,8 @@ class ReadRequest(Message):
             copy, or None; lets the server omit the payload when the copy
             is still current.
     """
+
+    kind: ClassVar[str] = "lease/read"
 
     req_id: int
     datum: DatumId
@@ -62,6 +66,8 @@ class ReadReply(Message):
         error: error string, or None on success.
     """
 
+    kind: ClassVar[str] = "lease/read"
+
     req_id: int
     datum: DatumId
     version: Version = 0
@@ -78,6 +84,8 @@ class ExtendRequest(Message):
     Attributes:
         items: tuple of (datum, cached_version) pairs.
     """
+
+    kind: ClassVar[str] = "lease/extend"
 
     req_id: int
     items: tuple[tuple[DatumId, Version], ...]
@@ -112,6 +120,8 @@ class ExtendReply(Message):
             the server will defer behind the write).
     """
 
+    kind: ClassVar[str] = "lease/extend"
+
     req_id: int
     grants: tuple[ExtendGrant, ...] = ()
     denied: tuple[DatumId, ...] = ()
@@ -135,6 +145,8 @@ class WriteRequest(Message):
             other once requests are pipelined.
     """
 
+    kind: ClassVar[str] = "lease/write"
+
     req_id: int
     datum: DatumId
     content: bytes
@@ -146,6 +158,8 @@ class WriteRequest(Message):
 class WriteReply(Message):
     """Reply to :class:`WriteRequest` once the write has committed."""
 
+    kind: ClassVar[str] = "lease/write"
+
     req_id: int
     datum: DatumId
     version: Version = 0
@@ -156,6 +170,8 @@ class WriteReply(Message):
 class ApprovalRequest(Message):
     """Server-to-leaseholder callback: may this write proceed?"""
 
+    kind: ClassVar[str] = "lease/approve"
+
     datum: DatumId
     write_id: int
     new_version: Version
@@ -164,6 +180,8 @@ class ApprovalRequest(Message):
 @dataclass(frozen=True, slots=True)
 class ApprovalReply(Message):
     """Leaseholder's approval (it has invalidated its cached copy)."""
+
+    kind: ClassVar[str] = "lease/approve"
 
     datum: DatumId
     write_id: int
@@ -178,6 +196,8 @@ class NamespaceRequest(Message):
         args: operation arguments (paths, and content for ``bind``).
     """
 
+    kind: ClassVar[str] = "lease/namespace"
+
     req_id: int
     op: str
     args: tuple = ()
@@ -188,6 +208,8 @@ class NamespaceRequest(Message):
 class NamespaceReply(Message):
     """Reply to :class:`NamespaceRequest`."""
 
+    kind: ClassVar[str] = "lease/namespace"
+
     req_id: int
     op: str
     error: str | None = None
@@ -197,6 +219,8 @@ class NamespaceReply(Message):
 @dataclass(frozen=True, slots=True)
 class InstalledAnnounce(Message):
     """Periodic multicast extension of installed-file cover leases (§4)."""
+
+    kind: ClassVar[str] = "lease/announce"
 
     covers: tuple[str, ...]
     term: float
@@ -213,6 +237,8 @@ class RelinquishRequest(Message):
     write's awaiting set, unblocking writers immediately.
     """
 
+    kind: ClassVar[str] = "lease/relinquish"
+
     datums: tuple[DatumId, ...]
 
 
@@ -228,6 +254,8 @@ class WriteLeaseRequest(Message):
     a write does.
     """
 
+    kind: ClassVar[str] = "lease/wlease"
+
     req_id: int
     datum: DatumId
     cached_version: Version | None = None
@@ -236,6 +264,8 @@ class WriteLeaseRequest(Message):
 @dataclass(frozen=True, slots=True)
 class WriteLeaseReply(Message):
     """Reply to :class:`WriteLeaseRequest` once exclusivity is achieved."""
+
+    kind: ClassVar[str] = "lease/wlease"
 
     req_id: int
     datum: DatumId
@@ -250,6 +280,8 @@ class RecallRequest(Message):
     """Server-to-owner callback: surrender the write lease (flush dirty
     data).  Sent when another client needs the datum."""
 
+    kind: ClassVar[str] = "lease/recall"
+
     datum: DatumId
     recall_id: int
 
@@ -258,6 +290,8 @@ class RecallRequest(Message):
 class RecallReply(Message):
     """Owner's response to a recall: the dirty contents, or None if the
     cached copy was clean.  The write lease is relinquished either way."""
+
+    kind: ClassVar[str] = "lease/recall"
 
     datum: DatumId
     recall_id: int
@@ -268,6 +302,8 @@ class RecallReply(Message):
 class FlushRequest(Message):
     """Voluntary write-back of dirty data by the write-lease owner
     (e.g. ahead of lease expiry).  The lease is retained."""
+
+    kind: ClassVar[str] = "lease/flush"
 
     req_id: int
     datum: DatumId
@@ -290,6 +326,8 @@ class BatchRequest(Message):
     adds a ``batch_id`` for tracing.  Batches never nest.
     """
 
+    kind: ClassVar[str] = "lease/batch"
+
     batch_id: int
     ops: tuple[Message, ...]
 
@@ -304,35 +342,36 @@ class BatchReply(Message):
     shorter than the request's ``ops``.
     """
 
+    kind: ClassVar[str] = "lease/batch"
+
     batch_id: int
     replies: tuple[Message, ...]
 
 
-#: Message kind strings for traffic accounting; all lease-protocol
-#: messages share the ``lease/`` prefix so experiments can separate
-#: consistency traffic with one prefix filter.
-KIND_BY_TYPE = {
-    "ReadRequest": "lease/read",
-    "ReadReply": "lease/read",
-    "ExtendRequest": "lease/extend",
-    "ExtendReply": "lease/extend",
-    "WriteRequest": "lease/write",
-    "WriteReply": "lease/write",
-    "ApprovalRequest": "lease/approve",
-    "ApprovalReply": "lease/approve",
-    "NamespaceRequest": "lease/namespace",
-    "NamespaceReply": "lease/namespace",
-    "InstalledAnnounce": "lease/announce",
-    "RelinquishRequest": "lease/relinquish",
-    "WriteLeaseRequest": "lease/wlease",
-    "WriteLeaseReply": "lease/wlease",
-    "RecallRequest": "lease/recall",
-    "RecallReply": "lease/recall",
-    "FlushRequest": "lease/flush",
-    "BatchRequest": "lease/batch",
-    "BatchReply": "lease/batch",
+#: Message kind strings for traffic accounting, derived from the class
+#: bodies; all lease-protocol messages share the ``lease/`` prefix so
+#: experiments can separate consistency traffic with one prefix filter.
+KIND_BY_TYPE: dict[str, str] = {
+    cls.__name__: cls.kind
+    for cls in (
+        ReadRequest,
+        ReadReply,
+        ExtendRequest,
+        ExtendReply,
+        WriteRequest,
+        WriteReply,
+        ApprovalRequest,
+        ApprovalReply,
+        NamespaceRequest,
+        NamespaceReply,
+        InstalledAnnounce,
+        RelinquishRequest,
+        WriteLeaseRequest,
+        WriteLeaseReply,
+        RecallRequest,
+        RecallReply,
+        FlushRequest,
+        BatchRequest,
+        BatchReply,
+    )
 }
-
-for _name, _kind in KIND_BY_TYPE.items():
-    setattr(globals()[_name], "kind", sys.intern(_kind))
-del _name, _kind

@@ -47,6 +47,8 @@ from repro.errors import ReproError
 from repro.lease.policy import FixedTermPolicy
 from repro.parallel.baseline import (
     BaselineComparison,
+    build_block,
+    build_drift,
     load_report,
     machine_block,
     machine_drift,
@@ -328,6 +330,7 @@ def run_benchmark(
         "job_mix": job_mix,
         "metrics": metrics,
         "machine": machine_block(),
+        "build": build_block(),
     }
 
 
@@ -351,6 +354,14 @@ def compare(
             "re-pinned on this runner with `python benchmarks/bench_runtime.py "
             "--pin`"
         )
+    bdrift = build_drift(current, baseline)
+    if bdrift:
+        verdict.warn(
+            f"{bdrift}: a compiled run is never gated against a pure pin "
+            "(nor the reverse); compare like-for-like or re-pin with the "
+            "matching build"
+        )
+        drift = drift or bdrift
     if current.get("job_mix") != baseline.get("job_mix"):
         verdict.fail(
             f"job mix changed (baseline {baseline.get('job_mix')}, "

@@ -44,6 +44,35 @@ from typing import Any, Callable
 from repro.errors import SimulationError
 from repro.obs.events import KERNEL_COMPACT
 
+#: Process-wide fast-path defaults, captured by each :class:`Kernel` at
+#: construction.  Module globals (not class attributes) on purpose: the
+#: compiled build forbids class-attribute monkeypatching, so the
+#: equivalence suite flips these through :func:`set_fast_paths` instead.
+_default_inline = True
+_default_wheel = True
+
+
+def set_fast_paths(
+    inline: bool | None = None, wheel: bool | None = None
+) -> tuple[bool, bool]:
+    """Set the fast-path defaults for kernels built after this call.
+
+    ``None`` leaves a flag unchanged.  Returns the previous
+    ``(inline, wheel)`` pair so callers can restore it.
+    """
+    global _default_inline, _default_wheel
+    previous = (_default_inline, _default_wheel)
+    if inline is not None:
+        _default_inline = inline
+    if wheel is not None:
+        _default_wheel = wheel
+    return previous
+
+
+def get_fast_paths() -> tuple[bool, bool]:
+    """The current ``(inline, wheel)`` fast-path defaults."""
+    return (_default_inline, _default_wheel)
+
 #: Minimum number of cancelled entries before compaction is considered;
 #: below this the dead weight is cheaper than a rebuild.
 _COMPACT_MIN = 64
@@ -109,20 +138,15 @@ class Kernel:
         executed: total events fired so far — the denominator of the
             harness's throughput metric (simulated events per wall
             second, see ``repro.parallel.baseline``).
-        inline: arm the :meth:`defer` inline continuation (class-level
-            default ``True``; the equivalence suite flips it to pit the
-            fast path against plain scheduling).
-        wheel: use the timer wheel (class-level default ``True``; when
+        inline: arm the :meth:`defer` inline continuation (captured from
+            :func:`set_fast_paths` at construction; the equivalence
+            suite flips it to pit the fast path against plain
+            scheduling).
+        wheel: use the timer wheel (captured at construction; when
             False every entry takes the fallback heap).
     """
 
-    #: Class-level fast-path switches so the equivalence suite can run
-    #: every combination by subclassing/monkeypatching without touching
-    #: call sites.
-    inline = True
-    wheel = True
-
-    def __init__(self, seed: int = 0, obs=None):
+    def __init__(self, seed: int = 0, obs: Any = None):
         #: Current virtual time in seconds (plain attribute on purpose —
         #: it is read on every hot path; treat as read-only outside the
         #: kernel).
@@ -133,6 +157,11 @@ class Kernel:
         self.executed = 0
         self.rng = random.Random(seed)
         self.obs = obs
+        #: Fast-path switches, captured from the module defaults (see
+        #: :func:`set_fast_paths`) so one kernel's configuration is
+        #: immutable for its lifetime.
+        self.inline = _default_inline
+        self.wheel = _default_wheel
         # -- timer wheel state (see module docstring) --
         self._due: list[tuple] = []  # draining bucket, sorted
         self._due_pos = 0  # next index to consume in _due
@@ -153,7 +182,29 @@ class Kernel:
         time = self.now + delay
         handle = EventHandle(time, self._seq)
         handle._kernel = self
-        self._insert(time, handle, fn, args)
+        # _insert body, inlined: schedule/cancel churn (one arm + cancel
+        # per lease renewal) makes this the hottest handle-bearing entry
+        # point, and the extra frame is measurable at that call volume.
+        entry = (time, self._seq, handle, fn, args)
+        self._seq += 1
+        self._live += 1
+        if time < self._cutoff:
+            slot = int(time * _INV_GRANULARITY)
+            if slot > self._cur_slot:
+                bucket = self._buckets.get(slot)
+                if bucket is None:
+                    self._buckets[slot] = [entry]
+                    heappush(self._slots, slot)
+                else:
+                    bucket.append(entry)
+                return handle
+            pos = self._due_pos
+            if pos > _DUE_TRIM:
+                del self._due[:pos]
+                self._due_pos = pos = 0
+            insort(self._due, entry, lo=pos)
+        else:
+            heappush(self._far, entry)
         return handle
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> EventHandle:
@@ -250,7 +301,76 @@ class Kernel:
                     return
         self.post_at(time, fn, *args)
 
-    def _insert(self, time: float, handle: EventHandle | None, fn, args) -> None:
+    def post_args(self, time: float, fn: Callable[..., Any], args: tuple) -> None:
+        """:meth:`post_at` taking a prebuilt argument tuple.
+
+        ``*args`` packing allocates a fresh tuple on every call; hot
+        callers that carry one message through several hops (the
+        network's send → arrive → deliver chain) build the tuple once
+        and pool it across the hops instead.  Ordering and counters are
+        identical to :meth:`post_at`.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at t={time} before now={self.now}"
+            )
+        entry = (time, self._seq, None, fn, args)
+        self._seq += 1
+        self._live += 1
+        if time < self._cutoff:
+            slot = int(time * _INV_GRANULARITY)
+            if slot > self._cur_slot:
+                bucket = self._buckets.get(slot)
+                if bucket is None:
+                    self._buckets[slot] = [entry]
+                    heappush(self._slots, slot)
+                else:
+                    bucket.append(entry)
+                return
+            pos = self._due_pos
+            if pos > _DUE_TRIM:
+                del self._due[:pos]
+                self._due_pos = pos = 0
+            insort(self._due, entry, lo=pos)
+        else:
+            heappush(self._far, entry)
+
+    def defer_args(self, time: float, fn: Callable[..., Any], args: tuple) -> None:
+        """:meth:`defer` taking a prebuilt argument tuple (see
+        :meth:`post_args`).  The inline-execution soundness argument is
+        :meth:`defer`'s, unchanged."""
+        if self._in_run and self.inline and time >= self.now:
+            horizon = self._horizon
+            if horizon is None or time <= horizon:
+                due = self._due
+                pos = self._due_pos
+                if pos < len(due):
+                    e = due[pos]
+                    if e[0] > time:
+                        quiet = True
+                    else:
+                        h = e[2]
+                        if h is None or not h.cancelled:
+                            quiet = False
+                        else:
+                            quiet = self._quiet_until(time)
+                else:
+                    quiet = self._quiet_until(time)
+                if quiet:
+                    self._seq += 1
+                    self.now = time
+                    self.executed += 1
+                    fn(*args)
+                    return
+        self.post_args(time, fn, args)
+
+    def _insert(
+        self,
+        time: float,
+        handle: EventHandle | None,
+        fn: Callable[..., Any],
+        args: tuple,
+    ) -> None:
         """Place one entry into the wheel tier its deadline belongs to."""
         entry = (time, self._seq, handle, fn, args)
         self._seq += 1
@@ -461,8 +581,9 @@ class Kernel:
                         self._due_pos = pos
                         break
                     self._due_pos = pos + 1
-                    if h is not None:
-                        h._kernel = None
+                    handle = entry[2]
+                    if handle is not None:
+                        handle._kernel = None
                     self._live -= 1
                     self.now = time
                     self.executed += 1

@@ -94,7 +94,7 @@ class MessageStats:
 class Network:
     """Message fabric connecting simulated hosts."""
 
-    def __init__(self, kernel: Kernel, params: NetworkParams | None = None, obs=None):
+    def __init__(self, kernel: Kernel, params: NetworkParams | None = None, obs: Any = None):
         self.kernel = kernel
         self.params = params or NetworkParams()
         self.hosts: dict[HostId, Host] = {}
@@ -106,6 +106,12 @@ class Network:
         #: Optional :class:`~repro.obs.bus.TraceBus` receiving per-leg
         #: ``net.*`` events (sends, receives, drops, duplicates).
         self.obs = obs
+        #: Optional tap called as ``on_deliver(src, dst, payload, kind)``
+        #: at the top of every delivery attempt (before the host-up
+        #: check), used by :class:`~repro.sim.timeline.Timeline`.  A
+        #: declared hook, not a monkeypatched method: the compiled build
+        #: forbids replacing methods on instances.
+        self.on_deliver: Callable[[HostId, HostId, Any, str], None] | None = None
 
     # -- topology -------------------------------------------------------------
 
@@ -223,7 +229,11 @@ class Network:
         for dst in dsts:
             if active:
                 obs.emit(NET_SEND, kernel.now, src, src=src, dst=dst, kind=kind)
-            kernel.post_at(arrival, self._arrive, src, dst, payload, kind)
+            # One leg tuple carries the message through every hop
+            # (arrive, deliver, duplicate re-arrival): post_args/defer_args
+            # take it as the prebuilt argument tuple, so the per-hop
+            # *args repack is pooled away.
+            kernel.post_args(arrival, self._arrive, (src, dst, payload, kind))
             count += 1
         return count
 
@@ -261,8 +271,10 @@ class Network:
             self.duplicated += 1
             if obs is not None and obs.active:
                 obs.emit(NET_DUP, kernel.now, dst, src=src, dst=dst, kind=kind)
-            kernel.post_at(
-                kernel.now + params.m_prop, self._arrive, src, dst, payload, kind, True
+            kernel.post_args(
+                kernel.now + params.m_prop,
+                self._arrive,
+                (src, dst, payload, kind, True),
             )
         # Host.occupy_cpu, unrolled (see _send): receive-side m_proc.
         free = host._cpu_free_at
@@ -270,18 +282,21 @@ class Network:
         if free < now:
             free = now
         host._cpu_free_at = completion = free + params.m_proc
-        # Tail call: defer may run _deliver inline (one kernel event per
-        # leg instead of two) when no queued event precedes `completion` —
-        # any pending fault, duplicate arrival or competing delivery
-        # forces the queued slow path, so state checks inside _deliver
-        # observe exactly what they would have.  The resolved Host rides
-        # along (hosts are registered once and never replaced; crash only
-        # flips ``up``, which _deliver re-checks at delivery time).
-        kernel.defer(completion, self._deliver, src, dst, host, payload, kind)
+        # Tail call: defer_args may run _deliver inline (one kernel event
+        # per leg instead of two) when no queued event precedes
+        # `completion` — any pending fault, duplicate arrival or competing
+        # delivery forces the queued slow path, so state checks inside
+        # _deliver observe exactly what they would have.  The leg tuple is
+        # reused as-is; _deliver re-resolves the host (registered once,
+        # never replaced; crash only flips ``up``, re-checked at delivery
+        # time).
+        kernel.defer_args(completion, self._deliver, (src, dst, payload, kind))
 
-    def _deliver(
-        self, src: HostId, dst: HostId, host: Host, payload: Any, kind: str
-    ) -> None:
+    def _deliver(self, src: HostId, dst: HostId, payload: Any, kind: str) -> None:
+        on_deliver = self.on_deliver
+        if on_deliver is not None:
+            on_deliver(src, dst, payload, kind)
+        host = self.hosts[dst]
         obs = self.obs
         if not host.up:
             self.dropped += 1

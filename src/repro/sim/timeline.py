@@ -82,13 +82,14 @@ class Timeline:
         self._wrap(cluster)
 
     def _wrap(self, cluster: Cluster) -> None:
-        original_deliver = cluster.network._deliver
+        previous_deliver = cluster.network.on_deliver
 
-        def recording_deliver(src, dst, host, payload, kind):
+        def recording_deliver(src, dst, payload, kind):
             self._record(cluster.kernel.now, src, dst, _summarize(payload))
-            original_deliver(src, dst, host, payload, kind)
+            if previous_deliver is not None:
+                previous_deliver(src, dst, payload, kind)
 
-        cluster.network._deliver = recording_deliver
+        cluster.network.on_deliver = recording_deliver
 
         original_commit = cluster.store.on_commit
 

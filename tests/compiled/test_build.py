@@ -1,0 +1,104 @@
+"""Unit tests for repro._build: twin-source generation for the mypyc build."""
+
+from pathlib import Path
+
+from repro import _build
+
+
+class TestRewrite:
+    def test_hot_imports_rewritten_to_twins(self):
+        source = (
+            "from repro.sim.kernel import Kernel\n"
+            "import repro.protocol.messages\n"
+            "from repro.protocol.codec import encode_message\n"
+        )
+        out = _build.rewrite(source, "repro.sim.network")
+        assert "from repro._hot.kernel import Kernel" in out
+        assert "import repro._hot.messages" in out
+        assert "from repro._hot.codec import encode_message" in out
+        assert "repro.sim.kernel" not in out.replace(
+            "# Generated twin of repro.sim.network", ""
+        )
+
+    def test_non_hot_imports_untouched(self):
+        source = "from repro.sim.host import Host\nfrom repro.obs.bus import TraceBus\n"
+        out = _build.rewrite(source, "repro.sim.network")
+        assert "from repro.sim.host import Host" in out
+        assert "from repro.obs.bus import TraceBus" in out
+
+    def test_only_import_lines_rewritten(self):
+        # A docstring or comment naming the canonical module must survive:
+        # the rewrite targets import statements, not prose.
+        source = '"""Uses repro.sim.kernel for scheduling."""\nx = 1\n'
+        out = _build.rewrite(source, "repro.lease.table")
+        assert "Uses repro.sim.kernel for scheduling." in out
+
+    def test_slots_dataclass_arg_stripped(self):
+        source = "@dataclass(frozen=True, slots=True)\nclass Lease:\n    pass\n"
+        out = _build.rewrite(source, "repro.lease.table")
+        assert "slots=True" not in out
+        assert "@dataclass(frozen=True)" in out
+
+    def test_explicit_slots_assignment_stripped(self):
+        source = "class Kernel:\n    __slots__ = ('now', 'heap')\n    pass\n"
+        out = _build.rewrite(source, "repro.sim.kernel")
+        assert "__slots__" not in out
+
+    def test_generated_header_names_canonical_module(self):
+        out = _build.rewrite("x = 1\n", "repro.sim.kernel")
+        first = out.splitlines()[0]
+        assert first.startswith("#")
+        assert "repro.sim.kernel" in first
+        assert "do not edit" in first
+
+
+class TestPrepareSources:
+    def test_writes_init_and_all_twins(self, tmp_path):
+        dest = tmp_path / "_hot"
+        paths = _build.prepare_sources(dest=dest)
+        assert paths[0].endswith("__init__.py")
+        stems = [Path(p).stem for p in paths[1:]]
+        assert stems == [stem for _, stem in _build.HOT_MODULES]
+        for path in paths:
+            assert Path(path).is_file()
+
+    def test_twins_are_valid_python(self, tmp_path):
+        dest = tmp_path / "_hot"
+        for path in _build.prepare_sources(dest=dest):
+            compile(Path(path).read_text(encoding="utf-8"), path, "exec")
+
+    def test_twins_never_import_canonical_hot_modules(self, tmp_path):
+        # A twin importing a canonical hot module would link the compiled
+        # and pure halves together — the exact split-brain the rewrite
+        # exists to prevent.
+        dest = tmp_path / "_hot"
+        canonical_names = [dotted for dotted, _ in _build.HOT_MODULES]
+        for path in _build.prepare_sources(dest=dest)[1:]:
+            for line in Path(path).read_text(encoding="utf-8").splitlines():
+                stripped = line.lstrip()
+                if stripped.startswith(("from repro.", "import repro.")):
+                    for dotted in canonical_names:
+                        assert dotted not in stripped, f"{path}: {stripped}"
+
+    def test_no_slots_left_in_any_twin(self, tmp_path):
+        dest = tmp_path / "_hot"
+        for path in _build.prepare_sources(dest=dest)[1:]:
+            assert "__slots__" not in Path(path).read_text(encoding="utf-8")
+            assert "slots=True" not in Path(path).read_text(encoding="utf-8")
+
+    def test_dependency_order_is_topological(self, tmp_path):
+        # Each twin may only import twins listed before it; activate()
+        # relies on this to alias in a single forward pass.
+        import re
+
+        dest = tmp_path / "_hot"
+        paths = _build.prepare_sources(dest=dest)[1:]
+        earlier: set[str] = set()
+        for (_dotted, stem), path in zip(_build.HOT_MODULES, paths):
+            text = Path(path).read_text(encoding="utf-8")
+            for match in re.finditer(r"repro\._hot\.(\w+)", text):
+                imported = match.group(1)
+                assert imported in earlier, (
+                    f"{stem} imports repro._hot.{imported}, listed after it"
+                )
+            earlier.add(stem)

@@ -1,0 +1,141 @@
+"""Dual-path runs of the equivalence gate and the hot-module unit suites.
+
+The compiled-core contract is *byte-identical or it does not ship*: the
+same golden digests must come out of the pure modules, an aliased twin
+build, and (when present) the real mypyc build.  These tests drive the
+second import path from a fresh interpreter — the twin path is staged
+on the fly with :func:`repro._build.prepare_sources` so the aliasing
+machinery is exercised on any machine, C toolchain or not; the compiled
+path runs only where a built ``repro._hot`` is installed (the CI
+``compiled`` job) and skips cleanly elsewhere.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import _build
+from tests.sim import equivalence
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: One case per digest family: fault-free (inline fast path end to end),
+#: loss/duplication (per-leg slow-path fallback), clock faults.
+SPOT_CASES = ("quiet-0", "smoke-0", "smoke-9", "clock-4")
+
+_DIGEST_SCRIPT = """
+import json, sys
+import repro
+from tests.sim import equivalence
+
+by_label = {label: (config, index) for label, config, index in equivalence.CASES}
+digests = {}
+for label in sys.argv[1:]:
+    config, index = by_label[label]
+    digests[label] = equivalence.core_digest(equivalence.scenario_for(config, index))
+print(json.dumps({"build": repro.build_info()["build"], "digests": digests}))
+"""
+
+compiled_only = pytest.mark.skipif(
+    repro.build_info()["build"] != "compiled",
+    reason="no mypyc-compiled repro._hot build in this environment",
+)
+
+#: The tier-1 suites that exercise the six hot modules directly.
+HOT_SUITES = (
+    "tests/sim/test_kernel.py",
+    "tests/sim/test_network.py",
+    "tests/lease/test_table.py",
+    "tests/protocol/test_codec.py",
+)
+
+
+def _env(extra=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join([str(REPO_ROOT / "src"), str(REPO_ROOT)])
+    for knob in ("REPRO_PURE", "REPRO_HOT_DIR", "REPRO_ALLOW_PURE_HOT"):
+        env.pop(knob, None)
+    env.update(extra or {})
+    return env
+
+
+@pytest.fixture(scope="module")
+def twin_env(tmp_path_factory):
+    """Environment selecting a freshly staged (uncompiled) twin build."""
+    stage = tmp_path_factory.mktemp("hotstage")
+    _build.prepare_sources(dest=stage / "_hot")
+    return _env({"REPRO_HOT_DIR": str(stage), "REPRO_ALLOW_PURE_HOT": "1"})
+
+
+def run_digests(env):
+    result = subprocess.run(
+        [sys.executable, "-c", _DIGEST_SCRIPT, *SPOT_CASES],
+        capture_output=True,
+        text=True,
+        timeout=120,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+def run_pytest(env, *targets):
+    result = subprocess.run(
+        [sys.executable, "-m", "pytest", "-q", "-x", *targets],
+        capture_output=True,
+        text=True,
+        timeout=600,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert result.returncode == 0, result.stdout + result.stderr
+    return result.stdout
+
+
+GOLDEN = equivalence.load_golden()
+
+
+class TestTwinPath:
+    def test_spot_digests_match_goldens(self, twin_env):
+        out = run_digests(twin_env)
+        assert out["build"] == "pure-twin"
+        for label in SPOT_CASES:
+            assert out["digests"][label] == GOLDEN[label], label
+
+    def test_full_equivalence_suite_passes(self, twin_env):
+        run_pytest(twin_env, "tests/sim/test_equivalence.py")
+
+    def test_hot_module_unit_suites_pass(self, twin_env):
+        run_pytest(twin_env, *HOT_SUITES)
+
+
+class TestCompiledPath:
+    @compiled_only
+    def test_spot_digests_match_goldens(self):
+        out = run_digests(_env())
+        assert out["build"] == "compiled"
+        for label in SPOT_CASES:
+            assert out["digests"][label] == GOLDEN[label], label
+
+    @compiled_only
+    def test_full_equivalence_suite_passes(self):
+        run_pytest(_env(), "tests/sim/test_equivalence.py")
+
+    @compiled_only
+    def test_hot_module_unit_suites_pass(self):
+        run_pytest(_env(), *HOT_SUITES)
+
+    @compiled_only
+    def test_pure_override_still_matches_goldens(self):
+        # REPRO_PURE=1 on a compiled install must fall back to the pure
+        # modules and still produce identical digests.
+        out = run_digests(_env({"REPRO_PURE": "1"}))
+        assert out["build"] == "pure"
+        for label in SPOT_CASES:
+            assert out["digests"][label] == GOLDEN[label], label

@@ -1,0 +1,145 @@
+"""Subprocess tests of repro._compiled: build selection and env overrides.
+
+Import-path selection happens once, at the top of ``repro/__init__`` —
+it cannot be re-run inside an interpreter that already imported repro.
+Every test here therefore spawns a fresh interpreter with the knobs
+under test in its environment and reads back ``repro.build_info()``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro import _build
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Inspect script: report build_info plus identity facts the aliasing
+#: must establish (canonical names resolve to twins, package-namespace
+#: rebinding happened, parent attributes bound).
+_INSPECT = """
+import json, sys
+import repro
+import repro.sim.kernel
+import repro.sim.network
+import repro.lease.table
+import repro.protocol.messages
+import repro.protocol.codec
+import repro.cache.filecache
+from repro.sim import Network
+
+info = repro.build_info()
+kernel = sys.modules["repro.sim.kernel"]
+out = {
+    "info": info,
+    "kernel_module_name": kernel.__name__,
+    "parent_attr_is_module": repro.sim.kernel is kernel,
+    "package_network_rebound": Network is repro.sim.network.Network,
+}
+print(json.dumps(out))
+"""
+
+
+def inspect_build(extra_env=None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    for knob in ("REPRO_PURE", "REPRO_HOT_DIR", "REPRO_ALLOW_PURE_HOT"):
+        env.pop(knob, None)
+    env.update(extra_env or {})
+    result = subprocess.run(
+        [sys.executable, "-c", _INSPECT],
+        capture_output=True,
+        text=True,
+        timeout=60,
+        env=env,
+        cwd=str(REPO_ROOT),
+    )
+    assert result.returncode == 0, result.stderr
+    return json.loads(result.stdout)
+
+
+@pytest.fixture(scope="module")
+def hot_stage(tmp_path_factory):
+    """A staged (uncompiled) twin build outside the source tree."""
+    stage = tmp_path_factory.mktemp("hotstage")
+    _build.prepare_sources(dest=stage / "_hot")
+    return str(stage)
+
+
+class TestDefaultPath:
+    def test_fresh_checkout_is_pure(self):
+        out = inspect_build()
+        assert out["info"]["build"] == "pure"
+        assert out["kernel_module_name"] == "repro.sim.kernel"
+        assert out["parent_attr_is_module"]
+        assert out["package_network_rebound"]
+        assert set(out["info"]["modules"].values()) == {"pure"}
+
+    def test_staged_twins_ignored_without_allow_flag(self, hot_stage):
+        # Uncompiled .py twins are slower than the originals; without
+        # REPRO_ALLOW_PURE_HOT=1 they must never be selected.
+        out = inspect_build({"REPRO_HOT_DIR": hot_stage})
+        assert out["info"]["build"] == "pure"
+        assert out["kernel_module_name"] == "repro.sim.kernel"
+
+
+class TestTwinPath:
+    def test_pure_twins_selected_with_allow_flag(self, hot_stage):
+        out = inspect_build(
+            {"REPRO_HOT_DIR": hot_stage, "REPRO_ALLOW_PURE_HOT": "1"}
+        )
+        assert out["info"]["build"] == "pure-twin"
+        assert out["kernel_module_name"] == "repro._hot.kernel"
+        assert out["parent_attr_is_module"]
+        assert out["package_network_rebound"]
+        assert set(out["info"]["modules"].values()) == {"pure-twin"}
+
+    def test_repro_pure_overrides_staged_twins(self, hot_stage):
+        out = inspect_build(
+            {
+                "REPRO_HOT_DIR": hot_stage,
+                "REPRO_ALLOW_PURE_HOT": "1",
+                "REPRO_PURE": "1",
+            }
+        )
+        assert out["info"]["build"] == "pure"
+        assert out["info"]["reason"] == "REPRO_PURE=1"
+        assert out["kernel_module_name"] == "repro.sim.kernel"
+
+
+class TestCompiledPath:
+    """Assertions that only bite when a real mypyc build is installed.
+
+    The CI ``compiled`` job runs these against the built wheel; a pure
+    checkout skips them cleanly.
+    """
+
+    compiled = pytest.mark.skipif(
+        repro.build_info()["build"] != "compiled",
+        reason="no mypyc-compiled repro._hot build in this environment",
+    )
+
+    @compiled
+    def test_compiled_build_reports_itself(self):
+        out = inspect_build()
+        assert out["info"]["build"] == "compiled"
+        assert set(out["info"]["modules"].values()) == {"compiled"}
+
+    @compiled
+    def test_repro_pure_overrides_compiled_build(self):
+        out = inspect_build({"REPRO_PURE": "1"})
+        assert out["info"]["build"] == "pure"
+        assert out["kernel_module_name"] == "repro.sim.kernel"
+
+
+class TestBuildInfoShape:
+    def test_in_process_info_covers_every_hot_module(self):
+        info = repro.build_info()
+        assert set(info["modules"]) == {dotted for dotted, _ in _build.HOT_MODULES}
+        assert info["build"] in {"pure", "compiled", "pure-twin", "mixed"}
+        assert isinstance(info["reason"], str) and info["reason"]

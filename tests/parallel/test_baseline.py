@@ -6,7 +6,7 @@ from repro.parallel import baseline
 
 
 def make_report(serial_eps=1000.0, parallel_eps=1800.0, deterministic=True,
-                jobs=baseline.PINNED_JOBS):
+                jobs=baseline.PINNED_JOBS, workers=2, build="pure"):
     """A synthetic BENCH_sweep.json-shaped report for gate tests."""
     return {
         "benchmark": "pinned_sweep",
@@ -19,12 +19,13 @@ def make_report(serial_eps=1000.0, parallel_eps=1800.0, deterministic=True,
         "deterministic": deterministic,
         "serial": {"wall_s": 1.0, "events_per_sec": serial_eps},
         "parallel": {
-            "workers": 2,
+            "workers": workers,
             "wall_s": 0.5,
             "events_per_sec": parallel_eps,
             "speedup": 1.8,
         },
         "machine": {"cpus": 2, "python": "3.11.0", "platform": "test"},
+        "build": {"build": build},
     }
 
 
@@ -99,6 +100,79 @@ class TestMachineDrift:
         current = make_report(serial_eps=100.0)
         verdict = baseline.compare(current, make_report(), tolerance=0.25)
         assert not verdict.ok
+
+
+class TestBuildDrift:
+    def test_same_build_no_drift(self):
+        assert baseline.build_drift(make_report(), make_report()) is None
+        compiled = make_report(build="compiled")
+        assert baseline.build_drift(compiled, make_report(build="compiled")) is None
+
+    def test_missing_build_block_compares_as_pure(self):
+        # Baselines pinned before the build block existed must not start
+        # warning on every pure run.
+        legacy = make_report()
+        del legacy["build"]
+        assert baseline.build_drift(make_report(build="pure"), legacy) is None
+        drift = baseline.build_drift(make_report(build="compiled"), legacy)
+        assert drift is not None and "'pure'" in drift and "'compiled'" in drift
+
+    def test_build_drift_alone_warns_but_passes(self):
+        verdict = baseline.compare(
+            make_report(build="compiled"), make_report(build="pure")
+        )
+        assert verdict.ok
+        assert any("build drifted" in w for w in verdict.warnings)
+
+    def test_build_drift_demotes_throughput_regression_to_warning(self):
+        # A pure run gated against a compiled pin would "regress" by the
+        # whole compilation speedup — that must warn, not fail.
+        current = make_report(serial_eps=100.0, parallel_eps=100.0, build="pure")
+        verdict = baseline.compare(
+            current, make_report(build="compiled"), tolerance=0.25
+        )
+        assert verdict.ok
+        assert any("re-pin" in w for w in verdict.warnings)
+
+    def test_build_drift_does_not_mask_semantic_failures(self):
+        current = make_report(deterministic=False, build="compiled")
+        verdict = baseline.compare(current, make_report(build="pure"))
+        assert not verdict.ok
+
+    def test_same_build_regression_still_fails(self):
+        current = make_report(serial_eps=100.0, build="compiled")
+        verdict = baseline.compare(
+            current, make_report(build="compiled"), tolerance=0.25
+        )
+        assert not verdict.ok
+
+    def test_run_benchmark_records_build_block(self):
+        assert baseline.build_block()["build"] in {
+            "pure", "compiled", "pure-twin", "mixed"
+        }
+
+
+class TestSingleCpuSkip:
+    def test_workers_one_skips_parallel_check_with_warning(self):
+        # One-worker "parallel" throughput measures pool overhead, not
+        # speedup; the gate must skip it visibly and still check serial.
+        current = make_report(parallel_eps=10.0, workers=1)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert verdict.ok
+        assert any("workers == 1" in w for w in verdict.warnings)
+        assert "serial" in verdict.ratios
+        assert "parallel" not in verdict.ratios
+
+    def test_workers_one_serial_regression_still_fails(self):
+        current = make_report(serial_eps=100.0, workers=1)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert not verdict.ok
+
+    def test_multi_worker_parallel_check_still_enforced(self):
+        current = make_report(parallel_eps=10.0, workers=2)
+        verdict = baseline.compare(current, make_report(), tolerance=0.25)
+        assert not verdict.ok
+        assert "parallel" in verdict.ratios
 
 
 class TestRunBenchmark:

@@ -9,7 +9,7 @@ from repro.profile import core
 
 def make_report(core_eps=400000.0, scenario_eps=120000.0,
                 core_events=83504, scenario_events=41030,
-                jobs=32, mix_sha="abc123"):
+                jobs=32, mix_sha="abc123", build="pure"):
     """A structurally valid BENCH_core report with controllable metrics."""
     return {
         "benchmark": "core_hot_path",
@@ -33,6 +33,7 @@ def make_report(core_eps=400000.0, scenario_eps=120000.0,
             },
         },
         "machine": {"cpus": 1, "python": "3.11.7", "platform": "test"},
+        "build": {"build": build},
     }
 
 
@@ -89,6 +90,32 @@ class TestCompare:
         verdict = core.compare(current, make_report())
         assert not verdict.ok
         assert any("event count changed" in r for r in verdict.regressions)
+
+    def test_build_drift_demotes_regression_to_warning(self):
+        # A pure run gated against a compiled pin "regresses" by the
+        # whole compilation speedup; compare like-for-like only.
+        current = make_report(core_eps=100000.0, build="pure")
+        verdict = core.compare(current, make_report(build="compiled"),
+                               tolerance=0.30)
+        assert verdict.ok
+        assert any("build drifted" in w for w in verdict.warnings)
+        assert any("regressed" in w for w in verdict.warnings)
+
+    def test_build_drift_does_not_mask_event_count_change(self):
+        # Event counts are byte-identical across builds by the
+        # equivalence contract: a count change hard-fails even when the
+        # builds differ.
+        current = make_report(core_events=83505, build="compiled")
+        verdict = core.compare(current, make_report(build="pure"))
+        assert not verdict.ok
+        assert any("event count changed" in r for r in verdict.regressions)
+
+    def test_missing_build_block_compares_as_pure(self):
+        legacy = make_report()
+        del legacy["build"]
+        verdict = core.compare(make_report(build="pure"), legacy)
+        assert verdict.ok
+        assert not verdict.warnings
 
     def test_workload_missing_from_baseline_fails(self):
         baseline = make_report()
@@ -150,6 +177,29 @@ class TestCli:
         ])
         assert rc == 1
         assert "PERF GATE FAIL" in capsys.readouterr().err
+
+    def test_speedup_gate_passes_against_slow_reference(self, tmp_path, capsys):
+        reference = tmp_path / "pure.json"
+        with open(reference, "w", encoding="utf-8") as fh:
+            json.dump(make_report(core_eps=1.0, jobs=2), fh)
+        assert core.main([
+            "--jobs", "2", "--trials", "1",
+            "--speedup-vs", str(reference), "--min-speedup", "2.0",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "core speedup vs" in err
+        assert "(pure -> " in err
+
+    def test_speedup_gate_fails_below_minimum(self, tmp_path, capsys):
+        reference = tmp_path / "pure.json"
+        with open(reference, "w", encoding="utf-8") as fh:
+            json.dump(make_report(core_eps=1e12, jobs=2), fh)
+        rc = core.main([
+            "--jobs", "2", "--trials", "1",
+            "--speedup-vs", str(reference), "--min-speedup", "2.0",
+        ])
+        assert rc == 1
+        assert "SPEEDUP GATE FAIL" in capsys.readouterr().err
 
     def test_out_writes_stable_json(self, tmp_path, capsys):
         out = tmp_path / "report.json"

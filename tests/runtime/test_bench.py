@@ -73,6 +73,26 @@ class TestCompare:
         assert not verdict.ok
         assert any("not clean" in r for r in verdict.regressions)
 
+    def test_report_records_build_block(self):
+        assert self.baseline["build"]["build"] in {
+            "pure", "compiled", "pure-twin", "mixed"
+        }
+
+    def test_build_drift_demotes_regression_to_warning(self):
+        slow = self.fresh(
+            requests_per_sec=self.baseline["metrics"]["requests_per_sec"] * 0.1
+        )
+        slow["build"] = {"build": "compiled"}
+        verdict = bench.compare(slow, self.baseline, tolerance=0.40)
+        assert verdict.ok
+        assert any("build drifted" in w for w in verdict.warnings)
+
+    def test_build_drift_does_not_mask_unclean_run(self):
+        broken = self.fresh(failures=1)
+        broken["build"] = {"build": "compiled"}
+        verdict = bench.compare(broken, self.baseline)
+        assert not verdict.ok
+
     def test_mix_change_demands_repin(self):
         other = copy.deepcopy(self.baseline)
         other["job_mix"]["mix_sha"] = "drifted"

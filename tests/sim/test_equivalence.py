@@ -14,7 +14,7 @@ Never regenerate the goldens to make a perf refactor pass.
 
 import pytest
 
-from repro.sim.kernel import Kernel
+from repro.sim import kernel as kernel_mod
 from tests.sim import equivalence
 
 GOLDEN = equivalence.load_golden()
@@ -28,10 +28,10 @@ _CASE_BY_LABEL = {label: (config, index) for label, config, index in equivalence
 
 @pytest.fixture(autouse=True)
 def restore_flags():
-    """Leave the class-level fast-path switches as we found them."""
-    inline, wheel = Kernel.inline, Kernel.wheel
+    """Leave the module-level fast-path defaults as we found them."""
+    inline, wheel = kernel_mod.get_fast_paths()
     yield
-    Kernel.inline, Kernel.wheel = inline, wheel
+    kernel_mod.set_fast_paths(inline=inline, wheel=wheel)
 
 
 class TestGoldenDigests:
@@ -49,8 +49,7 @@ class TestGoldenDigests:
     )
     def test_flag_combinations_match_golden(self, label, inline, wheel):
         config, index = _CASE_BY_LABEL[label]
-        Kernel.inline = inline
-        Kernel.wheel = wheel
+        kernel_mod.set_fast_paths(inline=inline, wheel=wheel)
         digest = equivalence.core_digest(equivalence.scenario_for(config, index))
         assert digest == GOLDEN[label]
 
