@@ -82,6 +82,10 @@ def _build_parser() -> argparse.ArgumentParser:
                         help="lease-server shards (default 1 = the classic "
                         "single server; N>1 consistent-hashes files across "
                         "servers s0..s{N-1})")
+    parser.add_argument("--replicas", type=int, default=1, metavar="N",
+                        help="lease-authority replication factor (default 1 "
+                        "= unreplicated; N>1 runs each authority as a "
+                        "PaxosLease replica group r0..r{N-1})")
     parser.add_argument("--out", metavar="DIR", default=None,
                         help="write repro files + traces of failures here")
     parser.add_argument("--json", metavar="PATH", default=None,
@@ -142,6 +146,11 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     if args.shards != 1:
         config = dataclasses.replace(config, shards=args.shards)
+    if args.replicas < 1:
+        print(f"error: --replicas must be >= 1, got {args.replicas}", file=sys.stderr)
+        return 2
+    if args.replicas != 1:
+        config = dataclasses.replace(config, replicas=args.replicas)
 
     registry = Registry()
     explorer = Explorer(

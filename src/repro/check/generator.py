@@ -84,6 +84,11 @@ class GeneratorConfig:
     #: existing (base_seed, index) pairs keep their exact schedules; above
     #: 1, server-targeting faults additionally draw a victim shard.
     shards: int = 1
+    #: Lease-authority replication factor.  1 keeps the unreplicated
+    #: authority and the legacy RNG draw order; above 1, each authority
+    #: is a PaxosLease replica group (hosts ``r{j}`` / ``s{k}r{j}``) and
+    #: server-targeting faults additionally draw a victim replica.
+    replicas: int = 1
 
     @classmethod
     def smoke(
@@ -167,6 +172,7 @@ class ScenarioGenerator:
             cache_capacity=cfg.cache_capacity,
             eviction=cfg.eviction,
             shards=cfg.shards,
+            replicas=cfg.replicas,
             workload=cfg.workload,
             ops=tuple(ops),
             faults=tuple(faults),
@@ -244,11 +250,16 @@ class ScenarioGenerator:
         """The host name a server-targeting fault hits.
 
         Single-server configs name it without consuming randomness (the
-        frozen legacy draw order); sharded configs draw a victim shard.
+        frozen legacy draw order); sharded configs draw a victim shard,
+        replicated ones additionally a victim replica.
         """
-        if self.config.shards <= 1:
-            return "server"
-        return f"s{rng.randrange(self.config.shards)}"
+        shard = ""
+        if self.config.shards > 1:
+            shard = f"s{rng.randrange(self.config.shards)}"
+        if self.config.replicas > 1:
+            replica = f"r{rng.randrange(self.config.replicas)}"
+            return shard + replica
+        return shard or "server"
 
     def _sample_clock_fault(self, rng, n_clients, duration):
         """One clock fault, dangerous or safe per the configured weight.
@@ -282,6 +293,7 @@ def effective_config(config: GeneratorConfig) -> dict:
     """
     return {
         "shards": config.shards,
+        "replicas": config.replicas,
         "batching": config.batching,
         "eviction": config.eviction,
         "cache_capacity": config.cache_capacity,

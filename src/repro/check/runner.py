@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from repro.check.scenario import Fault, Scenario
 from repro.lease.policy import FixedTermPolicy, TermPolicy
 from repro.protocol.client import ClientConfig
+from repro.replica.sim import build_replicated_cluster, build_sharded_replicated_cluster
 from repro.shard.sim import build_sharded_cluster
 from repro.sim.driver import Cluster, build_cluster
 from repro.sim.network import NetworkParams
@@ -142,6 +143,14 @@ def build_scenario_cluster(scenario: Scenario, obs=None, policy: TermPolicy | No
         strict_oracle=False,
         obs=obs,
     )
+    if scenario.replicas > 1:
+        # Replicated authority (repro.replica): PaxosLease-elected master
+        # per group, hosts r{j} (or s{k}r{j} per shard).
+        if scenario.shards > 1:
+            return build_sharded_replicated_cluster(
+                scenario.shards, scenario.replicas, **common
+            )
+        return build_replicated_cluster(scenario.replicas, **common)
     if scenario.shards > 1:
         # The sharded build path is taken only above one shard, so
         # ``shards: 1`` scenarios run the legacy wiring verbatim and

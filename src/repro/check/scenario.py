@@ -23,7 +23,7 @@ from typing import IO, Iterable
 
 from repro.cache.eviction import EVICTION_KINDS
 from repro.errors import ScenarioError
-from repro.shard.router import is_server_host, shard_hosts
+from repro.shard.router import is_replica_host, is_server_host, replica_hosts, shard_hosts
 from repro.workload.models import WorkloadSpec
 
 #: Serialization format version, embedded in every scenario file.
@@ -111,6 +111,11 @@ class Fault:
             value = self.drift
         else:
             return False
+        if is_replica_host(self.host):
+            # A replica is dual-role: as (potential) master it grants file
+            # leases (fast clock dangerous) and it *holds* the PaxosLease
+            # master lease (slow clock dangerous) — both directions count.
+            return value != 0.0
         if is_server_host(self.host):
             return value > 0.0
         return value < 0.0
@@ -181,6 +186,12 @@ class Scenario:
             classic single-server cluster on host ``"server"``; ``N > 1``
             consistent-hashes the file namespace across server hosts
             ``s0 .. s{N-1}`` (see :mod:`repro.shard`).
+        replicas: lease-authority replication factor.  1 (the default,
+            pruned like ``shards`` so legacy digests are unchanged) keeps
+            the unreplicated authority; ``N > 1`` runs each authority as a
+            PaxosLease replica group — hosts ``r0 .. r{N-1}``, or
+            ``s{k}r{j}`` per shard when combined with ``shards``
+            (see :mod:`repro.replica`).
         workload: the :class:`~repro.workload.models.WorkloadSpec` that
             *generated* ``ops``, carried for provenance and reporting.
             The ops stream stays materialized — replay and shrinking never
@@ -208,6 +219,7 @@ class Scenario:
     cache_capacity: int = 4096
     eviction: str = "lru"
     shards: int = 1
+    replicas: int = 1
     workload: WorkloadSpec | None = None
     may_violate: bool = False
     ops: tuple[Op, ...] = ()
@@ -218,7 +230,14 @@ class Scenario:
     @property
     def hosts(self) -> tuple[str, ...]:
         """Every host name in the cluster (servers first)."""
-        if self.shards > 1:
+        if self.replicas > 1:
+            if self.shards > 1:
+                servers: tuple[str, ...] = ()
+                for k in range(self.shards):
+                    servers += replica_hosts(self.replicas, shard=k)
+            else:
+                servers = replica_hosts(self.replicas)
+        elif self.shards > 1:
             servers = shard_hosts(self.shards)
         else:
             servers = ("server",)
@@ -259,6 +278,8 @@ class Scenario:
             raise ValueError(f"need at least one file, got {self.n_files}")
         if self.shards < 1:
             raise ValueError(f"need at least one shard, got {self.shards}")
+        if self.replicas < 1:
+            raise ValueError(f"need at least one replica, got {self.replicas}")
         hosts = set(self.hosts)
         for op in self.ops:
             if op.kind not in OP_KINDS:
@@ -329,6 +350,8 @@ class Scenario:
             data["eviction"] = self.eviction
         if self.shards != 1:
             data["shards"] = self.shards
+        if self.replicas != 1:
+            data["replicas"] = self.replicas
         if self.workload is not None:
             data["workload"] = self.workload.to_json()
         return data
@@ -368,6 +391,7 @@ class Scenario:
             cache_capacity=int(data.get("cache_capacity", 4096)),
             eviction=str(data.get("eviction", "lru")),
             shards=int(data.get("shards", 1)),
+            replicas=int(data.get("replicas", 1)),
             workload=workload,
             may_violate=bool(data.get("may_violate", False)),
             ops=tuple(Op.from_json(o) for o in data.get("ops", ())),

@@ -113,3 +113,39 @@ def safe_local_expiry(
     if not 0 <= drift_bound < 1:
         raise ValueError(f"drift_bound must be in [0, 1): {drift_bound}")
     return t_send_local + term * (1.0 - drift_bound) - epsilon
+
+
+def safe_waitout(term: float, epsilon: float, drift_bound: float = 0.0) -> float:
+    """The local duration after which a *remote* party's lease has expired.
+
+    The mirror image of :func:`safe_local_expiry`: there a lease *holder*
+    shrinks the term so it stops trusting early; here a party waiting
+    **out** someone else's lease (a restarted server waiting out its
+    pre-crash grants, a new master waiting out its predecessor's) must
+    stretch the wait so the remote validity window has provably closed
+    even when the local clock runs fast and ahead:
+
+    ``wait_local = term * (1 + drift_bound) + epsilon``
+
+    A fast local clock (rate error up to ``drift_bound``) reads ``T``
+    local seconds in as little as ``T / (1 + drift_bound)`` real seconds,
+    so the real wait after scaling is at least ``term``; the ``epsilon``
+    skew allowance then covers the anchoring offset between the two
+    clocks.
+
+    Args:
+        term: the longest lease duration the remote party may still hold.
+        epsilon: clock-skew allowance.
+        drift_bound: bound on the local clock's rate error.
+
+    Returns:
+        The local-clock duration to wait before the remote lease is
+        provably expired.
+    """
+    if term < 0:
+        raise ValueError(f"negative lease term: {term}")
+    if epsilon < 0:
+        raise ValueError(f"negative epsilon: {epsilon}")
+    if not 0 <= drift_bound < 1:
+        raise ValueError(f"drift_bound must be in [0, 1): {drift_bound}")
+    return term * (1.0 + drift_bound) + epsilon

@@ -61,6 +61,12 @@ TRANSPORT_DROP = "transport.drop"
 SHARD_ROUTE = "shard.route"
 SHARD_MISS = "shard.miss"
 
+# -- replicated lease authority (repro.replica) ------------------------------------
+REPLICA_ELECTED = "replica.elected"
+REPLICA_SERVE = "replica.serve"
+REPLICA_DEPOSED = "replica.deposed"
+REPLICA_REDIRECT = "replica.redirect"
+
 # -- simulation kernel -----------------------------------------------------------
 KERNEL_COMPACT = "kernel.compact"
 
@@ -108,6 +114,10 @@ SCHEMA: dict[str, tuple[str, ...]] = {
     TRANSPORT_DROP: ("dst", "kind", "reason"),
     SHARD_ROUTE: ("datum", "shard", "kind"),
     SHARD_MISS: ("src", "kind"),
+    REPLICA_ELECTED: ("ballot", "serve_at"),
+    REPLICA_SERVE: ("ballot", "queued"),
+    REPLICA_DEPOSED: ("ballot", "reason"),
+    REPLICA_REDIRECT: ("src", "master"),
     KERNEL_COMPACT: ("removed", "live"),
     ORACLE_VIOLATION: ("datum", "client", "version"),
     CHECK_RUN: ("scenario", "seed", "verdict"),

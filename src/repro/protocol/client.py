@@ -26,6 +26,7 @@ the request that produced the lease.
 
 from __future__ import annotations
 
+import math
 from bisect import insort
 from dataclasses import dataclass, field
 from typing import Callable
@@ -50,6 +51,7 @@ from repro.protocol.messages import (
     Message,
     NamespaceReply,
     NamespaceRequest,
+    NotMaster,
     ReadReply,
     ReadRequest,
     RelinquishRequest,
@@ -127,6 +129,10 @@ class _ReqCtx:
     sent_local: float
     timeout: float
     retries: int = 0
+    #: NotMaster redirects answered with an *immediate* resend since the
+    #: last (re)transmission; bounded so a hint loop between confused
+    #: replicas degrades to ordinary timeout-paced retries, never a storm.
+    redirects: int = 0
     #: op_ids waiting on each datum this request covers.
     waiters: dict[DatumId, list[int]] = field(default_factory=dict)
 
@@ -144,6 +150,7 @@ class ClientMetrics:
     retransmissions: int = 0
     failures: int = 0
     cas_conflicts: int = 0
+    redirects: int = 0
 
 
 class ClientEngine:
@@ -152,12 +159,17 @@ class ClientEngine:
     def __init__(
         self,
         name: HostId,
-        server: HostId,
+        server: HostId | tuple[HostId, ...],
         config: ClientConfig | None = None,
         id_base: int = 0,
         obs=None,
     ):
         """Args:
+            server: the lease authority — a single host, or the replica
+                group of a replicated authority (``repro.replica``).
+                With a group, requests go to one *current* target;
+                :class:`~repro.protocol.messages.NotMaster` redirects and
+                RPC timeouts rotate it.
             id_base: starting value for op/request/write-sequence counters.
                 A restarted client must pass a fresh base (a boot epoch):
                 otherwise its new requests collide with pre-crash ids —
@@ -168,7 +180,14 @@ class ClientEngine:
                 ``rpc.*``/``read.local_hit`` events.
         """
         self.name = name
-        self.server = server
+        if isinstance(server, tuple):
+            if not server:
+                raise ReproError("empty server group")
+            self.servers: tuple[HostId, ...] = server
+            self.server = server[0]
+        else:
+            self.servers = (server,)
+            self.server = server
         self.config = config or ClientConfig()
         self.obs = obs or NULL_BUS
         self.leases = LeaseSet()
@@ -203,6 +222,7 @@ class ClientEngine:
             NamespaceReply: self._on_ns_reply,
             ApprovalRequest: self._on_approval_request,
             InstalledAnnounce: self._on_announce,
+            NotMaster: self._on_not_master,
             BatchReply: self._on_batch_reply,
         }
 
@@ -405,7 +425,10 @@ class ClientEngine:
             for datum in waiters:
                 if datum is not None:
                     self._datum_req[datum] = msg.req_id
-        return [*self._outbound(msg), SetTimer(f"rpc:{msg.req_id}", timeout)]
+        return [
+            *self._outbound(msg),
+            SetTimer(f"rpc:{msg.req_id}", self._retry_delay(timeout)),
+        ]
 
     def _outbound(self, msg: Message) -> list[Effect]:
         """Route one outbound request: direct send, or into the pipeline.
@@ -613,6 +636,80 @@ class ClientEngine:
             self.leases.extend_cover(cover, expires)
         return []
 
+    # -- replica failover ---------------------------------------------------------------
+
+    #: Immediate NotMaster-triggered resends per transmission before the
+    #: request falls back to timeout pacing.
+    _MAX_REDIRECT_RESENDS = 4
+
+    def _on_not_master(self, msg: NotMaster, now: float) -> list[Effect]:
+        """A replica we contacted is not the master: retarget and resend.
+
+        A useful hint (a replica in our group that is not the current
+        target) is followed with an immediate resend — failover costs one
+        round trip, not a timeout.  No hint (election in progress), a
+        stale self-referential hint, or too many immediate resends in a
+        row just rotate the target and leave the retransmission to the
+        request's rpc timer, so confused replicas can never drive an
+        unbounded redirect storm.
+        """
+        req = self._requests.get(msg.req_id)
+        if req is None:
+            return []  # late redirect for a request already answered
+        self.metrics.redirects += 1
+        hint = msg.master
+        useful = hint != "" and hint != self.server and hint in self.servers
+        if useful:
+            self.server = hint
+        else:
+            self._rotate_server()
+        if not useful or req.redirects >= self._MAX_REDIRECT_RESENDS:
+            return []  # rpc timer will retransmit to the new target
+        req.redirects += 1
+        return [
+            *self._outbound(req.message),
+            SetTimer(f"rpc:{msg.req_id}", self._retry_delay(req.timeout)),
+        ]
+
+    def _rotate_server(self) -> None:
+        if len(self.servers) <= 1:
+            return
+        try:
+            idx = self.servers.index(self.server)
+        except ValueError:
+            idx = -1
+        self.server = self.servers[(idx + 1) % len(self.servers)]
+
+    def _retry_delay(self, timeout: float) -> float:
+        """Retransmission pacing for one request.
+
+        Against a single server the request's own timeout paces retries —
+        in particular the generous write timeout, because a live server
+        holds a write silently for up to a lease term before replying.
+        Against a replica group silence is ambiguous: the master may be
+        holding our write, or it may be SIGKILLed (and a dead master sends
+        nothing, not even ``NotMaster``).  Probe at the short rpc timeout
+        so failover is found quickly; a duplicate arriving at a master
+        that is still holding the original is absorbed by server-side
+        write dedup.
+        """
+        if len(self.servers) <= 1:
+            return timeout
+        return min(timeout, self.config.rpc_timeout)
+
+    def _retry_budget(self, req: _ReqCtx) -> int:
+        """Retries before the request fails.
+
+        Probing faster (``_retry_delay``) must not shrink the operation's
+        wall-clock failure budget — ``max_retries * timeout`` worth of
+        waiting stays the same, it is just sliced into more, shorter
+        probes (rounded up per slice).
+        """
+        delay = self._retry_delay(req.timeout)
+        if delay >= req.timeout:
+            return self.config.max_retries
+        return self.config.max_retries * math.ceil(req.timeout / delay)
+
     # -- timers ---------------------------------------------------------------------------
 
     def _on_rpc_timeout(self, req_id: int, now: float) -> list[Effect]:
@@ -620,7 +717,7 @@ class ClientEngine:
         if req is None:
             return []
         req.retries += 1
-        if req.retries > self.config.max_retries:
+        if req.retries > self._retry_budget(req):
             self._close_request(req_id)
             all_ops = [op for ops in req.waiters.values() for op in ops]
             self.metrics.failures += 1
@@ -634,6 +731,11 @@ class ClientEngine:
             self.obs.emit(
                 RETRANSMIT, now, self.name, req_id=req_id, retries=req.retries
             )
+        if len(self.servers) > 1:
+            # The current target may be dead (a SIGKILLed master answers
+            # nothing, not even NotMaster): try the next replica.
+            self._rotate_server()
+            req.redirects = 0
         return [*self._outbound(req.message), SetTimer(f"rpc:{req_id}", req.timeout)]
 
     def _on_anticipate(self, now: float) -> list[Effect]:

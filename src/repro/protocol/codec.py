@@ -32,6 +32,11 @@ from repro.protocol.messages import (
     Message,
     NamespaceReply,
     NamespaceRequest,
+    NotMaster,
+    PrepareReply,
+    PrepareRequest,
+    ProposeReply,
+    ProposeRequest,
     ReadReply,
     ReadRequest,
     RecallReply,
@@ -64,6 +69,11 @@ _MESSAGE_TYPES: dict[str, type] = {
         RecallRequest,
         RecallReply,
         FlushRequest,
+        PrepareRequest,
+        PrepareReply,
+        ProposeRequest,
+        ProposeReply,
+        NotMaster,
         BatchRequest,
         BatchReply,
     )

@@ -311,6 +311,94 @@ class FlushRequest(Message):
     write_seq: int = 0
 
 
+# -- replicated lease authority (PaxosLease master lease; repro.replica) --
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareRequest(Message):
+    """PaxosLease phase 1: ask acceptors to promise ballot ``ballot``.
+
+    Ballots are globally unique per proposer (``round * n_replicas +
+    node_index + 1``) and strictly positive; 0 is the "empty" ballot.
+    """
+
+    kind: ClassVar[str] = "paxos/prepare"
+
+    ballot: int
+
+
+@dataclass(frozen=True, slots=True)
+class PrepareReply(Message):
+    """Acceptor's answer to :class:`PrepareRequest`.
+
+    Attributes:
+        ballot: the prepare ballot this answers (echoed for matching).
+        promised: True if the acceptor promised the ballot; False is an
+            explicit reject (a higher ballot was already promised).
+        accepted_ballot: ballot of the acceptor's unexpired accepted
+            lease, or 0 if none.
+        accepted_holder: holder of that accepted lease, or None.
+        accepted_expires_in: *remaining* validity of the accepted lease on
+            the acceptor's clock at reply time — a duration, never an
+            instant, so clocks need not be synchronized (§5 discipline).
+        ever_accepted: True if this acceptor has accepted *any* lease in
+            its lifetime, even an expired one.  A prepare majority of
+            never-accepted acceptors proves the group never had a master
+            (the restart rule keeps amnesiac acceptors silent until any
+            forgotten history is moot), letting a cold-start election
+            skip the handoff wait-out.
+    """
+
+    kind: ClassVar[str] = "paxos/prepare"
+
+    ballot: int
+    promised: bool
+    accepted_ballot: int = 0
+    accepted_holder: str | None = None
+    accepted_expires_in: float = 0.0
+    ever_accepted: bool = False
+
+
+@dataclass(frozen=True, slots=True)
+class ProposeRequest(Message):
+    """PaxosLease phase 2: ask acceptors to accept ``holder``'s master
+    lease of duration ``term`` under ``ballot``."""
+
+    kind: ClassVar[str] = "paxos/propose"
+
+    ballot: int
+    holder: str
+    term: float
+
+
+@dataclass(frozen=True, slots=True)
+class ProposeReply(Message):
+    """Acceptor's answer to :class:`ProposeRequest`."""
+
+    kind: ClassVar[str] = "paxos/propose"
+
+    ballot: int
+    accepted: bool
+
+
+@dataclass(frozen=True, slots=True)
+class NotMaster(Message):
+    """A non-master replica's redirect for a client request.
+
+    Attributes:
+        req_id: the redirected request's id (so the client can match it
+            to an outstanding request), or 0 for id-less messages.
+        master: the replica this node believes is master, or ``""`` when
+            it does not know (election in progress) — the client then
+            tries the next replica in its list.
+    """
+
+    kind: ClassVar[str] = "lease/notmaster"
+
+    req_id: int
+    master: str = ""
+
+
 # -- pipelining (batched frames; memproxy-style client pipeline) --
 
 
@@ -371,6 +459,11 @@ KIND_BY_TYPE: dict[str, str] = {
         RecallRequest,
         RecallReply,
         FlushRequest,
+        PrepareRequest,
+        PrepareReply,
+        ProposeRequest,
+        ProposeReply,
+        NotMaster,
         BatchRequest,
         BatchReply,
     )

@@ -1,0 +1,386 @@
+"""The replicated DES cluster: N lease-authority replicas, one oracle.
+
+:func:`build_replicated_cluster` mirrors :func:`repro.sim.driver.
+build_cluster` but stands up one :class:`SimReplica` per replica (hosts
+``r0 .. r{N-1}``) over a **shared** :class:`~repro.storage.store.
+FileStore` — the replicas replicate the *lease authority* (who may grant
+and commit), not the data plane, exactly as PaxosLease replicates the
+master lease and nothing else.  Every client addresses the whole group
+and follows :class:`~repro.protocol.messages.NotMaster` redirects.
+
+:func:`build_sharded_replicated_cluster` composes with sharding: shard
+``k``'s authority is the replica group ``s{k}r0 .. s{k}r{M-1}``, each
+group independently elected over its own shard store.
+
+Crash modelling: a replica crash loses *everything* (the engines are
+diskless); on restart the replica rejoins only after
+:func:`~repro.replica.engine.restart_join_delay` — the PaxosLease rule
+that makes disklessness safe — passed in as the fresh engine's
+``join_delay``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.lease.policy import FixedTermPolicy, TermPolicy
+from repro.protocol.client import ClientConfig
+from repro.protocol.effects import Broadcast, CancelTimer, Effect, Send, SetTimer
+from repro.protocol.messages import Message
+from repro.protocol.server import ServerConfig
+from repro.replica.engine import ReplicaConfig, ReplicaEngine, restart_join_delay
+from repro.shard.client import ShardedClientEngine
+from repro.shard.router import ShardRouter, replica_hosts
+from repro.shard.store import ShardedStore
+from repro.sim.driver import Cluster, SimClient, _TimerBank
+from repro.sim.host import Host
+from repro.sim.kernel import Kernel
+from repro.sim.network import Network, NetworkParams
+from repro.sim.oracle import ConsistencyOracle
+from repro.storage.store import FileStore
+from repro.types import HostId
+
+
+def policy_max_term(policy: TermPolicy, default: float = 10.0) -> float:
+    """The longest finite file-lease term ``policy`` can grant.
+
+    The handoff wait-out and the restart abstention are both sized by
+    this.  Stock policies expose it (``FixedTermPolicy.seconds``,
+    ``AnalyticTermPolicy.max_term``); anything opaque gets ``default``.
+    """
+    for attr in ("seconds", "max_term"):
+        value = getattr(policy, attr, None)
+        if isinstance(value, (int, float)) and value > 0 and not math.isinf(value):
+            return float(value)
+    return default
+
+
+class SimReplica:
+    """One lease-authority replica bound to a simulated host."""
+
+    def __init__(
+        self,
+        host: Host,
+        network: Network,
+        store: FileStore,
+        policy: TermPolicy,
+        config: ReplicaConfig,
+        use_multicast: bool = True,
+        obs=None,
+    ):
+        self.host = host
+        self.network = network
+        self.store = store
+        self.policy = policy
+        self.config = config
+        self.use_multicast = use_multicast
+        self.obs = obs
+        self.engine: ReplicaEngine | None = None
+        self._timers = _TimerBank(host, self._on_timer, obs=obs)
+        host.set_handler(self._on_message)
+        host.on_crash(self._on_crash)
+        host.on_restart(self._on_restart)
+        self._boot(join_delay=config.join_delay)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    def _boot(self, join_delay: float) -> None:
+        config = dataclasses.replace(self.config, join_delay=join_delay)
+        self.engine = ReplicaEngine(
+            self.host.name,
+            self.store,
+            self.policy,
+            config,
+            now=self.host.clock.now(),
+            obs=self.obs,
+        )
+        self._run_effects(self.engine.startup_effects(self.host.clock.now()))
+
+    def _on_crash(self) -> None:
+        # Diskless: promised ballots, the accepted lease, the master
+        # lease, the inner engine's lease table — all gone.  Safety does
+        # not depend on any of it surviving; it depends on the restart
+        # abstention below.
+        self.engine = None
+        self._timers.cancel_all()
+
+    def _on_restart(self) -> None:
+        self._boot(join_delay=restart_join_delay(self.config))
+
+    # -- plumbing ----------------------------------------------------------------
+
+    def _on_message(self, payload: Message, src: HostId) -> None:
+        self._run_effects(
+            self.engine.handle_message(payload, src, self.host.clock.now())
+        )
+
+    def _on_timer(self, key: str) -> None:
+        self._run_effects(self.engine.handle_timer(key, self.host.clock.now()))
+
+    def _run_effects(self, effects: list[Effect]) -> None:
+        for effect in effects:
+            if isinstance(effect, Send):
+                self.network.unicast(
+                    self.host.name, effect.dst, effect.message, kind=effect.message.kind
+                )
+            elif isinstance(effect, Broadcast):
+                if self.use_multicast:
+                    self.network.multisend(
+                        self.host.name,
+                        effect.dsts,
+                        effect.message,
+                        kind=effect.message.kind,
+                    )
+                else:
+                    for dst in effect.dsts:
+                        self.network.unicast(
+                            self.host.name, dst, effect.message, kind=effect.message.kind
+                        )
+            elif isinstance(effect, SetTimer):
+                self._timers.set(effect.key, effect.delay)
+            elif isinstance(effect, CancelTimer):
+                self._timers.cancel(effect.key)
+            else:
+                raise TypeError(f"replica cannot execute effect {effect!r}")
+
+
+@dataclass
+class ReplicatedCluster(Cluster):
+    """A :class:`~repro.sim.driver.Cluster` whose authority is replicated.
+
+    ``server`` (the inherited field) aliases replica 0 of group 0 so
+    generic code can still reach *a* server host; ``groups`` holds every
+    replica, one list per shard (a single list when unsharded).
+    """
+
+    groups: list[list[SimReplica]] = field(default_factory=list)
+    router: ShardRouter | None = None
+
+    @property
+    def replicas(self) -> list[SimReplica]:
+        """Every replica across every group, flat."""
+        return [replica for group in self.groups for replica in group]
+
+    @property
+    def n_replicas(self) -> int:
+        """Replicas per group."""
+        return len(self.groups[0])
+
+    def master_of(self, shard: int = 0) -> SimReplica | None:
+        """The group's current serving master (None mid-election)."""
+        for replica in self.groups[shard]:
+            if (
+                replica.host.up
+                and replica.engine is not None
+                and replica.engine.master_valid(replica.host.clock.now())
+            ):
+                return replica
+        return None
+
+
+def _replica_config(
+    hosts: tuple[HostId, ...],
+    index: int,
+    policy: TermPolicy,
+    server_config: ServerConfig | None,
+    master_term: float,
+    epsilon: float,
+    drift_bound: float,
+) -> ReplicaConfig:
+    return ReplicaConfig(
+        hosts=hosts,
+        index=index,
+        master_term=master_term,
+        max_file_term=policy_max_term(policy),
+        epsilon=epsilon,
+        drift_bound=drift_bound,
+        server=server_config or ServerConfig(),
+    )
+
+
+def build_replicated_cluster(
+    n_replicas: int,
+    n_clients: int = 2,
+    policy: TermPolicy | None = None,
+    network_params: NetworkParams | None = None,
+    client_config: ClientConfig | None = None,
+    server_config: ServerConfig | None = None,
+    master_term: float = 2.0,
+    use_multicast: bool = True,
+    seed: int = 0,
+    strict_oracle: bool = True,
+    setup_store: Callable[[FileStore], None] | None = None,
+    client_clock_params: Callable[[int], tuple[float, float]] | None = None,
+    server_clock_params: tuple[float, float] = (0.0, 0.0),
+    obs=None,
+) -> ReplicatedCluster:
+    """Assemble a simulated cluster with a replicated lease authority.
+
+    Mirrors :func:`repro.sim.driver.build_cluster`; differences:
+
+    Args:
+        n_replicas: replica count (hosts ``r0 .. r{N-1}``); odd values
+            give the usual majority margins, 1 degenerates to a
+            self-electing single authority.
+        server_config: config of the *inner* server engine each master
+            runs; its ``recovery_delay`` is ignored (the handoff wait-out
+            subsumes crash recovery).
+        master_term: duration of the PaxosLease master lease.
+        server_clock_params: (offset, drift) applied to every replica
+            host; per-replica clock faults go through the fault injector.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"need at least one replica: {n_replicas}")
+    kernel = Kernel(seed=seed, obs=obs)
+    network = Network(kernel, network_params or NetworkParams(), obs=obs)
+    store = FileStore()
+    if setup_store is not None:
+        setup_store(store)
+    oracle = ConsistencyOracle(kernel, store, strict=strict_oracle, obs=obs)
+
+    term_policy = policy or FixedTermPolicy(10.0)
+    client_cfg = client_config or ClientConfig()
+    hosts = replica_hosts(n_replicas)
+    offset, drift = server_clock_params
+    group: list[SimReplica] = []
+    for j, host_name in enumerate(hosts):
+        host = Host(host_name, kernel, clock_offset=offset, clock_drift=drift)
+        network.attach(host)
+        group.append(
+            SimReplica(
+                host,
+                network,
+                store,
+                term_policy,
+                _replica_config(
+                    hosts, j, term_policy, server_config,
+                    master_term, client_cfg.epsilon, client_cfg.drift_bound,
+                ),
+                use_multicast=use_multicast,
+                obs=obs,
+            )
+        )
+
+    clients = []
+    for i in range(n_clients):
+        c_offset, c_drift = (0.0, 0.0)
+        if client_clock_params is not None:
+            c_offset, c_drift = client_clock_params(i)
+        host = Host(f"c{i}", kernel, clock_offset=c_offset, clock_drift=c_drift)
+        network.attach(host)
+        clients.append(
+            SimClient(
+                host, network, hosts, config=client_config, oracle=oracle, obs=obs
+            )
+        )
+    return ReplicatedCluster(
+        kernel=kernel,
+        network=network,
+        server=group[0],
+        clients=clients,
+        store=store,
+        oracle=oracle,
+        obs=obs,
+        groups=[group],
+    )
+
+
+def build_sharded_replicated_cluster(
+    n_shards: int,
+    n_replicas: int,
+    n_clients: int = 2,
+    policy: TermPolicy | None = None,
+    network_params: NetworkParams | None = None,
+    client_config: ClientConfig | None = None,
+    server_config: ServerConfig | None = None,
+    master_term: float = 2.0,
+    use_multicast: bool = True,
+    seed: int = 0,
+    strict_oracle: bool = True,
+    setup_store: Callable[[ShardedStore], None] | None = None,
+    client_clock_params: Callable[[int], tuple[float, float]] | None = None,
+    server_clock_params: tuple[float, float] = (0.0, 0.0),
+    obs=None,
+) -> ReplicatedCluster:
+    """Sharding × replication: each shard an independent replica group.
+
+    Shard ``k``'s authority is ``s{k}r0 .. s{k}r{M-1}`` over shard
+    ``k``'s store; elections, handoffs and redirects are per group.  The
+    client runs a :class:`~repro.shard.client.ShardedClientEngine` whose
+    per-shard inner engines each target their shard's whole group.
+    """
+    if n_shards < 1:
+        raise ValueError(f"need at least one shard: {n_shards}")
+    if n_replicas < 1:
+        raise ValueError(f"need at least one replica: {n_replicas}")
+    kernel = Kernel(seed=seed, obs=obs)
+    network = Network(kernel, network_params or NetworkParams(), obs=obs)
+    router = ShardRouter(n_shards)
+    store = ShardedStore(n_shards, router=router)
+    if setup_store is not None:
+        setup_store(store)
+
+    oracle = ConsistencyOracle(kernel, store.shards[0], strict=strict_oracle, obs=obs)
+    for k in range(1, n_shards):
+        oracle.attach_store(store.shards[k], dir_prefix=f"s{k}/")
+
+    term_policy = policy or FixedTermPolicy(10.0)
+    client_cfg = client_config or ClientConfig()
+    offset, drift = server_clock_params
+    groups: list[list[SimReplica]] = []
+    group_hosts: list[tuple[HostId, ...]] = []
+    for k in range(n_shards):
+        hosts = replica_hosts(n_replicas, shard=k)
+        group_hosts.append(hosts)
+        group = []
+        for j, host_name in enumerate(hosts):
+            host = Host(host_name, kernel, clock_offset=offset, clock_drift=drift)
+            network.attach(host)
+            group.append(
+                SimReplica(
+                    host,
+                    network,
+                    store.shards[k],
+                    term_policy,
+                    _replica_config(
+                        hosts, j, term_policy, server_config,
+                        master_term, client_cfg.epsilon, client_cfg.drift_bound,
+                    ),
+                    use_multicast=use_multicast,
+                    obs=obs,
+                )
+            )
+        groups.append(group)
+
+    clients = []
+    for i in range(n_clients):
+        c_offset, c_drift = (0.0, 0.0)
+        if client_clock_params is not None:
+            c_offset, c_drift = client_clock_params(i)
+        host = Host(f"c{i}", kernel, clock_offset=c_offset, clock_drift=c_drift)
+        network.attach(host)
+        clients.append(
+            SimClient(
+                host,
+                network,
+                tuple(group_hosts),
+                config=client_config,
+                oracle=oracle,
+                engine_cls=ShardedClientEngine,
+                obs=obs,
+            )
+        )
+    return ReplicatedCluster(
+        kernel=kernel,
+        network=network,
+        server=groups[0][0],
+        clients=clients,
+        store=store,
+        oracle=oracle,
+        obs=obs,
+        groups=groups,
+        router=router,
+    )

@@ -242,6 +242,11 @@ class TcpServerTransport(_ObsMixin):
         if self._conn_tasks:
             await asyncio.gather(*self._conn_tasks, return_exceptions=True)
         self._conn_tasks.clear()
+        # Frames still parked for disconnected peers will never flush now;
+        # report each one instead of discarding them silently.
+        for peer, queue in self._pending.items():
+            for _frame_bytes, kind in queue.drain():
+                self._emit(TRANSPORT_DROP, dst=peer, kind=kind, reason="closed")
         self._pending.clear()
         if self._server is not None:
             self._server.close()
@@ -345,24 +350,32 @@ class TcpClientTransport(_ObsMixin):
 
     async def _open(self, attempt: int) -> None:
         reader, writer = await asyncio.open_connection(self._host, self._port)
-        pending = self._queue.drain()
-        try:
-            writer.write(_frame({"hello": self._name}))
-            for frame, _kind in pending:
-                writer.write(frame)
-            await writer.drain()
-        except (ConnectionError, OSError):
-            # Connected but died before the parked window flushed: the
-            # whole window goes back to the queue in order (frames sent
-            # while we awaited the drain stay behind it), so a reconnect
-            # deterministically either flushes the in-flight window or
-            # keeps it — it never silently vanishes.  The caller sees the
-            # OSError and transitions to DOWN as usual.
-            self._queue.requeue(pending)
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
-            raise
+        first = True
+        # Flush until the queue is truly empty: frames pushed while we
+        # await a drain() land in the queue (the state is not UP yet), and
+        # a single-pass flush would strand them there for the life of the
+        # connection — parked but never sent until the *next* disconnect.
+        while first or len(self._queue):
+            pending = self._queue.drain()
+            try:
+                if first:
+                    writer.write(_frame({"hello": self._name}))
+                for frame, _kind in pending:
+                    writer.write(frame)
+                await writer.drain()
+            except (ConnectionError, OSError):
+                # Connected but died before the parked window flushed: the
+                # whole window goes back to the queue in order (frames sent
+                # while we awaited the drain stay behind it), so a reconnect
+                # deterministically either flushes the in-flight window or
+                # keeps it — it never silently vanishes.  The caller sees the
+                # OSError and transitions to DOWN as usual.
+                self._queue.requeue(pending)
+                writer.close()
+                with contextlib.suppress(Exception):
+                    await writer.wait_closed()
+                raise
+            first = False
         self._reader, self._writer = reader, writer
         self.connects += 1
         self._transition(resilience.UP)
@@ -465,6 +478,10 @@ class TcpClientTransport(_ObsMixin):
             self._supervisor = None
         writer, self._reader, self._writer = self._writer, None, None
         self._transition(resilience.CLOSED)
+        # Whatever is still parked will never be sent; account for every
+        # frame rather than letting the queue vanish with the transport.
+        for _frame_bytes, kind in self._queue.drain():
+            self._emit(TRANSPORT_DROP, dst=self._server_name, kind=kind, reason="closed")
         if writer is not None:
             writer.close()
             with contextlib.suppress(Exception):

@@ -63,27 +63,39 @@ class ShardedClientEngine:
         """Args:
             server: the shard server host names, in shard order.  (Named
                 ``server`` so drivers can pass it positionally exactly
-                where they pass the single server's name today.)
+                where they pass the single server's name today.)  An
+                element may itself be a tuple — the replica group of
+                that shard's lease authority; the inner engine then
+                follows ``NotMaster`` redirects within its group.
             router: placement override; by default a fresh
                 :class:`ShardRouter` over ``server`` — deterministic, so
                 every independently constructed party agrees.
         """
         self.name = name
         self.servers = tuple(server)
+        #: Per-shard replica groups (singleton groups when unreplicated).
+        self.groups: tuple[tuple[HostId, ...], ...] = tuple(
+            g if isinstance(g, tuple) else (g,) for g in self.servers
+        )
         self.config = config or ClientConfig()
         self.obs = obs or NULL_BUS
-        self.router = router or ShardRouter(len(self.servers), hosts=self.servers)
+        self.router = router or ShardRouter(
+            len(self.groups), hosts=tuple(group[0] for group in self.groups)
+        )
         self.engines: list[ClientEngine] = [
             engine_cls(
                 name,
-                host,
+                group if len(group) > 1 else group[0],
                 config=self.config,
                 id_base=id_base + k * SHARD_ID_SPAN,
                 obs=obs,
             )
-            for k, host in enumerate(self.servers)
+            for k, group in enumerate(self.groups)
         ]
-        self._by_host = {host: k for k, host in enumerate(self.servers)}
+        #: Any replica of shard ``k`` replies as shard ``k``.
+        self._by_host = {
+            host: k for k, group in enumerate(self.groups) for host in group
+        }
         #: Operations routed to each shard (the per-shard breakdown the
         #: load harness reports).
         self.shard_counts: list[int] = [0] * len(self.servers)
@@ -213,6 +225,7 @@ class ShardedClientEngine:
             total.retransmissions += m.retransmissions
             total.failures += m.failures
             total.cas_conflicts += m.cas_conflicts
+            total.redirects += m.redirects
         return total
 
     def outstanding_requests(self) -> int:

@@ -26,14 +26,44 @@ def shard_hosts(n_shards: int) -> tuple[HostId, ...]:
     return tuple(f"s{k}" for k in range(n_shards))
 
 
+def replica_hosts(n_replicas: int, shard: int | None = None) -> tuple[HostId, ...]:
+    """The canonical replica host names of one lease-authority group.
+
+    ``("r0", ..., "r{N-1}")`` for the unsharded authority, or
+    ``("s{k}r0", ...)`` for shard ``k`` of a sharded one.
+    """
+    prefix = "r" if shard is None else f"s{shard}r"
+    return tuple(f"{prefix}{j}" for j in range(n_replicas))
+
+
+def is_replica_host(host: str) -> bool:
+    """True for replica host names: ``r{j}`` or ``s{k}r{j}``.
+
+    Replica hosts are *dual-role* for the §5 clock-fault analysis: the
+    master both grants file leases (fast clock dangerous) and holds the
+    PaxosLease master lease (slow/backward clock dangerous), so — unlike
+    plain server hosts — a clock fault on a replica is dangerous in both
+    directions.
+    """
+    if len(host) > 1 and host[0] == "r" and host[1:].isdigit():
+        return True
+    if len(host) > 3 and host[0] == "s":
+        shard_part, sep, rep_part = host[1:].partition("r")
+        return bool(sep) and shard_part.isdigit() and rep_part.isdigit()
+    return False
+
+
 def is_server_host(host: str) -> bool:
-    """True for lease-authority host names: ``"server"`` or a shard ``s{k}``.
+    """True for lease-authority host names: ``"server"``, a shard
+    ``s{k}``, or a replica ``r{j}`` / ``s{k}r{j}``.
 
     Client hosts are ``c{i}``; the §5 clock-fault danger directions flip
     between server and client hosts, so fault classification needs this.
     """
-    return host == "server" or (
-        len(host) > 1 and host[0] == "s" and host[1:].isdigit()
+    return (
+        host == "server"
+        or (len(host) > 1 and host[0] == "s" and host[1:].isdigit())
+        or is_replica_host(host)
     )
 
 

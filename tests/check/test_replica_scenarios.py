@@ -1,0 +1,171 @@
+"""Replicated-authority scenarios: grammar, digests, and a fast sweep.
+
+Three contracts from ISSUE 10:
+
+* the scenario grammar carries ``replicas`` and round-trips it, while a
+  ``replicas: 1`` scenario serializes byte-identically to a legacy one —
+  golden digests must not move;
+* the generator draws identical schedules for ``replicas=1`` and the
+  default config (frozen RNG order), and targets replica hosts when
+  ``replicas > 1``;
+* a small seeded sweep at ``replicas=3`` (crash + partition + clock
+  faults) produces no harness failures — violations only where the
+  schedule is tagged ``may_violate``.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.check import Scenario, run_scenario
+from repro.check.generator import GeneratorConfig, ScenarioGenerator, effective_config
+from repro.check.scenario import Fault, Op
+
+
+def quiet_scenario(**overrides) -> Scenario:
+    fields = dict(
+        name="replica-quiet",
+        seed=3,
+        n_clients=2,
+        n_files=2,
+        duration=10.0,
+        drain=30.0,
+        term=2.0,
+        ops=(
+            Op(at=0.5, client=0, kind="read", file=0),
+            Op(at=1.0, client=1, kind="write", file=0),
+            Op(at=2.5, client=0, kind="read", file=0),
+            Op(at=4.0, client=0, kind="write", file=1),
+        ),
+    )
+    fields.update(overrides)
+    return Scenario(**fields)
+
+
+class TestGrammar:
+    def test_replicas_round_trips(self):
+        scenario = quiet_scenario(replicas=3)
+        again = Scenario.loads(scenario.dumps())
+        assert again == scenario
+        assert again.replicas == 3
+        assert again.digest() == scenario.digest()
+
+    def test_replicas_pruned_at_one(self):
+        """Digest-stability contract: legacy scenarios must keep their
+        bytes, so the default is absent from the JSON."""
+        data = quiet_scenario().to_json()
+        assert "replicas" not in data
+        assert quiet_scenario(replicas=1).dumps() == quiet_scenario().dumps()
+        assert quiet_scenario(replicas=1).digest() == quiet_scenario().digest()
+
+    def test_zero_replicas_rejected(self):
+        with pytest.raises(ValueError, match="replica"):
+            quiet_scenario(replicas=0).validate()
+
+    def test_hosts_are_replica_groups(self):
+        assert quiet_scenario(replicas=3).hosts[:3] == ("r0", "r1", "r2")
+        sharded = quiet_scenario(shards=2, replicas=2)
+        assert sharded.hosts[:4] == ("s0r0", "s0r1", "s1r0", "s1r1")
+
+    def test_replica_fault_hosts_validate(self):
+        scenario = quiet_scenario(
+            replicas=3, faults=(Fault("crash", at=1.0, host="r1", duration=2.0),)
+        )
+        scenario.validate()
+        # ...and "server" is no longer a host of a replicated cluster.
+        bad = quiet_scenario(
+            replicas=3, faults=(Fault("crash", at=1.0, host="server", duration=2.0),)
+        )
+        with pytest.raises(ValueError, match="unknown host"):
+            bad.validate()
+
+
+class TestGenerator:
+    def test_replicas_one_keeps_the_legacy_draw_order(self):
+        """The frozen-RNG contract: (base_seed, index) pairs keep their
+        exact schedules when replication is off."""
+        legacy = ScenarioGenerator(base_seed=5)
+        pruned = ScenarioGenerator(base_seed=5, config=GeneratorConfig(replicas=1))
+        for index in range(8):
+            assert legacy.generate(index) == pruned.generate(index)
+
+    def test_replicated_generator_targets_replica_hosts(self):
+        config = GeneratorConfig(replicas=3, p_server_crash=1.0)
+        generator = ScenarioGenerator(base_seed=1, config=config)
+        hit_replica = False
+        for index in range(20):
+            scenario = generator.generate(index)
+            assert scenario.replicas == 3
+            scenario.validate()
+            for fault in scenario.faults:
+                assert fault.host != "server"
+                if fault.host and fault.host.startswith("r"):
+                    hit_replica = True
+        assert hit_replica
+
+    def test_effective_config_reports_replicas(self):
+        report = effective_config(GeneratorConfig(replicas=3))
+        assert report["replicas"] == 3
+        assert json.dumps(report)  # stays JSON-serializable
+
+
+class TestReplicatedRuns:
+    def test_quiet_replicated_scenario_passes(self):
+        result = run_scenario(quiet_scenario(replicas=3))
+        assert result.verdict == "pass", (
+            result.liveness_failures,
+            result.convergence_failures,
+            result.violations,
+        )
+        assert result.ops_completed == 4
+
+    def test_master_replica_crash_heals(self):
+        """Crash r0 (the usual cold-start winner) mid-run: the group
+        fails over and every op still completes inside the drain."""
+        scenario = quiet_scenario(
+            replicas=3,
+            drain=60.0,
+            ops=(
+                Op(at=0.5, client=0, kind="read", file=0),
+                Op(at=6.0, client=1, kind="write", file=0),
+                Op(at=9.0, client=0, kind="read", file=0),
+            ),
+            faults=(Fault("crash", at=1.5, host="r0", duration=5.0),),
+        )
+        result = run_scenario(scenario)
+        assert result.ok, (result.liveness_failures, result.convergence_failures)
+
+    def test_sharded_replicated_scenario_passes(self):
+        result = run_scenario(quiet_scenario(shards=2, replicas=3, drain=60.0))
+        assert result.ok
+
+    def test_fingerprint_is_deterministic(self):
+        scenario = quiet_scenario(
+            replicas=3, faults=(Fault("crash", at=1.5, host="r0", duration=4.0),)
+        )
+        a, b = run_scenario(scenario), run_scenario(scenario)
+        assert a.fingerprint == b.fingerprint
+        assert a.stats == b.stats
+
+
+class TestFastSweep:
+    def test_six_seed_replicated_sweep_has_no_failures(self):
+        """The CI smoke contract in miniature: crash + partition + clock
+        faults over a 3-replica authority never produce a harness
+        failure; oracle violations appear only under ``may_violate``."""
+        config = dataclasses.replace(
+            GeneratorConfig.smoke(clock_faults=True), replicas=3
+        )
+        generator = ScenarioGenerator(base_seed=0, config=config)
+        for index in range(6):
+            scenario = generator.generate(index)
+            result = run_scenario(scenario)
+            assert result.verdict != "fail", (
+                index,
+                result.failure_kinds,
+                result.liveness_failures,
+                result.convergence_failures,
+            )
+            if result.violated:
+                assert scenario.may_violate

@@ -1,0 +1,109 @@
+"""DES wiring of the replicated authority: builds, routing, degenerate N=1."""
+
+import pytest
+
+from repro.lease.policy import FixedTermPolicy, InfiniteTermPolicy
+from repro.protocol.client import ClientConfig
+from repro.replica.sim import (
+    build_replicated_cluster,
+    build_sharded_replicated_cluster,
+    policy_max_term,
+)
+from repro.storage.store import FileStore
+
+CLIENT_CONFIG = ClientConfig(rpc_timeout=1.0, write_timeout=45.0, max_retries=10)
+
+
+def setup_basic(store: FileStore) -> None:
+    store.create_file("/doc", b"v1")
+
+
+class TestPolicyMaxTerm:
+    def test_fixed_policy_exposes_seconds(self):
+        assert policy_max_term(FixedTermPolicy(7.5)) == 7.5
+
+    def test_infinite_policy_falls_back_to_default(self):
+        assert policy_max_term(InfiniteTermPolicy(), default=12.0) == 12.0
+
+    def test_opaque_policy_gets_default(self):
+        class Weird:
+            pass
+
+        assert policy_max_term(Weird()) == 10.0
+
+
+class TestReplicatedCluster:
+    def test_three_replicas_elect_exactly_one_master(self):
+        cluster = build_replicated_cluster(
+            3, n_clients=1, setup_store=setup_basic, client_config=CLIENT_CONFIG
+        )
+        cluster.run(until=5.0)
+        masters = [
+            r for r in cluster.replicas
+            if r.engine is not None
+            and r.engine.master_valid(r.host.clock.now())
+        ]
+        assert len(masters) == 1
+        assert cluster.master_of() is masters[0]
+
+    def test_read_write_through_the_group(self):
+        cluster = build_replicated_cluster(
+            3, n_clients=2, setup_store=setup_basic, client_config=CLIENT_CONFIG
+        )
+        datum = cluster.store.file_datum("/doc")
+        a, b = cluster.clients
+        result = cluster.run_until_complete(a, a.read(datum))
+        assert result.ok and result.value == (1, b"v1")
+        result = cluster.run_until_complete(b, b.write(datum, b"v2"))
+        assert result.ok and result.value == 2
+        result = cluster.run_until_complete(a, a.read(datum))
+        assert result.ok and result.value == (2, b"v2")
+        assert cluster.oracle.clean
+
+    def test_single_replica_degenerates_to_one_authority(self):
+        cluster = build_replicated_cluster(
+            1, n_clients=1, setup_store=setup_basic, client_config=CLIENT_CONFIG
+        )
+        datum = cluster.store.file_datum("/doc")
+        c = cluster.clients[0]
+        assert cluster.run_until_complete(c, c.read(datum)).ok
+        assert cluster.run_until_complete(c, c.write(datum, b"v2")).ok
+        assert cluster.n_replicas == 1
+        assert cluster.oracle.clean
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ValueError):
+            build_replicated_cluster(0)
+        with pytest.raises(ValueError):
+            build_sharded_replicated_cluster(2, 0)
+
+
+class TestShardedReplicated:
+    def test_two_shards_by_three_replicas(self):
+        def setup(store):
+            for i in range(4):
+                store.create_file(f"/f{i}", b"x")
+
+        cluster = build_sharded_replicated_cluster(
+            2, 3, n_clients=1, setup_store=setup, client_config=CLIENT_CONFIG
+        )
+        c = cluster.clients[0]
+        for i in range(4):
+            datum = cluster.store.file_datum(f"/f{i}")
+            result = cluster.run_until_complete(c, c.read(datum))
+            assert result.ok and result.value == (1, b"x")
+        datum = cluster.store.file_datum("/f0")
+        assert cluster.run_until_complete(c, c.write(datum, b"y")).ok
+        assert cluster.oracle.clean
+        assert len(cluster.groups) == 2
+        assert all(len(g) == 3 for g in cluster.groups)
+
+    def test_each_shard_elects_independently(self):
+        cluster = build_sharded_replicated_cluster(
+            2, 3, n_clients=1, client_config=CLIENT_CONFIG
+        )
+        cluster.run(until=5.0)
+        for shard in range(2):
+            master = cluster.master_of(shard)
+            assert master is not None
+            assert master.host.name.startswith(f"s{shard}r")

@@ -1,0 +1,184 @@
+"""Frame accounting across failover: no loss, no stall, no silence.
+
+The ISSUE 10 satellite audit of :class:`~repro.runtime.resilience.
+FrameQueue` + :class:`~repro.shard.transport.FanoutTransport` when a
+client switches transports mid-failover.  Two real defects are pinned
+here as regressions:
+
+* **flush stall** — a frame pushed while ``TcpClientTransport._open``
+  awaited its reconnect flush was parked *after* the drain pass and then
+  never flushed: it sat in the queue for the entire life of the new
+  connection, invisible, until the next disconnect.  ``_open`` now
+  flushes until the queue is truly empty before going UP.
+* **silent close** — both TCP transports discarded still-parked frames
+  at ``close()`` with no ``transport.drop`` trace, violating the
+  resilience contract that no frame ever disappears unobserved.  A
+  frame stranded in a dead master's queue when the client moves on is
+  exactly the failover case.
+"""
+
+import asyncio
+
+from repro.obs.bus import TraceBus
+from repro.obs.events import TRANSPORT_DROP
+from repro.protocol.messages import ReadRequest
+from repro.runtime.resilience import BackoffPolicy
+from repro.runtime.tcp import TcpClientTransport, TcpServerTransport, _frame
+from repro.shard.transport import FanoutTransport
+from repro.storage.store import FileStore
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+FAST_BACKOFF = BackoffPolicy(initial=0.01, cap=0.05, jitter=0.0)
+
+
+def _msg(req_id: int) -> ReadRequest:
+    store = FileStore()
+    store.create_file("/f", b"x")
+    return ReadRequest(req_id=req_id, datum=store.file_datum("/f"))
+
+
+class _FlushProbeWriter:
+    """A fake stream writer whose first drain() races a concurrent push."""
+
+    def __init__(self, on_first_drain):
+        self.frames = []
+        self._drains = 0
+        self._on_first_drain = on_first_drain
+        self.transport = None
+
+    def write(self, data: bytes) -> None:
+        self.frames.append(data)
+
+    async def drain(self) -> None:
+        self._drains += 1
+        if self._drains == 1:
+            self._on_first_drain()
+
+    def close(self) -> None:
+        pass
+
+    async def wait_closed(self) -> None:
+        pass
+
+
+class TestReconnectFlushStall:
+    def test_frame_pushed_during_flush_is_sent_before_going_up(self, monkeypatch):
+        """The flush-stall regression: a frame parked while the reconnect
+        flush awaited drain() must be flushed by the *same* reconnect,
+        not stranded until the next disconnect."""
+
+        async def scenario():
+            tcp = TcpClientTransport("c0", reconnect=False)
+            late = _frame({"late": True})
+            writer = _FlushProbeWriter(
+                on_first_drain=lambda: tcp._queue.push(late, "late")
+            )
+
+            async def fake_open_connection(host, port):
+                return asyncio.StreamReader(), writer
+
+            monkeypatch.setattr(asyncio, "open_connection", fake_open_connection)
+            tcp._queue.push(_frame({"early": True}), "early")
+            await tcp.connect(port=1)
+            # Both the parked frame and the one that raced the flush are
+            # on the wire; nothing is left behind in the queue.
+            assert len(tcp._queue) == 0
+            assert _frame({"early": True}) in writer.frames
+            assert late in writer.frames
+            # FIFO: the racing frame went out after the parked window.
+            assert writer.frames.index(late) > writer.frames.index(
+                _frame({"early": True})
+            )
+            await tcp.close()
+
+        run(scenario())
+
+
+class TestCloseAccounting:
+    def test_client_close_reports_parked_frames(self):
+        """Frames still parked when the transport dies must be observable."""
+
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            tcp = TcpClientTransport("c0", server_name="a", obs=bus)
+            await tcp.send("a", _msg(1))  # DOWN: parks
+            await tcp.send("a", _msg(2))
+            assert len(tcp._queue) == 2
+            await tcp.close()
+            drops = [e for e in bus.events(TRANSPORT_DROP) if e["reason"] == "closed"]
+            assert len(drops) == 2
+            assert all(e["dst"] == "a" for e in drops)
+            assert len(tcp._queue) == 0
+
+        run(scenario())
+
+    def test_server_close_reports_parked_frames(self):
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            server = TcpServerTransport(obs=bus)
+            await server.start()
+            await server.send("ghost", _msg(1))  # peer never connected: parks
+            await server.close()
+            drops = [e for e in bus.events(TRANSPORT_DROP) if e["reason"] == "closed"]
+            assert len(drops) == 1
+            assert drops[0]["dst"] == "ghost"
+
+        run(scenario())
+
+
+class TestFanoutSwitch:
+    def test_no_frame_lost_or_duplicated_across_a_transport_switch(self):
+        """Failover switch: the client moves from a dead server's transport
+        to a live one.  Every frame sent is accounted for exactly once —
+        delivered to the live server, or parked-then-reported on close;
+        none duplicated onto the wrong server."""
+
+        async def scenario():
+            bus = TraceBus(capacity=None)
+            received_a, received_b = [], []
+
+            server_a = TcpServerTransport("a", obs=bus)
+            server_b = TcpServerTransport("b", obs=bus)
+            await server_a.start()
+            await server_b.start()
+            server_a.set_handler(lambda m, src: received_a.append(m))
+            server_b.set_handler(lambda m, src: received_b.append(m))
+
+            ta = TcpClientTransport("c0", "a", backoff=FAST_BACKOFF, obs=bus)
+            tb = TcpClientTransport("c0", "b", backoff=FAST_BACKOFF, obs=bus)
+            fanout = FanoutTransport("c0", {"a": ta, "b": tb}, obs=bus)
+            await ta.connect(port=server_a.port)
+            await tb.connect(port=server_b.port)
+
+            await fanout.send("a", _msg(1))
+            await asyncio.sleep(0.05)
+            assert [m.req_id for m in received_a] == [1]
+
+            # Server "a" dies (the old master).  Frames addressed to it
+            # now park in ta's queue; the switch sends new traffic to "b".
+            await server_a.close()
+            deadline = asyncio.get_running_loop().time() + 5.0
+            while ta.state == "up":
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.01)
+            await fanout.send("a", _msg(2))  # retransmission toward the corpse
+            await fanout.send("b", _msg(3))  # failover traffic
+            await asyncio.sleep(0.05)
+            assert [m.req_id for m in received_b] == [3]
+            assert [m.req_id for m in received_a] == [1]  # no cross-delivery
+
+            await fanout.close()
+            # The parked frame toward the dead master is reported, not
+            # silently swallowed with the transport.
+            closed_drops = [
+                e for e in bus.events(TRANSPORT_DROP)
+                if e["reason"] == "closed" and e["host"] == "c0"
+            ]
+            assert any(e["dst"] == "a" for e in closed_drops)
+            await server_b.close()
+
+        run(scenario())
